@@ -1,0 +1,61 @@
+"""Scaling — wall-clock cost of the library itself (the HPC-guide check).
+
+Times the two phases separately on growing instances.  The assertions pin
+the advertised complexity envelope loosely: list scheduling alone must
+handle 1500 jobs well under a second, and the full pipeline must stay
+sub-minute at n = 120 with d = 3.
+"""
+
+import time
+
+from conftest import save_and_print
+from repro.core.list_scheduler import list_schedule
+from repro.core.two_phase import MoldableScheduler
+from repro.experiments.report import format_table
+from repro.experiments.workloads import random_instance
+from repro.jobs.candidates import geometric_grid
+from repro.resources.pool import ResourcePool
+
+
+def bench_full_pipeline():
+    pool = ResourcePool.uniform(3, 16)
+    wl = random_instance("layered", 120, pool, seed=0)
+    res = MoldableScheduler(allocator="lp").schedule(wl.instance)
+    return res
+
+
+def test_full_pipeline_scaling(benchmark, results_dir):
+    res = benchmark.pedantic(bench_full_pipeline, rounds=3, iterations=1)
+    res.schedule.validate()
+    assert res.makespan <= res.proven_ratio * res.lower_bound * (1 + 1e-6)
+
+    # phase-2-only scaling table
+    rows = []
+    for n in (200, 600, 1500):
+        pool = ResourcePool.uniform(3, 16)
+        wl = random_instance("layered", n, pool, seed=1)
+        inst = wl.instance
+        table = inst.candidate_table(geometric_grid)
+        alloc = {j: min(es, key=lambda e: e.time * e.area).alloc for j, es in table.items()}
+        t0 = time.perf_counter()
+        sched = list_schedule(inst, alloc)
+        dt = time.perf_counter() - t0
+        rows.append({"n": inst.n, "list_schedule_seconds": dt, "makespan": sched.makespan})
+        if inst.n >= 1400:
+            assert dt < 1.0, f"list scheduling too slow: {dt:.3f}s for n={inst.n}"
+    save_and_print(
+        results_dir,
+        "scaling",
+        format_table(list(rows[0]), [list(r.values()) for r in rows],
+                     precision=4, title="Scheduler scaling (Phase 2 only)"),
+    )
+
+
+def test_list_scheduler_throughput(benchmark):
+    pool = ResourcePool.uniform(2, 16)
+    wl = random_instance("layered", 400, pool, seed=2)
+    inst = wl.instance
+    table = inst.candidate_table(geometric_grid)
+    alloc = {j: min(es, key=lambda e: e.time * e.area).alloc for j, es in table.items()}
+    sched = benchmark(lambda: list_schedule(inst, alloc))
+    assert len(sched) == inst.n

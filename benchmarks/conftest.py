@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each bench file regenerates one of the paper's displayed results (or one of
+the extension experiments indexed in DESIGN.md), prints the paper-style
+rows, asserts the qualitative *shape* (who wins, how ratios trend), and
+saves the rendered table under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a result table and persist it for EXPERIMENTS.md."""
+    print("\n" + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Fault injection: how the dispatcher behaves under stragglers & failures.
+
+Schedules an Epigenomics-shaped workflow, then replays the dispatch policy
+under increasing fault pressure: straggling jobs (2x slower than modeled)
+and transient failures (jobs re-execute from scratch).  Prints the makespan
+degradation curve and the retry census, and saves the realized timeline as
+a JSON trace.
+
+Run:  python examples/fault_tolerant_run.py
+"""
+
+from repro import MoldableScheduler, ResourcePool
+from repro.experiments.report import format_table
+from repro.experiments.workflow_study import workflow_instance
+from repro.sim.faults import execute_with_faults
+
+
+def main() -> None:
+    pool = ResourcePool.of(32, 8, names=("cores", "io_bw"))
+    inst = workflow_instance("epigenomics", pool)
+    plan = MoldableScheduler().schedule(inst)
+    plan.schedule.validate()
+    print(f"epigenomics workflow: {inst.n} jobs, planned makespan "
+          f"{plan.makespan:.2f} (ratio {plan.ratio():.3f} <= {plan.proven_ratio:.3f})\n")
+
+    rows = []
+    for frac, factor, fail in [
+        (0.0, 1.0, 0.0),
+        (0.2, 2.0, 0.0),
+        (0.5, 2.0, 0.0),
+        (0.2, 2.0, 0.10),
+        (0.5, 3.0, 0.20),
+    ]:
+        ex = execute_with_faults(
+            inst, plan.allocation,
+            straggler_fraction=frac, straggler_factor=factor,
+            failure_prob=fail, max_retries=3, seed=42,
+        )
+        ex.validate()
+        retries = sum(ex.retries().values())
+        rows.append((f"{frac:.0%}", f"{factor:g}x", f"{fail:.0%}",
+                     ex.makespan, ex.makespan / plan.makespan, retries))
+
+    print(format_table(
+        ["stragglers", "slowdown", "failure p", "makespan", "vs plan", "retries"],
+        rows,
+    ))
+    print("\nDegradation stays within the slowdown envelope: the dispatcher "
+          "reacts to completions,\nnot to the plan, so late jobs simply shift "
+          "the schedule instead of breaking it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Theorem 6 live: watch a local-priority list scheduler get forced to a
+factor-d makespan on the Figure 2 instance family.
+
+Builds the reconstructed tree instance for chosen (d, M), schedules it with
+(a) the adversarial local tie-break and (b) the graph-aware order, prints
+both Gantt charts for a small case, and the ratio trend as M grows.
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+from repro.core.list_scheduler import list_schedule
+from repro.experiments.lb_instance import (
+    adversarial_priority,
+    informed_priority,
+    lower_bound_instance,
+    theoretical_makespans,
+)
+from repro.experiments.report import format_table
+from repro.sim.gantt import ascii_gantt
+
+
+def run(d: int, m: int):
+    inst = lower_bound_instance(d, m)
+    alloc = {j: inst.jobs[j].candidates[0] for j in inst.jobs}
+    s_adv = list_schedule(inst, alloc, adversarial_priority(inst))
+    s_opt = list_schedule(inst, alloc, informed_priority(inst))
+    return inst, s_adv, s_opt
+
+
+def main() -> None:
+    # small case: show the two schedules
+    d, m = 3, 3
+    _, s_adv, s_opt = run(d, m)
+    print(f"d = {d}, M = {m}: 'r' jobs release the next resource type;")
+    print("a local priority cannot tell them apart from bulk 'b' jobs.\n")
+    print("ADVERSARIAL local order (bulk first) — types serialize:")
+    print(ascii_gantt(s_adv, width=60))
+    print("\nINFORMED order (releases first) — types pipeline:")
+    print(ascii_gantt(s_opt, width=60))
+
+    # ratio trend
+    rows = []
+    for d in (2, 4, 6):
+        for m in (12, 48, 192):
+            _, s_adv, s_opt = run(d, m)
+            theo = theoretical_makespans(d, m)
+            rows.append((d, m, s_adv.makespan, s_opt.makespan,
+                         s_adv.makespan / s_opt.makespan, theo["theorem6_bound"]))
+    print("\n" + format_table(
+        ["d", "M", "T adversarial", "T informed", "ratio", "Theorem 6 bound"], rows))
+    print("\nThe ratio approaches d: no local-priority list scheduler can beat "
+          "d-approximation (Theorem 6).")
+
+
+if __name__ == "__main__":
+    main()

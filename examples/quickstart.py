@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: schedule a small moldable workflow on two resource types.
+
+Builds a 12-job layered random DAG whose jobs are moldable over (cores,
+memory bandwidth), runs the paper's two-phase algorithm with the
+theorem-optimal parameters, and prints the schedule, its certified
+approximation ratio, and an ASCII Gantt chart.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MoldableScheduler,
+    ResourcePool,
+    ascii_gantt,
+    generators,
+    make_instance,
+    random_multi_resource_time,
+)
+
+
+def main() -> None:
+    # platform: 16 cores and 8 memory-bandwidth units
+    pool = ResourcePool.of(16, 8, names=("cores", "membw"))
+
+    # workflow: 4 layers x 3 jobs, random layer-to-layer dependencies
+    dag = generators.layered_random(layers=4, width=3, p=0.4, seed=7)
+
+    # moldable jobs: per-type work with mixed speedup families (Assumption 3)
+    fns = {
+        node: random_multi_resource_time(pool.d, seed=i, model="mixed")
+        for i, node in enumerate(dag.topological_order())
+    }
+    instance = make_instance(dag, pool, lambda j: fns[j])
+
+    result = MoldableScheduler().schedule(instance)
+    result.schedule.validate()
+
+    print(f"jobs: {instance.n}, resource types: d = {instance.d}")
+    print(f"allocator used: {result.allocator} (mu = {result.mu:.4f}, rho = {result.rho:.4f})")
+    print(f"makespan           : {result.makespan:.3f}")
+    print(f"certified lower bnd: {result.lower_bound:.3f}")
+    print(f"empirical ratio    : {result.ratio():.3f}  (proven <= {result.proven_ratio:.3f})")
+    print()
+    print(ascii_gantt(result.schedule, width=72))
+
+
+if __name__ == "__main__":
+    main()

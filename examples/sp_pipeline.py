@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Series-parallel in-situ analytics pipeline scheduled with the FPTAS.
+
+Models a simulation + in-situ analysis pipeline whose structure is
+naturally series-parallel: per timestep, a simulation stage feeds a fan-out
+of analysis kernels, whose results reduce into a checkpoint stage; steps
+compose in series.  Jobs mold over (cores, I/O bandwidth).
+
+The SP structure lets Phase 1 use the Lemma 7 FPTAS (near-optimal
+allocation) instead of the LP rounding, improving the proven ratio from
+Theorem 1's 1.619d + 2.545*sqrt(d) + 1 to Theorem 3's (1+eps)(1.619d + 1).
+
+Run:  python examples/sp_pipeline.py
+"""
+
+from repro import MoldableScheduler, ResourcePool, make_instance, sp_to_dag
+from repro.core import theory
+from repro.dag.sp import SPLeaf, parallel, series
+from repro.jobs.speedup import AmdahlSpeedup, MultiResourceTime, RooflineSpeedup
+
+STEPS = 4
+ANALYSES = 3
+
+
+def build_pipeline():
+    """SP tree: series over steps of (sim ; (analysis_0 || ... ) ; ckpt)."""
+    stages = []
+    for t in range(STEPS):
+        sim = SPLeaf(("sim", t))
+        fan = parallel(*[SPLeaf(("analysis", t, k)) for k in range(ANALYSES)])
+        ckpt = SPLeaf(("ckpt", t))
+        stages.append(series(sim, fan, ckpt))
+    return series(*stages)
+
+
+def time_fn(job):
+    kind = job[0]
+    if kind == "sim":
+        return MultiResourceTime(works=(40.0, 4.0),
+                                 speedups=(AmdahlSpeedup(0.05), RooflineSpeedup(2)))
+    if kind == "analysis":
+        return MultiResourceTime(works=(10.0, 8.0),
+                                 speedups=(AmdahlSpeedup(0.2), RooflineSpeedup(4)))
+    return MultiResourceTime(works=(4.0, 16.0),
+                             speedups=(AmdahlSpeedup(0.5), RooflineSpeedup(8)))
+
+
+def main() -> None:
+    sp = build_pipeline()
+    dag = sp_to_dag(sp)
+    pool = ResourcePool.of(48, 16, names=("cores", "io_bw"))
+    instance = make_instance(dag, pool, time_fn)
+    print(f"in-situ pipeline: {instance.n} jobs "
+          f"({STEPS} steps x (1 sim + {ANALYSES} analyses + 1 ckpt)), d = {pool.d}")
+
+    eps = 0.2
+    sp_result = MoldableScheduler(epsilon=eps).schedule(instance, sp_tree=sp)
+    sp_result.schedule.validate()
+    lp_result = MoldableScheduler(allocator="lp").schedule(instance)
+    lp_result.schedule.validate()
+
+    print(f"\nFPTAS allocator (Theorem 3, eps={eps}):")
+    print(f"  makespan {sp_result.makespan:.3f}, ratio {sp_result.ratio():.3f} "
+          f"<= proven {sp_result.proven_ratio:.3f}")
+    print("LP allocator (Theorem 1, structure-oblivious):")
+    print(f"  makespan {lp_result.makespan:.3f}, ratio {lp_result.ratio():.3f} "
+          f"<= proven {lp_result.proven_ratio:.3f}")
+    print(f"\nproven-bound improvement from exploiting SP structure: "
+          f"{theory.theorem1_ratio(pool.d):.3f} -> {theory.theorem3_ratio(pool.d, eps):.3f}")
+
+
+if __name__ == "__main__":
+    main()

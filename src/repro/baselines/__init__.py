@@ -1,0 +1,36 @@
+"""Baseline schedulers the paper compares against or builds upon.
+
+* :mod:`repro.baselines.naive` — fixed-allocation policies (minimum-area,
+  minimum-time, balanced knee) + list scheduling;
+* :mod:`repro.baselines.sun2018` — Sun et al. [36]: the 2d-approximation
+  list algorithm and the (2d+1)-approximation shelf algorithm for
+  independent jobs;
+* :mod:`repro.baselines.tetris` — a Tetris-style packing heuristic [19];
+* :mod:`repro.baselines.heft` — a moldable HEFT-like global-priority
+  heuristic (bottom-level priority + earliest-finish allocation choice).
+"""
+
+from repro.baselines.naive import (
+    min_area_scheduler,
+    min_time_scheduler,
+    balanced_scheduler,
+    BaselineResult,
+)
+from repro.baselines.sun2018 import sun_list_scheduler, sun_shelf_scheduler
+from repro.baselines.tetris import tetris_scheduler
+from repro.baselines.heft import heft_moldable_scheduler
+from repro.baselines.backfill import backfill_scheduler
+from repro.baselines.level_shelf import level_shelf_scheduler
+
+__all__ = [
+    "BaselineResult",
+    "min_area_scheduler",
+    "min_time_scheduler",
+    "balanced_scheduler",
+    "sun_list_scheduler",
+    "sun_shelf_scheduler",
+    "tetris_scheduler",
+    "heft_moldable_scheduler",
+    "backfill_scheduler",
+    "level_shelf_scheduler",
+]

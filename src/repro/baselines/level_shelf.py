@@ -1,0 +1,68 @@
+"""Level-by-level shelf scheduling for precedence DAGs.
+
+A classic simple baseline for DAG scheduling: decompose the graph into
+precedence levels (every job's predecessors sit in strictly earlier
+levels), then schedule each level as an independent-jobs instance using
+shelf packing, executing levels back-to-back.  The inter-level barriers
+cost parallelism — exactly the loss list scheduling avoids — which makes
+this a sharp foil for Phase 2 in the comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.baselines.naive import BaselineResult
+from repro.dag.analysis import node_levels
+from repro.instance.instance import Instance
+from repro.jobs.candidates import CandidateStrategy
+from repro.sim.schedule import Schedule, ScheduledJob
+
+__all__ = ["level_shelf_scheduler"]
+
+JobId = Hashable
+
+
+def level_shelf_scheduler(
+    instance: Instance,
+    strategy: CandidateStrategy | None = None,
+) -> BaselineResult:
+    """Shelf-pack each precedence level; run levels sequentially."""
+    table = instance.candidate_table(strategy)
+    allocation = {
+        j: min(es, key=lambda e: e.time * e.area).alloc for j, es in table.items()
+    }
+    times = {j: instance.time(j, allocation[j]) for j in instance.jobs}
+    levels = node_levels(instance.dag)
+    by_level: dict[int, list[JobId]] = {}
+    for j, l in levels.items():
+        by_level.setdefault(l, []).append(j)
+
+    caps = instance.pool.capacities
+    d = instance.d
+    placements: dict[JobId, ScheduledJob] = {}
+    t0 = 0.0
+    for level in sorted(by_level):
+        jobs = sorted(by_level[level], key=lambda j: -times[j])
+        shelves: list[dict] = []
+        for j in jobs:
+            a = allocation[j]
+            placed = False
+            for shelf in shelves:
+                if all(shelf["used"][r] + a[r] <= caps[r] for r in range(d)):
+                    shelf["jobs"].append(j)
+                    for r in range(d):
+                        shelf["used"][r] += a[r]
+                    placed = True
+                    break
+            if not placed:
+                shelves.append({"jobs": [j], "used": list(a), "height": times[j]})
+        for shelf in shelves:
+            for j in shelf["jobs"]:
+                placements[j] = ScheduledJob(
+                    job_id=j, start=t0, time=times[j], alloc=allocation[j]
+                )
+            t0 += shelf["height"]
+
+    schedule = Schedule(instance=instance, placements=placements)
+    return BaselineResult(name="level_shelf", schedule=schedule, allocation=allocation)

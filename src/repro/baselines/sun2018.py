@@ -1,0 +1,86 @@
+"""Sun et al. [36] — "Scheduling Parallel Tasks under Multiple Resources:
+List Scheduling vs. Pack Scheduling" (IPDPS 2018), for independent jobs.
+
+Two algorithms, both starting from the Lemma 8 optimal allocation
+(``L(p') = L_min``) but **without** the paper's µ-adjustment:
+
+* :func:`sun_list_scheduler` — plain greedy list scheduling of the allocated
+  jobs, proven 2d-approximation in [36];
+* :func:`sun_shelf_scheduler` — pack/shelf scheduling: sort jobs by
+  non-increasing execution time, greedily close a shelf when the next job
+  does not fit in any open position of the current shelf, run shelves
+  back-to-back; proven (2d+1)-approximation in [36].
+
+These are the head-to-head baselines for Theorem 5's improvement.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.baselines.naive import BaselineResult
+from repro.core.independent import optimal_independent_allocation
+from repro.core.list_scheduler import PriorityRule, fifo_priority, list_schedule
+from repro.instance.instance import Instance
+from repro.jobs.candidates import CandidateStrategy
+from repro.sim.schedule import Schedule, ScheduledJob
+
+__all__ = ["sun_list_scheduler", "sun_shelf_scheduler"]
+
+JobId = Hashable
+
+
+def sun_list_scheduler(
+    instance: Instance,
+    strategy: CandidateStrategy | None = None,
+    priority: PriorityRule = fifo_priority,
+) -> BaselineResult:
+    """[36]'s 2d-approximation: optimal allocation + greedy list scheduling."""
+    if not instance.dag.is_independent():
+        raise ValueError("Sun et al. [36] algorithms apply to independent jobs")
+    ind = optimal_independent_allocation(instance, strategy)
+    schedule = list_schedule(instance, ind.allocation, priority)
+    return BaselineResult(name="sun2018_list", schedule=schedule, allocation=ind.allocation)
+
+
+def sun_shelf_scheduler(
+    instance: Instance,
+    strategy: CandidateStrategy | None = None,
+) -> BaselineResult:
+    """[36]'s (2d+1)-approximation shelf (pack) scheduler.
+
+    Jobs are sorted by non-increasing execution time and packed first-fit
+    into shelves; a shelf's height is its tallest (first) job, and shelves
+    execute sequentially.
+    """
+    if not instance.dag.is_independent():
+        raise ValueError("Sun et al. [36] algorithms apply to independent jobs")
+    ind = optimal_independent_allocation(instance, strategy)
+    allocation = ind.allocation
+    times = {j: instance.time(j, allocation[j]) for j in instance.jobs}
+    order = sorted(instance.jobs, key=lambda j: -times[j])
+
+    caps = instance.pool.capacities
+    d = instance.d
+    shelves: list[dict] = []  # each: {"jobs": [...], "used": [..], "height": h}
+    for j in order:
+        a = allocation[j]
+        placed = False
+        for shelf in shelves:
+            if all(shelf["used"][r] + a[r] <= caps[r] for r in range(d)):
+                shelf["jobs"].append(j)
+                for r in range(d):
+                    shelf["used"][r] += a[r]
+                placed = True
+                break
+        if not placed:
+            shelves.append({"jobs": [j], "used": list(a), "height": times[j]})
+
+    placements: dict[JobId, ScheduledJob] = {}
+    t0 = 0.0
+    for shelf in shelves:
+        for j in shelf["jobs"]:
+            placements[j] = ScheduledJob(job_id=j, start=t0, time=times[j], alloc=allocation[j])
+        t0 += shelf["height"]
+    schedule = Schedule(instance=instance, placements=placements)
+    return BaselineResult(name="sun2018_shelf", schedule=schedule, allocation=allocation)

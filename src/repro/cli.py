@@ -1,0 +1,179 @@
+"""Command-line interface: regenerate experiments and schedule workloads.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro figure1
+    python -m repro figure2 --d 2 3 4 --m 12 48
+    python -m repro table1
+    python -m repro sim-a --families layered cholesky --d 1 2 3
+    python -m repro sim-b
+    python -m repro schedule --family cholesky --n 40 --d 3 --gantt
+    python -m repro schedule --family independent --algorithm sun_shelf
+
+Every command prints the same tables the benchmark harness asserts on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.baselines import (
+    backfill_scheduler,
+    balanced_scheduler,
+    heft_moldable_scheduler,
+    level_shelf_scheduler,
+    min_area_scheduler,
+    min_time_scheduler,
+    sun_list_scheduler,
+    sun_shelf_scheduler,
+    tetris_scheduler,
+)
+from repro.core.two_phase import MoldableScheduler
+from repro.experiments.figure1 import figure1_table
+from repro.experiments.report import format_table
+from repro.experiments.sweeps import (
+    algorithm_comparison,
+    independent_comparison,
+    mu_rho_ablation,
+    priority_ablation,
+    theorem6_sweep,
+)
+from repro.experiments.table1 import table1_text
+from repro.experiments.workloads import WORKLOAD_FAMILIES, random_instance
+from repro.resources.pool import ResourcePool
+from repro.sim.gantt import ascii_gantt
+from repro.sim.trace import trace_to_json
+
+__all__ = ["main", "build_parser"]
+
+_BASELINES = {
+    "min_area": min_area_scheduler,
+    "min_time": min_time_scheduler,
+    "balanced": balanced_scheduler,
+    "tetris": tetris_scheduler,
+    "heft": heft_moldable_scheduler,
+    "backfill": backfill_scheduler,
+    "level_shelf": level_shelf_scheduler,
+    "sun_list": sun_list_scheduler,
+    "sun_shelf": sun_shelf_scheduler,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    f1 = sub.add_parser("figure1", help="Theorem 2 ratio curves (Figure 1)")
+    f1.add_argument("--d-min", type=int, default=22)
+    f1.add_argument("--d-max", type=int, default=50)
+
+    f2 = sub.add_parser("figure2", help="Theorem 6 lower-bound simulation (Figure 2)")
+    f2.add_argument("--d", type=int, nargs="+", default=[2, 3, 4, 5, 6])
+    f2.add_argument("--m", type=int, nargs="+", default=[12, 24, 48])
+
+    t1 = sub.add_parser("table1", help="approximation-ratio summary (Table 1)")
+    t1.add_argument("--d", type=int, nargs="+", default=[1, 2, 3, 4, 8, 22, 50])
+
+    sa = sub.add_parser("sim-a", help="ratio vs d, ours vs baselines")
+    sa.add_argument("--families", nargs="+", default=["layered", "cholesky"],
+                    choices=list(WORKLOAD_FAMILIES))
+    sa.add_argument("--d", type=int, nargs="+", default=[1, 2, 3])
+    sa.add_argument("--n", type=int, default=24)
+    sa.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+
+    sb = sub.add_parser("sim-b", help="independent jobs, ours vs Sun et al. [36]")
+    sb.add_argument("--d", type=int, nargs="+", default=[1, 2, 3, 4])
+    sb.add_argument("--n", type=int, default=32)
+    sb.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2, 3])
+
+    ab = sub.add_parser("ablation", help="µ/ρ and priority ablations")
+    ab.add_argument("kind", choices=["mu-rho", "priority"])
+    ab.add_argument("--d", type=int, default=3)
+    ab.add_argument("--n", type=int, default=24)
+
+    sc = sub.add_parser("schedule", help="schedule one workload and report")
+    sc.add_argument("--family", default="layered", choices=list(WORKLOAD_FAMILIES))
+    sc.add_argument("--n", type=int, default=24)
+    sc.add_argument("--d", type=int, default=2)
+    sc.add_argument("--capacity", type=int, default=16)
+    sc.add_argument("--seed", type=int, default=0)
+    sc.add_argument("--algorithm", default="ours", choices=["ours", *list(_BASELINES)])
+    sc.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    sc.add_argument("--trace", metavar="FILE", help="write a JSON trace")
+
+    return p
+
+
+def _cmd_schedule(args) -> int:
+    pool = ResourcePool.uniform(args.d, args.capacity)
+    wl = random_instance(args.family, args.n, pool, seed=args.seed)
+    inst = wl.instance
+    if args.algorithm == "ours":
+        result = MoldableScheduler().schedule(inst, sp_tree=wl.sp_tree)
+        schedule = result.schedule
+        print(
+            f"family={args.family} n={inst.n} d={inst.d} allocator={result.allocator}\n"
+            f"makespan={result.makespan:.4f} lower_bound={result.lower_bound:.4f} "
+            f"ratio={result.ratio():.4f} proven<={result.proven_ratio:.4f}"
+        )
+    else:
+        fn = _BASELINES[args.algorithm]
+        res = fn(inst)
+        schedule = res.schedule
+        print(f"family={args.family} n={inst.n} d={inst.d} algorithm={res.name}\n"
+              f"makespan={res.makespan:.4f}")
+    schedule.validate()
+    if args.gantt:
+        print()
+        print(ascii_gantt(schedule, width=78))
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            fh.write(trace_to_json(schedule))
+        print(f"\ntrace written to {args.trace}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "figure1":
+        print(figure1_table(args.d_min, args.d_max))
+        return 0
+    if args.command == "figure2":
+        rows = theorem6_sweep(d_values=tuple(args.d), m_values=tuple(args.m))
+        print(format_table(list(rows[0]), [list(r.values()) for r in rows],
+                           title="Theorem 6 / Figure 2"))
+        return 0
+    if args.command == "table1":
+        print(table1_text(tuple(args.d)))
+        return 0
+    if args.command == "sim-a":
+        rows = algorithm_comparison(families=args.families, d_values=tuple(args.d),
+                                    n=args.n, seeds=tuple(args.seeds))
+        print(format_table(list(rows[0]), [list(r.values()) for r in rows],
+                           title="Sim-A: mean ratio vs LP lower bound"))
+        return 0
+    if args.command == "sim-b":
+        rows = independent_comparison(d_values=tuple(args.d), n=args.n,
+                                      seeds=tuple(args.seeds))
+        print(format_table(list(rows[0]), [list(r.values()) for r in rows],
+                           title="Sim-B: independent jobs"))
+        return 0
+    if args.command == "ablation":
+        if args.kind == "mu-rho":
+            rows = mu_rho_ablation(d=args.d, n=args.n)
+        else:
+            rows = priority_ablation(d=args.d, n=args.n)
+        print(format_table(list(rows[0]), [list(r.values()) for r in rows],
+                           title=f"Ablation: {args.kind}"))
+        return 0
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

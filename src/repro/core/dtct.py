@@ -1,0 +1,230 @@
+"""Discrete Time-Cost Tradeoff relaxation and ρ-rounding (Section 4.1, Lemma 3).
+
+The resource-allocation problem maps to the DTCT problem (Definition 3):
+each job's non-dominated allocations are the task's alternatives with time
+``t_j(p)`` and cost ``a_j(p)`` (average area).  Following the adaptation of
+Skutella's algorithm described in the paper, we solve one LP that minimizes
+the lower-bound functional ``L`` directly (instead of fixing a budget or a
+deadline a priori):
+
+    minimize   L
+    s.t.       Σ_k x_{j,k} = 1                          ∀ jobs j
+               C_j >= Σ_k t_{j,k} x_{j,k}               ∀ j             (source length)
+               C_j >= C_u + Σ_k t_{j,k} x_{j,k}         ∀ edges u -> j  (path length)
+               C_j <= L                                 ∀ j             (C(p) <= L)
+               Σ_j Σ_k a_{j,k} x_{j,k} <= L                             (A(p) <= L)
+               x >= 0, C >= 0
+
+The optimum ``L_LP`` satisfies ``L_LP <= L_min <= T_opt`` (Lemmas 1-2, and
+because the fractional feasible region contains every integral allocation).
+
+Rounding (the ρ-quantile rule, equivalent to Skutella's virtual-task
+rounding): per job, with alternatives sorted by increasing time (hence
+non-increasing cost, thanks to the Eq. (2) filter), choose the first
+alternative at which the cumulative fraction reaches ``1 − ρ``.  This yields
+the deterministic guarantees asserted by our tests::
+
+    t_j(p'_j) <= τ_j / ρ           (fractional time τ_j = Σ_k t_{j,k} x_{j,k})
+    a_j(p'_j) <= γ_j / (1 − ρ)     (fractional cost γ_j = Σ_k a_{j,k} x_{j,k})
+
+and therefore ``C(p') <= L_LP/ρ`` and ``A(p') <= L_LP/(1−ρ)`` — exactly
+Lemma 3 with ``T_opt`` replaced by the (smaller) ``L_LP``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
+
+from repro.instance.instance import Instance
+from repro.jobs.profiles import ProfileEntry
+from repro.resources.vector import ResourceVector
+
+__all__ = ["FractionalSolution", "solve_dtct_lp", "round_fractional", "dtct_allocate"]
+
+JobId = Hashable
+
+
+@dataclass(frozen=True)
+class FractionalSolution:
+    """Optimal fractional DTCT solution.
+
+    Attributes
+    ----------
+    lower_bound:
+        ``L_LP`` — a certified lower bound on ``T_opt``.
+    fractions:
+        Per job, the fractional weight of each candidate (aligned with the
+        job's candidate-table order).
+    fractional_times:
+        ``τ_j = Σ_k t_{j,k} x_{j,k}``.
+    fractional_areas:
+        ``γ_j = Σ_k a_{j,k} x_{j,k}``.
+    """
+
+    lower_bound: float
+    fractions: dict[JobId, np.ndarray]
+    fractional_times: dict[JobId, float]
+    fractional_areas: dict[JobId, float]
+
+
+def solve_dtct_lp(
+    instance: Instance,
+    table: Mapping[JobId, Sequence[ProfileEntry]],
+) -> FractionalSolution:
+    """Solve the relaxed DTCT LP with scipy's HiGHS backend.
+
+    ``table`` maps each job to its non-dominated candidate entries (from
+    :meth:`Instance.candidate_table`).  Raises ``RuntimeError`` if the solver
+    fails (should not happen: the LP is always feasible and bounded).
+    """
+    job_order = instance.dag.topological_order()
+    n = len(job_order)
+    if n == 0:
+        return FractionalSolution(0.0, {}, {}, {})
+
+    # variable layout: [x_{j,k} for j in job_order for k] + [C_j for j] + [L]
+    x_offset: dict[JobId, int] = {}
+    off = 0
+    for j in job_order:
+        entries = table[j]
+        if not entries:
+            raise ValueError(f"job {j!r} has no candidate allocations")
+        x_offset[j] = off
+        off += len(entries)
+    n_x = off
+    c_offset = {j: n_x + i for i, j in enumerate(job_order)}
+    l_index = n_x + n
+    n_var = n_x + n + 1
+
+    times = {j: np.array([e.time for e in table[j]]) for j in job_order}
+    areas = {j: np.array([e.area for e in table[j]]) for j in job_order}
+
+    # equality: sum_k x_{j,k} = 1
+    eq_rows, eq_cols, eq_vals = [], [], []
+    for r, j in enumerate(job_order):
+        k = len(table[j])
+        eq_rows.extend([r] * k)
+        eq_cols.extend(range(x_offset[j], x_offset[j] + k))
+        eq_vals.extend([1.0] * k)
+    a_eq = csr_matrix((eq_vals, (eq_rows, eq_cols)), shape=(n, n_var))
+    b_eq = np.ones(n)
+
+    ub_rows, ub_cols, ub_vals = [], [], []
+    b_ub: list[float] = []
+    row = 0
+
+    def add_entry(r: int, col: int, val: float) -> None:
+        ub_rows.append(r)
+        ub_cols.append(col)
+        ub_vals.append(val)
+
+    # source length: τ_j − C_j <= 0 for all j (redundant but harmless for
+    # non-sources; keeps every C_j anchored)
+    for j in job_order:
+        for k, t in enumerate(times[j]):
+            add_entry(row, x_offset[j] + k, float(t))
+        add_entry(row, c_offset[j], -1.0)
+        b_ub.append(0.0)
+        row += 1
+
+    # path length: C_u − C_j + τ_j <= 0 for every edge u -> j
+    for u, j in instance.dag.edges():
+        add_entry(row, c_offset[u], 1.0)
+        add_entry(row, c_offset[j], -1.0)
+        for k, t in enumerate(times[j]):
+            add_entry(row, x_offset[j] + k, float(t))
+        b_ub.append(0.0)
+        row += 1
+
+    # C_j − L <= 0
+    for j in job_order:
+        add_entry(row, c_offset[j], 1.0)
+        add_entry(row, l_index, -1.0)
+        b_ub.append(0.0)
+        row += 1
+
+    # total area − L <= 0
+    for j in job_order:
+        for k, a in enumerate(areas[j]):
+            add_entry(row, x_offset[j] + k, float(a))
+    add_entry(row, l_index, -1.0)
+    b_ub.append(0.0)
+    row += 1
+
+    a_ub = csr_matrix((ub_vals, (ub_rows, ub_cols)), shape=(row, n_var))
+    cost = np.zeros(n_var)
+    cost[l_index] = 1.0
+    bounds = [(0.0, 1.0)] * n_x + [(0.0, None)] * (n + 1)
+
+    res = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=np.array(b_ub),
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not res.success:  # pragma: no cover - LP is always feasible/bounded
+        raise RuntimeError(f"DTCT LP failed: {res.message}")
+
+    fractions: dict[JobId, np.ndarray] = {}
+    f_times: dict[JobId, float] = {}
+    f_areas: dict[JobId, float] = {}
+    for j in job_order:
+        k = len(table[j])
+        x = np.clip(res.x[x_offset[j] : x_offset[j] + k], 0.0, None)
+        s = x.sum()
+        x = x / s if s > 0 else np.full(k, 1.0 / k)
+        fractions[j] = x
+        f_times[j] = float(times[j] @ x)
+        f_areas[j] = float(areas[j] @ x)
+    return FractionalSolution(
+        lower_bound=float(res.x[l_index]),
+        fractions=fractions,
+        fractional_times=f_times,
+        fractional_areas=f_areas,
+    )
+
+
+def round_fractional(
+    table: Mapping[JobId, Sequence[ProfileEntry]],
+    solution: FractionalSolution,
+    rho: float,
+) -> dict[JobId, ResourceVector]:
+    """Apply the ρ-quantile rounding rule to a fractional solution.
+
+    For each job the candidates are sorted by increasing time; we select the
+    first index at which the cumulative fraction reaches ``1 − ρ`` (minus a
+    small numeric slack).  See the module docstring for the resulting
+    per-job guarantees.
+    """
+    if not 0.0 < rho < 1.0:
+        raise ValueError(f"ρ must lie in (0, 1), got {rho}")
+    allocation: dict[JobId, ResourceVector] = {}
+    eps = 1e-9
+    for j, x in solution.fractions.items():
+        cum = np.cumsum(x)
+        idx = int(np.searchsorted(cum, 1.0 - rho - eps))
+        idx = min(idx, len(x) - 1)
+        allocation[j] = table[j][idx].alloc
+    return allocation
+
+
+def dtct_allocate(
+    instance: Instance,
+    table: Mapping[JobId, Sequence[ProfileEntry]],
+    rho: float,
+) -> tuple[dict[JobId, ResourceVector], FractionalSolution]:
+    """Solve the LP and round: Step 2 of Algorithm 1.
+
+    Returns the initial allocation ``p'`` (satisfying Lemma 3 relative to the
+    returned fractional lower bound) and the fractional solution itself.
+    """
+    solution = solve_dtct_lp(instance, table)
+    return round_fractional(table, solution, rho), solution

@@ -1,0 +1,101 @@
+"""Optimal resource allocation for independent jobs (Lemma 8, from Sun et
+al. [36]).
+
+With no precedence constraints the critical path degenerates to
+``C(p) = max_j t_j(p_j)``, so ``L(p) = max(A(p), max_j t_j(p_j))`` can be
+minimized exactly over the candidate set:
+
+1. the optimal value of ``max_j t_j`` is one of the candidate times, so we
+   sweep a threshold ``T`` over the merged sorted candidate times;
+2. for fixed ``T`` every job independently picks its minimum-area candidate
+   with ``t <= T`` — which, on the Eq. (2) frontier (time increasing, area
+   decreasing), is simply the *slowest* candidate not exceeding ``T``;
+3. ``A(T)`` is maintained incrementally as the sweep advances, giving an
+   ``O(E log E)`` algorithm over ``E`` total candidates.
+
+The returned value is exactly ``L_min`` *restricted to the candidate set*
+(equal to the true ``L_min`` when the strategy enumerates the full grid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.instance.instance import Instance
+from repro.jobs.candidates import CandidateStrategy
+from repro.jobs.profiles import ProfileEntry
+from repro.resources.vector import ResourceVector
+
+__all__ = ["IndependentAllocation", "optimal_independent_allocation"]
+
+JobId = Hashable
+
+
+@dataclass(frozen=True)
+class IndependentAllocation:
+    """Optimal allocation and its certified ``L_min`` value."""
+
+    allocation: dict[JobId, ResourceVector]
+    l_min: float
+    max_time: float
+    total_area: float
+
+
+def optimal_independent_allocation(
+    instance: Instance,
+    strategy: CandidateStrategy | None = None,
+    table: Mapping[JobId, Sequence[ProfileEntry]] | None = None,
+) -> IndependentAllocation:
+    """Minimize ``L(p) = max(A(p), max_j t_j(p_j))`` exactly (Lemma 8).
+
+    Works for any instance but is only a valid ``L_min`` when the DAG has no
+    edges; raises ``ValueError`` otherwise.
+    """
+    if not instance.dag.is_independent():
+        raise ValueError("Lemma 8 applies to independent jobs only")
+    tbl = table if table is not None else instance.candidate_table(strategy)
+    jobs = list(instance.jobs)
+    if not jobs:
+        return IndependentAllocation({}, 0.0, 0.0, 0.0)
+
+    # sweep events: advancing job j from frontier index k-1 to k at time t_k
+    events: list[tuple[float, JobId, int]] = []
+    for j in jobs:
+        for k, e in enumerate(tbl[j]):
+            if k > 0:
+                events.append((e.time, j, k))
+    events.sort(key=lambda ev: ev[0])
+
+    ptr = {j: 0 for j in jobs}
+    area = sum(tbl[j][0].area for j in jobs)
+
+    def evaluate() -> tuple[float, float, float]:
+        mt = max(tbl[j][ptr[j]].time for j in jobs)
+        return max(area, mt), mt, area
+
+    best_l, best_mt, best_area = evaluate()
+    best_ptr = dict(ptr)
+
+    i = 0
+    while i < len(events):
+        t = events[i][0]
+        # apply every advance available at threshold t
+        while i < len(events) and events[i][0] == t:
+            _, j, k = events[i]
+            area += tbl[j][k].area - tbl[j][ptr[j]].area
+            ptr[j] = max(ptr[j], k)
+            i += 1
+        l, mt, a = evaluate()
+        if l < best_l - 1e-15:
+            best_l, best_mt, best_area = l, mt, a
+            best_ptr = dict(ptr)
+        # A(T) only decreases and max-time only increases as T grows; once
+        # the max time exceeds the current best L the sweep cannot improve.
+        if mt >= best_l:
+            break
+
+    allocation = {j: tbl[j][best_ptr[j]].alloc for j in jobs}
+    return IndependentAllocation(
+        allocation=allocation, l_min=best_l, max_time=best_mt, total_area=best_area
+    )

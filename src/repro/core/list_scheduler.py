@@ -1,0 +1,192 @@
+"""Phase 2 — the extended multi-resource list scheduler (Algorithm 2).
+
+Given a fixed resource allocation ``p``, jobs are started greedily: whenever
+a job completes (or at time 0), every newly ready job joins the queue, and
+the queue is scanned in priority order, starting **every** job whose
+allocation fits the currently available amount of *every* resource type
+(the scan does not stop at the first job that does not fit — exactly the
+``for each job j ∈ Q`` loop of Algorithm 2).
+
+Priorities.  The paper proves the approximation ratio for *any* queue order;
+better orders help in practice (Section 4.2.1) and the distinction between
+*local* priorities (functions of the job alone) and *global* ones (functions
+of the precedence graph, e.g. bottom level) is the crux of Theorem 6.  The
+:class:`PriorityRule` factories below cover both families; benchmarks
+``bench_ablation_priority`` and ``bench_figure2_lower_bound`` exercise them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import Callable, Hashable, Mapping
+
+import numpy as np
+
+from repro.dag.paths import bottom_levels
+from repro.instance.instance import Instance
+from repro.resources.vector import ResourceVector
+from repro.sim.schedule import Schedule, ScheduledJob
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "PriorityRule",
+    "fifo_priority",
+    "lpt_priority",
+    "spt_priority",
+    "random_priority",
+    "bottom_level_priority",
+    "explicit_priority",
+    "list_schedule",
+    "portfolio_list_schedule",
+]
+
+JobId = Hashable
+
+#: A priority rule maps (instance, allocation, times) to a per-job sort key;
+#: *smaller keys start first*.
+PriorityRule = Callable[
+    [Instance, Mapping[JobId, ResourceVector], Mapping[JobId, float]],
+    dict[JobId, object],
+]
+
+
+def fifo_priority(instance: Instance, allocation, times) -> dict[JobId, object]:
+    """Queue-insertion order (topological index): the paper's default."""
+    return {j: i for i, j in enumerate(instance.dag.topological_order())}
+
+
+def lpt_priority(instance: Instance, allocation, times) -> dict[JobId, object]:
+    """Longest processing time first (local)."""
+    return {j: (-times[j], i) for i, j in enumerate(instance.dag.topological_order())}
+
+
+def spt_priority(instance: Instance, allocation, times) -> dict[JobId, object]:
+    """Shortest processing time first (local)."""
+    return {j: (times[j], i) for i, j in enumerate(instance.dag.topological_order())}
+
+
+def random_priority(seed: int | np.random.Generator | None = None) -> PriorityRule:
+    """A fixed random permutation of the jobs (local)."""
+
+    def rule(instance: Instance, allocation, times) -> dict[JobId, object]:
+        rng = ensure_rng(seed)
+        order = instance.dag.topological_order()
+        perm = rng.permutation(len(order))
+        return {j: int(perm[i]) for i, j in enumerate(order)}
+
+    return rule
+
+
+def bottom_level_priority(instance: Instance, allocation, times) -> dict[JobId, object]:
+    """Critical-path-aware (global): larger bottom level starts first."""
+    b = bottom_levels(instance.dag, times)
+    return {j: (-b[j], i) for i, j in enumerate(instance.dag.topological_order())}
+
+
+def explicit_priority(keys: Mapping[JobId, object]) -> PriorityRule:
+    """Use the given per-job keys verbatim (adversarial constructions)."""
+
+    def rule(instance: Instance, allocation, times) -> dict[JobId, object]:
+        return dict(keys)
+
+    return rule
+
+
+def list_schedule(
+    instance: Instance,
+    allocation: Mapping[JobId, ResourceVector],
+    priority: PriorityRule = fifo_priority,
+) -> Schedule:
+    """Run Algorithm 2 and return the resulting (valid) schedule.
+
+    ``allocation`` must cover every job and fit within the pool's capacities
+    (guaranteed by Phase 1; validated here).  Deterministic for a fixed
+    priority rule.
+    """
+    instance.validate_allocation_map(allocation)
+    times = {j: instance.time(j, allocation[j]) for j in instance.jobs}
+    keys = priority(instance, allocation, times)
+
+    dag = instance.dag
+    remaining_preds = {j: dag.in_degree(j) for j in instance.jobs}
+    # ready queue kept sorted by (priority key, stable tiebreak)
+    tie = {j: i for i, j in enumerate(dag.topological_order())}
+    ready: list[tuple[object, int, JobId]] = []
+    for j in dag.sources():
+        insort(ready, (keys[j], tie[j], j))
+
+    avail = list(instance.pool.capacities)
+    d = instance.d
+    running: list[tuple[float, int, JobId]] = []  # (finish, seq, job)
+    seq = 0
+    placements: dict[JobId, ScheduledJob] = {}
+    now = 0.0
+
+    while ready or running:
+        # --- scheduling pass: scan the whole queue in priority order -----
+        still_waiting: list[tuple[object, int, JobId]] = []
+        for entry in ready:
+            j = entry[2]
+            a = allocation[j]
+            if all(a[r] <= avail[r] for r in range(d)):
+                for r in range(d):
+                    avail[r] -= a[r]
+                placements[j] = ScheduledJob(job_id=j, start=now, time=times[j], alloc=a)
+                heapq.heappush(running, (now + times[j], seq, j))
+                seq += 1
+            else:
+                still_waiting.append(entry)
+        ready = still_waiting
+
+        if not running:
+            if ready:  # pragma: no cover - prevented by allocation validation
+                raise RuntimeError("deadlock: ready jobs cannot fit an empty platform")
+            break
+
+        # --- advance to the next completion (pop ties together) ----------
+        now, _, j = heapq.heappop(running)
+        completed = [j]
+        while running and running[0][0] <= now + 1e-12:
+            completed.append(heapq.heappop(running)[2])
+        for c in completed:
+            a = allocation[c]
+            for r in range(d):
+                avail[r] += a[r]
+            for s in dag.successors(c):
+                remaining_preds[s] -= 1
+                if remaining_preds[s] == 0:
+                    insort(ready, (keys[s], tie[s], s))
+
+    if len(placements) != len(instance.jobs):  # pragma: no cover - invariant
+        raise RuntimeError("list scheduling failed to place every job")
+    return Schedule(instance=instance, placements=placements)
+
+
+def portfolio_list_schedule(
+    instance: Instance,
+    allocation: Mapping[JobId, ResourceVector],
+    rules: Mapping[str, PriorityRule] | None = None,
+) -> tuple[Schedule, str]:
+    """Run Algorithm 2 under several priority rules, keep the best schedule.
+
+    Every candidate inherits the approximation guarantee (the proofs hold
+    for *any* queue order), so the portfolio can only improve the constant.
+    Returns ``(schedule, winning_rule_name)``; ties favor the first rule.
+    """
+    if rules is None:
+        rules = {
+            "bottom_level": bottom_level_priority,
+            "fifo": fifo_priority,
+            "lpt": lpt_priority,
+            "random": random_priority(0),
+        }
+    if not rules:
+        raise ValueError("portfolio needs at least one priority rule")
+    best: tuple[float, Schedule, str] | None = None
+    for name, rule in rules.items():
+        sched = list_schedule(instance, allocation, rule)
+        if best is None or sched.makespan < best[0] - 1e-12:
+            best = (sched.makespan, sched, name)
+    assert best is not None
+    return best[1], best[2]

@@ -1,0 +1,162 @@
+"""The complete multi-resource scheduling algorithm (Sections 4-5).
+
+:class:`MoldableScheduler` glues Phase 1 (resource allocation) to Phase 2
+(list scheduling) and selects theorem-optimal parameters automatically:
+
+* general DAGs — the DTCT LP + ρ-rounding + µ-adjustment with ``µ*, ρ*``
+  from Theorem 1 (or Theorem 2's numeric optimum for ``d >= 22``);
+* independent jobs — Lemma 8's exact allocation (Theorem 5's µ);
+* series-parallel graphs / trees — Lemma 7's FPTAS (Theorems 3-4's µ),
+  enabled by passing the SP decomposition tree.
+
+The returned :class:`ScheduleResult` carries the certified lower bound so
+callers can report sound empirical approximation ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core import theory
+from repro.core.adjustment import adjust_allocation
+from repro.core.allocation import Phase1Result, allocate_resources
+from repro.core.independent import optimal_independent_allocation
+from repro.core.list_scheduler import PriorityRule, fifo_priority, list_schedule
+from repro.core.sp_fptas import sp_fptas_allocation
+from repro.dag.sp import SPNode
+from repro.instance.instance import Instance
+from repro.jobs.candidates import CandidateStrategy
+from repro.resources.vector import ResourceVector
+from repro.sim.schedule import Schedule
+
+__all__ = ["ScheduleResult", "MoldableScheduler"]
+
+JobId = Hashable
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """A schedule plus the provenance needed to evaluate it.
+
+    ``lower_bound`` is a certified lower bound on the optimal makespan
+    (the fractional LP value, Lemma 8's exact ``L_min``, or the FPTAS
+    target divided by ``1+ε``), so ``ratio()`` never under-reports.
+    """
+
+    schedule: Schedule
+    allocation: dict[JobId, ResourceVector]
+    lower_bound: float
+    mu: float
+    rho: float | None
+    proven_ratio: float
+    allocator: str
+    phase1: Phase1Result | None = None
+
+    @property
+    def makespan(self) -> float:
+        return self.schedule.makespan
+
+    def ratio(self) -> float:
+        """Empirical makespan / certified-lower-bound ratio (>= true ratio
+        against ``T_opt`` is unknowable; this is an upper bound on it)."""
+        if self.lower_bound <= 0:
+            return 1.0
+        return self.makespan / self.lower_bound
+
+
+@dataclass
+class MoldableScheduler:
+    """Two-phase multi-resource scheduler with theorem defaults.
+
+    Parameters
+    ----------
+    mu, rho:
+        Algorithm parameters; ``None`` selects the theorem-optimal values
+        for the instance's ``d`` and the allocator in use.
+    allocator:
+        ``"auto"`` (independent jobs → Lemma 8, SP tree given → FPTAS,
+        otherwise LP), or one of ``"lp"``, ``"independent"``, ``"sp"``.
+    candidate_strategy:
+        Candidate enumeration for Phase 1 (``None`` = geometric grid).
+    priority:
+        Phase 2 queue priority rule (default FIFO — the paper's baseline).
+    epsilon:
+        FPTAS accuracy for the SP allocator.
+    """
+
+    mu: float | None = None
+    rho: float | None = None
+    allocator: str = "auto"
+    candidate_strategy: CandidateStrategy | None = None
+    priority: PriorityRule = fifo_priority
+    epsilon: float = 0.3
+    sp_tree: SPNode | None = None
+
+    def schedule(self, instance: Instance, sp_tree: SPNode | None = None) -> ScheduleResult:
+        """Run both phases on ``instance`` and return the result."""
+        sp = sp_tree if sp_tree is not None else self.sp_tree
+        allocator = self._resolve_allocator(instance, sp)
+        d = instance.d
+        if allocator == "independent":
+            mu_def, _, ratio = theory.best_parameters(d, "independent")
+            mu = self.mu if self.mu is not None else mu_def
+            ind = optimal_independent_allocation(instance, self.candidate_strategy)
+            adj = adjust_allocation(instance, ind.allocation, mu)
+            sched = list_schedule(instance, adj.allocation, self.priority)
+            return ScheduleResult(
+                schedule=sched,
+                allocation=adj.allocation,
+                lower_bound=ind.l_min,
+                mu=mu,
+                rho=None,
+                proven_ratio=ratio,
+                allocator="independent",
+            )
+        if allocator == "sp":
+            if sp is None:
+                raise ValueError("SP allocator requires the SP decomposition tree")
+            mu_def, _, ratio = theory.best_parameters(d, "sp", eps=self.epsilon)
+            mu = self.mu if self.mu is not None else mu_def
+            res = sp_fptas_allocation(instance, sp, self.epsilon, self.candidate_strategy)
+            adj = adjust_allocation(instance, res.allocation, mu)
+            sched = list_schedule(instance, adj.allocation, self.priority)
+            return ScheduleResult(
+                schedule=sched,
+                allocation=adj.allocation,
+                # the FPTAS certifies L(p') <= (1+ε) L_min, so L(p')/(1+ε)
+                # under-estimates L_min — a sound lower bound
+                lower_bound=res.l_value / (1.0 + self.epsilon),
+                mu=mu,
+                rho=None,
+                proven_ratio=ratio,
+                allocator="sp",
+            )
+        # general LP path
+        mu_def, rho_def, ratio = theory.best_parameters(d, "general")
+        mu = self.mu if self.mu is not None else mu_def
+        rho = self.rho if self.rho is not None else rho_def
+        phase1 = allocate_resources(instance, rho, mu, self.candidate_strategy)
+        sched = list_schedule(instance, phase1.allocation, self.priority)
+        return ScheduleResult(
+            schedule=sched,
+            allocation=phase1.allocation,
+            lower_bound=phase1.lower_bound,
+            mu=mu,
+            rho=rho,
+            proven_ratio=ratio,
+            allocator="lp",
+            phase1=phase1,
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve_allocator(self, instance: Instance, sp: SPNode | None) -> str:
+        if self.allocator != "auto":
+            if self.allocator not in ("lp", "independent", "sp"):
+                raise ValueError(f"unknown allocator {self.allocator!r}")
+            return self.allocator
+        if instance.dag.is_independent():
+            return "independent"
+        if sp is not None:
+            return "sp"
+        return "lp"

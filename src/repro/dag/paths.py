@@ -1,0 +1,61 @@
+"""Weighted path computations on precedence DAGs (Definition 2).
+
+Given per-job execution times ``t_j`` these compute the critical-path
+length ``C(p) = max_f Σ_{j∈f} t_j`` and the standard *top level* /
+*bottom level* quantities used by global list-scheduling priorities.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.dag.graph import DAG
+
+__all__ = ["critical_path_length", "critical_path", "bottom_levels", "top_levels"]
+
+JobId = Hashable
+
+
+def bottom_levels(dag: DAG, times: Mapping[JobId, float]) -> dict[JobId, float]:
+    """Bottom level ``b(j)``: longest total time of a path starting at ``j``
+    (inclusive of ``t_j``).  ``max_j b(j)`` is the critical-path length."""
+    order = dag.topological_order()
+    b: dict[JobId, float] = {}
+    for j in reversed(order):
+        succ_best = max((b[s] for s in dag.successors(j)), default=0.0)
+        b[j] = times[j] + succ_best
+    return b
+
+
+def top_levels(dag: DAG, times: Mapping[JobId, float]) -> dict[JobId, float]:
+    """Top level ``top(j)``: longest total time of a path ending just before
+    ``j`` (exclusive of ``t_j``) — the earliest possible start of ``j`` with
+    unlimited resources."""
+    order = dag.topological_order()
+    t: dict[JobId, float] = {}
+    for j in order:
+        t[j] = max((t[p] + times[p] for p in dag.predecessors(j)), default=0.0)
+    return t
+
+
+def critical_path_length(dag: DAG, times: Mapping[JobId, float]) -> float:
+    """``C(p)`` — the total execution time along a longest path."""
+    if len(dag) == 0:
+        return 0.0
+    return max(bottom_levels(dag, times).values())
+
+
+def critical_path(dag: DAG, times: Mapping[JobId, float]) -> list[JobId]:
+    """One longest (critical) path, as a list of job ids source→sink."""
+    if len(dag) == 0:
+        return []
+    b = bottom_levels(dag, times)
+    # start at a source with maximal bottom level, then greedily follow the
+    # successor that preserves b(j) = t_j + b(successor).
+    start = max(dag.sources(), key=lambda j: b[j])
+    path = [start]
+    cur = start
+    while dag.successors(cur):
+        cur = max(dag.successors(cur), key=lambda s: b[s])
+        path.append(cur)
+    return path

@@ -1,0 +1,123 @@
+"""Scientific-workflow graph shapes (Pegasus benchmark suite, simplified).
+
+Scheduling evaluations routinely use the structural skeletons of real
+Pegasus workflows — Montage (astronomy mosaics), CyberShake (seismic
+hazard), Epigenomics (genome sequencing) and LIGO Inspiral (gravitational
+waves).  These generators reproduce the published shapes (fan-out widths,
+aggregation points, pipeline depths) parameterized by the degree of
+parallelism; node ids are ``(stage_name, *indices)`` tuples.
+
+References: Juve et al., "Characterizing and profiling scientific
+workflows", FGCS 2013 (the canonical shape descriptions).
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import DAG
+
+__all__ = ["montage_dag", "cybershake_dag", "epigenomics_dag", "ligo_dag"]
+
+
+def montage_dag(n: int) -> DAG:
+    """Montage mosaic workflow with ``n`` input images.
+
+    Shape: ``n`` `mProject` jobs; `mDiffFit` jobs on overlapping image pairs
+    (here: consecutive pairs); a single `mConcatFit` → `mBgModel` chain;
+    ``n`` parallel `mBackground` jobs; then the `mImgtbl` → `mAdd` →
+    `mShrink` → `mJPEG` aggregation chain.
+    """
+    if n < 2:
+        raise ValueError("montage needs n >= 2 input images")
+    g = DAG()
+    for i in range(n):
+        g.add_node(("mProject", i))
+    for i in range(n - 1):
+        diff = ("mDiffFit", i)
+        g.add_edge(("mProject", i), diff)
+        g.add_edge(("mProject", i + 1), diff)
+        g.add_edge(diff, ("mConcatFit", 0))
+    g.add_edge(("mConcatFit", 0), ("mBgModel", 0))
+    for i in range(n):
+        bg = ("mBackground", i)
+        g.add_edge(("mBgModel", 0), bg)
+        g.add_edge(("mProject", i), bg)
+        g.add_edge(bg, ("mImgtbl", 0))
+    g.add_edge(("mImgtbl", 0), ("mAdd", 0))
+    g.add_edge(("mAdd", 0), ("mShrink", 0))
+    g.add_edge(("mShrink", 0), ("mJPEG", 0))
+    return g
+
+
+def cybershake_dag(n: int) -> DAG:
+    """CyberShake seismic-hazard workflow with ``n`` rupture variations.
+
+    Shape: two `ExtractSGT` roots feeding ``n`` `SeismogramSynthesis` jobs,
+    each followed by a `PeakValCalc`; two zip aggregators collect the two
+    result families.
+    """
+    if n < 1:
+        raise ValueError("cybershake needs n >= 1 variations")
+    g = DAG()
+    for e in range(2):
+        g.add_node(("ExtractSGT", e))
+    for i in range(n):
+        synth = ("SeismogramSynthesis", i)
+        g.add_edge(("ExtractSGT", i % 2), synth)
+        peak = ("PeakValCalc", i)
+        g.add_edge(synth, peak)
+        g.add_edge(synth, ("ZipSeis", 0))
+        g.add_edge(peak, ("ZipPSA", 0))
+    return g
+
+
+def epigenomics_dag(lanes: int, width: int) -> DAG:
+    """Epigenomics sequencing workflow: ``lanes`` parallel pipelines of
+    ``width`` chunk-streams each, merging per lane and then globally.
+
+    Per lane: `fastqSplit` fans into ``width`` chains
+    `filterContams` → `sol2sanger` → `fastq2bfq` → `map`, merged by
+    `mapMerge`; lane merges feed the global `mapMergeGlobal` →
+    `maqIndex` → `pileup` chain.
+    """
+    if lanes < 1 or width < 1:
+        raise ValueError("epigenomics needs lanes >= 1 and width >= 1")
+    g = DAG()
+    for l in range(lanes):
+        split = ("fastqSplit", l)
+        merge = ("mapMerge", l)
+        for w in range(width):
+            chain = ["filterContams", "sol2sanger", "fastq2bfq", "map"]
+            prev = split
+            for stage in chain:
+                node = (stage, l, w)
+                g.add_edge(prev, node)
+                prev = node
+            g.add_edge(prev, merge)
+        g.add_edge(merge, ("mapMergeGlobal", 0))
+    g.add_edge(("mapMergeGlobal", 0), ("maqIndex", 0))
+    g.add_edge(("maqIndex", 0), ("pileup", 0))
+    return g
+
+
+def ligo_dag(n: int, group: int = 3) -> DAG:
+    """LIGO Inspiral gravitational-wave workflow with ``n`` data segments.
+
+    Shape: per segment a `TmpltBank` → `Inspiral` chain; inspirals aggregate
+    in groups of ``group`` into `Thinca` jobs; each Thinca fans back out to
+    its group's `TrigBank` → `Inspiral2` chains, collected by second-level
+    `Thinca2` jobs.
+    """
+    if n < 1 or group < 1:
+        raise ValueError("ligo needs n >= 1 and group >= 1")
+    g = DAG()
+    for i in range(n):
+        g.add_edge(("TmpltBank", i), ("Inspiral", i))
+        g.add_edge(("Inspiral", i), ("Thinca", i // group))
+    n_groups = (n + group - 1) // group
+    for i in range(n):
+        gid = i // group
+        g.add_edge(("Thinca", gid), ("TrigBank", i))
+        g.add_edge(("TrigBank", i), ("Inspiral2", i))
+        g.add_edge(("Inspiral2", i), ("Thinca2", gid))
+    assert len([x for x in g.nodes() if x[0] == "Thinca"]) == n_groups
+    return g

@@ -1,0 +1,33 @@
+"""Figure 1 — estimated vs. actual Theorem 2 ratio vs. Theorem 1 ratio.
+
+The paper plots three series for ``22 <= d <= 50``:
+
+* the *actual* ratio from the numerically optimal µ* (root of ``h_d``),
+* the closed-form *estimate* using ``µ ≈ d^(−1/3)``,
+* Theorem 1's ratio ``φd + 2√(φd) + 1``.
+
+The reproduction must show the estimate tracking the actual curve closely
+and both improving on Theorem 1 — which :func:`figure1_table` prints and
+``benchmarks/bench_figure1.py`` asserts.
+"""
+
+from __future__ import annotations
+
+from repro.core import theory
+from repro.experiments.report import format_table
+
+__all__ = ["figure1_table"]
+
+
+def figure1_table(d_min: int = 22, d_max: int = 50) -> str:
+    """The Figure 1 series as an aligned text table."""
+    rows = theory.figure1_rows(d_min, d_max)
+    return format_table(
+        ["d", "Thm2 actual", "Thm2 estimate", "Thm1 ratio", "mu*"],
+        [
+            (r["d"], r["theorem2_actual"], r["theorem2_estimate"], r["theorem1"], r["mu_star"])
+            for r in rows
+        ],
+        precision=4,
+        title=f"Figure 1: approximation ratios for {d_min} <= d <= {d_max}",
+    )

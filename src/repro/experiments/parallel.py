@@ -1,0 +1,49 @@
+"""Process-parallel sweep execution (the library's own HPC hygiene).
+
+Experiment sweeps are embarrassingly parallel over (workload, seed)
+cells; :func:`map_parallel` fans them out over a process pool while
+preserving order and determinism.  Used by the larger benchmark
+configurations; falls back to serial execution for ``workers <= 1`` or
+when the task payload is not picklable (functions must be module-level —
+the standard multiprocessing constraint).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["map_parallel", "default_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Half the visible CPUs (leave room for the solver's own threads)."""
+    return max(1, (os.cpu_count() or 2) // 2)
+
+
+def map_parallel(
+    fn: Callable[[T], R],
+    items: Sequence[T] | Iterable[T],
+    *,
+    workers: int | None = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """``[fn(x) for x in items]`` over a process pool, order-preserving.
+
+    ``workers=None`` uses :func:`default_workers`; ``workers<=1`` runs
+    serially (also the fallback if the pool cannot start, e.g. in
+    restricted sandboxes).
+    """
+    items = list(items)
+    n = default_workers() if workers is None else workers
+    if n <= 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    try:
+        with ProcessPoolExecutor(max_workers=min(n, len(items))) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+    except (OSError, PermissionError):  # pragma: no cover - sandbox fallback
+        return [fn(x) for x in items]

@@ -1,0 +1,5 @@
+"""Problem instances: jobs + precedence DAG + resource pool (Section 3)."""
+
+from repro.instance.instance import Instance, AllocationMap, make_instance
+
+__all__ = ["Instance", "AllocationMap", "make_instance"]

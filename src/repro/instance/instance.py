@@ -1,0 +1,187 @@
+"""The scheduling problem instance and the quantities of Definitions 1-2.
+
+An :class:`Instance` bundles the moldable jobs, their precedence DAG and the
+platform pool, and evaluates the paper's allocation functionals:
+
+* per job (Definition 1): work ``w_j^(i)(p) = p^(i) t_j(p)``, area
+  ``a_j^(i) = w_j^(i)/P^(i)``, average area ``a_j = (1/d) Σ_i a_j^(i)``;
+* per allocation decision (Definition 2): total area ``A(p)``, critical
+  path ``C(p)``, and the lower-bound functional ``L(p) = max(A(p), C(p))``.
+
+It also owns the cached per-job candidate tables (Pareto-filtered per
+Eq. (2)), shared by Phase 1, the FPTAS and the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Mapping
+
+from repro.dag.graph import DAG
+from repro.dag.paths import critical_path_length
+from repro.jobs.candidates import CandidateStrategy, candidates_for_job, geometric_grid
+from repro.jobs.job import Job
+from repro.jobs.profiles import ProfileEntry, pareto_filter
+from repro.resources.pool import ResourcePool
+from repro.resources.vector import ResourceVector
+
+__all__ = ["Instance", "AllocationMap", "make_instance"]
+
+JobId = Hashable
+AllocationMap = Mapping[JobId, ResourceVector]
+
+
+@dataclass
+class Instance:
+    """A multi-resource moldable scheduling instance.
+
+    Attributes
+    ----------
+    jobs:
+        Mapping job id → :class:`~repro.jobs.job.Job`.
+    dag:
+        Precedence constraints over exactly the job ids.
+    pool:
+        The platform (``d`` resource types with capacities).
+    """
+
+    jobs: dict[JobId, Job]
+    dag: DAG
+    pool: ResourcePool
+    _candidate_cache: dict[int, dict[JobId, list[ProfileEntry]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        dag_nodes = set(self.dag.nodes())
+        job_ids = set(self.jobs)
+        if dag_nodes != job_ids:
+            missing = job_ids - dag_nodes
+            extra = dag_nodes - job_ids
+            raise ValueError(
+                f"DAG nodes must match job ids (missing from DAG: {sorted(map(repr, missing))[:5]}, "
+                f"unknown in DAG: {sorted(map(repr, extra))[:5]})"
+            )
+        self.dag.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of jobs."""
+        return len(self.jobs)
+
+    @property
+    def d(self) -> int:
+        """Number of resource types."""
+        return self.pool.d
+
+    def time(self, job_id: JobId, alloc: ResourceVector) -> float:
+        """``t_j(p_j)``."""
+        return self.jobs[job_id].time(alloc)
+
+    # ------------------------------------------------------------------
+    # Definition 1
+    # ------------------------------------------------------------------
+    def work(self, job_id: JobId, alloc: ResourceVector, rtype: int) -> float:
+        """``w_j^(i)(p) = p^(i) · t_j(p)``."""
+        return alloc[rtype] * self.time(job_id, alloc)
+
+    def area(self, job_id: JobId, alloc: ResourceVector, rtype: int) -> float:
+        """``a_j^(i)(p) = w_j^(i)(p) / P^(i)``."""
+        return self.work(job_id, alloc, rtype) / self.pool.capacities[rtype]
+
+    def avg_area(self, job_id: JobId, alloc: ResourceVector) -> float:
+        """``a_j(p) = (1/d) Σ_i a_j^(i)(p)`` — the DTCT cost of the allocation."""
+        t = self.time(job_id, alloc)
+        caps = self.pool.capacities
+        return t * sum(alloc[i] / caps[i] for i in range(self.d)) / self.d
+
+    # ------------------------------------------------------------------
+    # Definition 2
+    # ------------------------------------------------------------------
+    def times(self, allocation: AllocationMap) -> dict[JobId, float]:
+        """Per-job execution times under ``allocation``."""
+        return {j: self.time(j, allocation[j]) for j in self.jobs}
+
+    def total_area(self, allocation: AllocationMap) -> float:
+        """``A(p) = Σ_j a_j(p_j)`` — average total area over resource types."""
+        return sum(self.avg_area(j, allocation[j]) for j in self.jobs)
+
+    def total_area_per_type(self, allocation: AllocationMap) -> list[float]:
+        """``A^(i)(p)`` for each resource type ``i``."""
+        out = [0.0] * self.d
+        for j in self.jobs:
+            t = self.time(j, allocation[j])
+            for i in range(self.d):
+                out[i] += allocation[j][i] * t / self.pool.capacities[i]
+        return out
+
+    def critical_path(self, allocation: AllocationMap) -> float:
+        """``C(p)`` — longest total execution time along a precedence path."""
+        return critical_path_length(self.dag, self.times(allocation))
+
+    def lower_bound_functional(self, allocation: AllocationMap) -> float:
+        """``L(p) = max(A(p), C(p))`` (Definition 2); ``min_p L(p) <= T_opt``."""
+        return max(self.total_area(allocation), self.critical_path(allocation))
+
+    # ------------------------------------------------------------------
+    # candidate tables (Eq. (2) applied)
+    # ------------------------------------------------------------------
+    def candidate_table(
+        self, strategy: CandidateStrategy | None = None
+    ) -> dict[JobId, list[ProfileEntry]]:
+        """Per-job non-dominated candidate frontiers, cached per strategy.
+
+        Each entry list is sorted by strictly increasing time / strictly
+        decreasing average area (see :func:`repro.jobs.profiles.pareto_filter`).
+        """
+        strategy = strategy if strategy is not None else geometric_grid
+        key = id(strategy)
+        cached = self._candidate_cache.get(key)
+        if cached is not None:
+            return cached
+        from repro.jobs.speedup import MultiResourceTime
+        from repro.jobs.vectorized import evaluate_entries
+
+        table: dict[JobId, list[ProfileEntry]] = {}
+        for j, job in self.jobs.items():
+            cands = candidates_for_job(job, self.pool, strategy)
+            if isinstance(job.time_fn, MultiResourceTime):
+                try:
+                    table[j] = evaluate_entries(job.time_fn, cands, self.pool)
+                    continue
+                except TypeError:
+                    pass  # custom speedup model without an array form
+            entries = [
+                ProfileEntry(alloc=c, time=job.time(c), area=self.avg_area(j, c))
+                for c in cands
+            ]
+            table[j] = pareto_filter(entries)
+        self._candidate_cache[key] = table
+        return table
+
+    def validate_allocation_map(self, allocation: AllocationMap) -> None:
+        """Check that ``allocation`` covers every job and fits the pool."""
+        for j in self.jobs:
+            if j not in allocation:
+                raise ValueError(f"allocation missing job {j!r}")
+            self.pool.validate_allocation(allocation[j])
+
+
+def make_instance(
+    dag: DAG,
+    pool: ResourcePool,
+    time_fn_factory: Callable[[JobId], Callable[[ResourceVector], float]],
+    *,
+    candidates_factory: Callable[[JobId], tuple[ResourceVector, ...] | None] | None = None,
+) -> Instance:
+    """Build an :class:`Instance` from a DAG by instantiating one job per node.
+
+    ``time_fn_factory(job_id)`` returns the execution-time function;
+    ``candidates_factory`` optionally pins per-job candidate allocations.
+    """
+    jobs: dict[JobId, Job] = {}
+    for node in dag.nodes():
+        cands = candidates_factory(node) if candidates_factory else None
+        jobs[node] = Job(id=node, time_fn=time_fn_factory(node), candidates=cands)
+    return Instance(jobs=jobs, dag=dag, pool=pool)

@@ -1,0 +1,100 @@
+"""Instance (de)serialization: portable JSON descriptions of workloads.
+
+Enables the reproducibility workflow evaluation papers need: generate a
+workload once, save it, and re-run every algorithm on the identical
+instance later (or elsewhere).  Execution-time functions are serialized as
+*tabulated profiles* over the candidate grid — exact for the schedulers,
+since they only ever evaluate candidates (plus their µ-capped versions,
+covered by monotone completion).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Hashable
+
+from repro.dag.graph import DAG
+from repro.instance.instance import Instance
+from repro.jobs.candidates import CandidateStrategy, candidates_for_job, full_grid
+from repro.jobs.job import Job
+from repro.jobs.profiles import TabulatedTimeFunction
+from repro.resources.pool import ResourcePool
+from repro.resources.vector import ResourceVector
+
+__all__ = ["instance_to_json", "instance_from_json"]
+
+JobId = Hashable
+
+FORMAT_VERSION = 1
+
+
+def instance_to_json(
+    instance: Instance,
+    strategy: CandidateStrategy | None = None,
+    *,
+    indent: int | None = 2,
+) -> str:
+    """Serialize the instance with tabulated profiles over the strategy grid.
+
+    The grid defaults to the full grid so the round-tripped instance is
+    exact for *any* downstream candidate strategy; pass the strategy you
+    will actually use to keep files small.
+    """
+    strat = strategy if strategy is not None else full_grid
+    jobs_out = []
+    for j, job in sorted(instance.jobs.items(), key=lambda kv: repr(kv[0])):
+        cands = candidates_for_job(job, instance.pool, strat)
+        jobs_out.append(
+            {
+                "id": repr(j),
+                "pinned": job.candidates is not None,
+                "profile": [
+                    {"alloc": list(c), "time": job.time(c)} for c in cands
+                ],
+            }
+        )
+    payload = {
+        "version": FORMAT_VERSION,
+        "platform": {
+            "capacities": list(instance.pool.capacities),
+            "names": list(instance.pool.names),
+        },
+        "jobs": jobs_out,
+        "edges": [[repr(u), repr(v)] for u, v in instance.dag.edges()],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def instance_from_json(text: str | dict) -> Instance:
+    """Rebuild an :class:`Instance` from :func:`instance_to_json` output.
+
+    Job ids become their ``repr`` strings (portable keys); profiles load as
+    :class:`TabulatedTimeFunction` with monotone completion, and every job
+    pins its candidate set to the serialized grid.
+    """
+    data = json.loads(text) if isinstance(text, str) else text
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported instance format version {data.get('version')!r}")
+    pool = ResourcePool(
+        ResourceVector(data["platform"]["capacities"]),
+        tuple(data["platform"]["names"]),
+    )
+    jobs: dict[JobId, Job] = {}
+    dag = DAG()
+    for rec in data["jobs"]:
+        jid = rec["id"]
+        table = {
+            ResourceVector(e["alloc"]): float(e["time"]) for e in rec["profile"]
+        }
+        fn = TabulatedTimeFunction(table, extend_monotone=True)
+        jobs[jid] = Job(
+            id=jid,
+            time_fn=fn,
+            candidates=tuple(table),
+        )
+        dag.add_node(jid)
+    for u, v in data["edges"]:
+        if u not in jobs or v not in jobs:
+            raise ValueError(f"edge ({u}, {v}) references unknown job")
+        dag.add_edge(u, v)
+    return Instance(jobs=jobs, dag=dag, pool=pool)

@@ -1,0 +1,12 @@
+"""Multi-resource platform model (Section 3.1, Assumption 1).
+
+A platform exposes ``d`` distinct resource types (cores, memory blocks,
+cache lines, I/O bandwidth units, ...).  Type ``i`` has an integral total
+amount ``P^(i)``.  A job's allocation is an integral
+:class:`~repro.resources.vector.ResourceVector` with one entry per type.
+"""
+
+from repro.resources.vector import ResourceVector
+from repro.resources.pool import ResourcePool
+
+__all__ = ["ResourceVector", "ResourcePool"]

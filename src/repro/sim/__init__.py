@@ -1,0 +1,13 @@
+"""Schedule containers, independent validation, interval analysis, Gantt."""
+
+from repro.sim.schedule import Schedule, ScheduledJob
+from repro.sim.intervals import classify_intervals, IntervalClassification
+from repro.sim.gantt import ascii_gantt
+
+__all__ = [
+    "Schedule",
+    "ScheduledJob",
+    "classify_intervals",
+    "IntervalClassification",
+    "ascii_gantt",
+]

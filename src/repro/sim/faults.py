@@ -1,0 +1,198 @@
+"""Fault and straggler injection on top of the list dispatcher.
+
+The paper assumes exact execution times; production runtimes face
+stragglers (jobs running a factor slower than modeled) and transient
+failures (a job dies and re-executes from scratch).  This module replays
+Algorithm 2's dispatch policy under such perturbations:
+
+* **stragglers** — a seeded fraction of jobs runs ``straggler_factor``
+  slower than modeled; the dispatcher reacts naturally (it only acts on
+  completion events);
+* **failures** — when a job completes its attempt, with probability
+  ``failure_prob`` the attempt is discarded and the job restarts
+  immediately on the same allocation (up to ``max_retries`` per job, after
+  which it succeeds — modeling bounded re-execution).
+
+The result records every attempt, so tests can check both the validity of
+the realized timeline and degradation envelopes (e.g. a straggler factor of
+``k`` cannot inflate the makespan by more than ``k`` beyond the fault-free
+schedule's guarantee on the same allocation).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.core.list_scheduler import PriorityRule, fifo_priority
+from repro.instance.instance import Instance
+from repro.resources.vector import ResourceVector
+from repro.util.rng import ensure_rng
+
+__all__ = ["Attempt", "FaultyExecution", "execute_with_faults"]
+
+JobId = Hashable
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One execution attempt of a job (failed attempts are re-run)."""
+
+    job_id: JobId
+    start: float
+    duration: float
+    alloc: ResourceVector
+    failed: bool
+
+
+@dataclass
+class FaultyExecution:
+    """Realized timeline under fault injection."""
+
+    instance: Instance
+    attempts: list[Attempt] = field(default_factory=list)
+    completion: dict[JobId, float] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return max(self.completion.values(), default=0.0)
+
+    def retries(self) -> dict[JobId, int]:
+        """Failed-attempt count per job."""
+        out: dict[JobId, int] = {}
+        for a in self.attempts:
+            if a.failed:
+                out[a.job_id] = out.get(a.job_id, 0) + 1
+        return out
+
+    def validate(self) -> None:
+        """Capacity at every instant + precedence on *successful* completions."""
+        inst = self.instance
+        d = inst.d
+        caps = inst.pool.capacities
+        events: list[tuple[float, int, tuple[int, ...]]] = []
+        for a in self.attempts:
+            events.append((a.start, 1, tuple(a.alloc)))
+            events.append((a.start + a.duration, -1, tuple(a.alloc)))
+        events.sort(key=lambda e: (e[0], e[1]))
+        usage = [0] * d
+        for t, kind, alloc in events:
+            for r in range(d):
+                usage[r] += kind * alloc[r]
+                if usage[r] > caps[r]:
+                    raise ValueError(f"capacity violated at t={t}, type {r}")
+        first_start = {}
+        for a in self.attempts:
+            first_start[a.job_id] = min(first_start.get(a.job_id, a.start), a.start)
+        for u, v in inst.dag.edges():
+            if first_start[v] < self.completion[u] - 1e-9:
+                raise ValueError(f"precedence violated: {v!r} started before {u!r} completed")
+        if set(self.completion) != set(inst.jobs):
+            raise ValueError("execution must complete every job")
+
+
+def execute_with_faults(
+    instance: Instance,
+    allocation: Mapping[JobId, ResourceVector],
+    *,
+    priority: PriorityRule = fifo_priority,
+    straggler_fraction: float = 0.0,
+    straggler_factor: float = 1.0,
+    failure_prob: float = 0.0,
+    max_retries: int = 3,
+    seed: int | np.random.Generator | None = 0,
+) -> FaultyExecution:
+    """Replay Algorithm 2's dispatching under stragglers and failures."""
+    if not 0.0 <= straggler_fraction <= 1.0:
+        raise ValueError("straggler_fraction must be in [0, 1]")
+    if straggler_factor < 1.0:
+        raise ValueError("straggler_factor must be >= 1")
+    if not 0.0 <= failure_prob < 1.0:
+        raise ValueError("failure_prob must be in [0, 1)")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    instance.validate_allocation_map(allocation)
+    rng = ensure_rng(seed)
+
+    base_times = {j: instance.time(j, allocation[j]) for j in instance.jobs}
+    order = instance.dag.topological_order()
+    is_straggler = {
+        j: bool(rng.random() < straggler_fraction) for j in order
+    }
+    times = {
+        j: base_times[j] * (straggler_factor if is_straggler[j] else 1.0) for j in order
+    }
+    keys = priority(instance, allocation, base_times)
+    tie = {j: i for i, j in enumerate(order)}
+
+    dag = instance.dag
+    remaining = {j: dag.in_degree(j) for j in instance.jobs}
+    ready = sorted(dag.sources(), key=lambda j: (keys[j], tie[j]))
+    avail = list(instance.pool.capacities)
+    d = instance.d
+    running: list[tuple[float, int, JobId]] = []
+    seq = 0
+    now = 0.0
+    retries_used = {j: 0 for j in instance.jobs}
+    execution = FaultyExecution(instance=instance)
+
+    while ready or running:
+        still: list[JobId] = []
+        for j in ready:
+            a = allocation[j]
+            if all(a[r] <= avail[r] for r in range(d)):
+                for r in range(d):
+                    avail[r] -= a[r]
+                heapq.heappush(running, (now + times[j], seq, j))
+                seq += 1
+                execution.attempts.append(
+                    Attempt(job_id=j, start=now, duration=times[j], alloc=a, failed=False)
+                )
+            else:
+                still.append(j)
+        ready = still
+
+        if not running:
+            break
+        now, _, j = heapq.heappop(running)
+        done = [j]
+        while running and running[0][0] <= now + 1e-12:
+            done.append(heapq.heappop(running)[2])
+        for c in done:
+            a = allocation[c]
+            failed = (
+                retries_used[c] < max_retries and float(rng.random()) < failure_prob
+            )
+            if failed:
+                retries_used[c] += 1
+                # mark the just-finished attempt as failed and restart now
+                for idx in range(len(execution.attempts) - 1, -1, -1):
+                    at = execution.attempts[idx]
+                    if at.job_id == c and not at.failed and c not in execution.completion:
+                        execution.attempts[idx] = Attempt(
+                            job_id=at.job_id, start=at.start, duration=at.duration,
+                            alloc=at.alloc, failed=True,
+                        )
+                        break
+                heapq.heappush(running, (now + times[c], seq, c))
+                seq += 1
+                execution.attempts.append(
+                    Attempt(job_id=c, start=now, duration=times[c], alloc=a, failed=False)
+                )
+                continue
+            execution.completion[c] = now
+            for r in range(d):
+                avail[r] += a[r]
+            for s in dag.successors(c):
+                remaining[s] -= 1
+                if remaining[s] == 0:
+                    # insert preserving priority order
+                    ready.append(s)
+                    ready.sort(key=lambda x: (keys[x], tie[x]))
+
+    if len(execution.completion) != len(instance.jobs):  # pragma: no cover
+        raise RuntimeError("fault simulation failed to complete every job")
+    return execution

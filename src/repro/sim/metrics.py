@@ -1,0 +1,137 @@
+"""Schedule metrics and empirical verification of the proof machinery.
+
+Beyond the approximation theorem itself, the paper's proof rests on two
+schedule-level inequalities that any Algorithm 2 schedule must satisfy when
+the allocation came from Algorithm 1:
+
+* **Lemma 5 (critical-path bound)**: ``T1 + µ·T2 <= C(p')``;
+* **Lemma 6 (area bound)**: ``µ·T2 + (1−µ)·T3 <= d·A(p')`` when
+  ``P_min >= 1/µ²``;
+
+where ``T1/T2/T3`` are the durations of the I1/I2/I3 interval categories of
+Section 4.2.2 and ``p'`` is the pre-adjustment allocation.  Verifying them
+on concrete schedules is a much sharper implementation check than the
+end-to-end ratio alone — :func:`verify_lemma_bounds` does exactly that and
+is exercised by both tests and benchmarks.
+
+The module also provides plain scheduling metrics (waiting times, resource
+fragmentation) used by the experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.allocation import Phase1Result
+from repro.dag.paths import top_levels
+from repro.sim.intervals import classify_intervals
+from repro.sim.schedule import Schedule
+
+__all__ = ["LemmaCheck", "verify_lemma_bounds", "waiting_times", "fragmentation"]
+
+JobId = Hashable
+
+
+@dataclass(frozen=True)
+class LemmaCheck:
+    """Outcome of the Lemma 5/6 verification on one schedule."""
+
+    t1: float
+    t2: float
+    t3: float
+    critical_path_pprime: float
+    total_area_pprime: float
+    lemma5_lhs: float
+    lemma5_rhs: float
+    lemma6_lhs: float
+    lemma6_rhs: float
+    lemma5_holds: bool
+    lemma6_holds: bool
+    capacity_precondition: bool
+
+    @property
+    def all_hold(self) -> bool:
+        """Both inequalities hold (Lemma 6 only required when the capacity
+        precondition ``P_min >= 1/µ²`` is met)."""
+        return self.lemma5_holds and (self.lemma6_holds or not self.capacity_precondition)
+
+
+def verify_lemma_bounds(schedule: Schedule, phase1: Phase1Result, *, rtol: float = 1e-9) -> LemmaCheck:
+    """Check Lemmas 5-6 on a Phase 2 schedule produced from ``phase1``."""
+    inst = schedule.instance
+    mu = phase1.mu
+    cls = classify_intervals(schedule, mu)
+    c_pprime = inst.critical_path(phase1.p_prime)
+    a_pprime = inst.total_area(phase1.p_prime)
+    d = inst.d
+
+    lemma5_lhs = cls.t1 + mu * cls.t2
+    lemma6_lhs = mu * cls.t2 + (1.0 - mu) * cls.t3
+    lemma6_rhs = d * a_pprime
+    tol5 = rtol * max(1.0, c_pprime)
+    tol6 = rtol * max(1.0, lemma6_rhs)
+    return LemmaCheck(
+        t1=cls.t1,
+        t2=cls.t2,
+        t3=cls.t3,
+        critical_path_pprime=c_pprime,
+        total_area_pprime=a_pprime,
+        lemma5_lhs=lemma5_lhs,
+        lemma5_rhs=c_pprime,
+        lemma6_lhs=lemma6_lhs,
+        lemma6_rhs=lemma6_rhs,
+        lemma5_holds=lemma5_lhs <= c_pprime + tol5,
+        lemma6_holds=lemma6_lhs <= lemma6_rhs + tol6,
+        capacity_precondition=inst.pool.supports_mu(mu),
+    )
+
+
+def waiting_times(schedule: Schedule) -> dict[JobId, float]:
+    """Per-job wait beyond its precedence-earliest start: ``s_j − top(j)``
+    with the *scheduled* execution times (0 = started as early as the graph
+    allows)."""
+    inst = schedule.instance
+    times = {j: p.time for j, p in schedule.placements.items()}
+    earliest = top_levels(inst.dag, times)
+    return {j: schedule.placements[j].start - earliest[j] for j in inst.jobs}
+
+
+def fragmentation(schedule: Schedule) -> list[float]:
+    """Per-type fragmentation: time-weighted fraction of *idle* capacity
+    during intervals where at least one job was waiting for that type.
+
+    A high value means capacity was free but unusable (the packing loss that
+    the µ-adjustment is designed to limit).
+    """
+    inst = schedule.instance
+    caps = inst.pool.capacities
+    d = inst.d
+    total_frag = [0.0] * d
+    total_time = 0.0
+    # waiting intervals per job: [ready time, start)
+    times = {j: p.time for j, p in schedule.placements.items()}
+    ready_at = {
+        j: max(
+            (schedule.placements[p].finish for p in inst.dag.predecessors(j)),
+            default=0.0,
+        )
+        for j in inst.jobs
+    }
+    for t0, t1, usage in schedule.intervals():
+        dur = t1 - t0
+        total_time += dur
+        mid = (t0 + t1) / 2
+        waiting = [
+            j
+            for j, p in schedule.placements.items()
+            if ready_at[j] <= mid < p.start
+        ]
+        if not waiting:
+            continue
+        for r in range(d):
+            if any(schedule.placements[j].alloc[r] > 0 for j in waiting):
+                total_frag[r] += dur * (caps[r] - usage[r]) / caps[r]
+    if total_time <= 0:
+        return [0.0] * d
+    return [f / total_time for f in total_frag]

@@ -1,0 +1,185 @@
+"""Schedules: the pair of decisions ``(p, s)`` of Section 3.2, with
+independent validity checking.
+
+A schedule is *valid* when (i) at any time the running jobs use at most
+``P^(i)`` of every resource type, and (ii) no job starts before all its
+predecessors complete.  :meth:`Schedule.validate` checks both by an event
+sweep that is deliberately independent of the scheduling algorithms (it is
+the oracle used by the property-based tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Mapping
+
+from repro.instance.instance import Instance
+from repro.resources.vector import ResourceVector
+
+__all__ = ["ScheduledJob", "Schedule"]
+
+JobId = Hashable
+
+#: Relative tolerance for floating-point time comparisons in validation.
+TIME_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class ScheduledJob:
+    """One job's placement: start time, execution time and allocation."""
+
+    job_id: JobId
+    start: float
+    time: float
+    alloc: ResourceVector
+
+    @property
+    def finish(self) -> float:
+        """Completion time ``c_j = s_j + t_j(p_j)``."""
+        return self.start + self.time
+
+
+@dataclass
+class Schedule:
+    """A complete schedule for an instance.
+
+    Attributes
+    ----------
+    instance:
+        The scheduled instance (provides the DAG, pool and time functions).
+    placements:
+        Mapping job id → :class:`ScheduledJob`.
+    """
+
+    instance: Instance
+    placements: dict[JobId, ScheduledJob] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_decisions(
+        cls,
+        instance: Instance,
+        allocation: Mapping[JobId, ResourceVector],
+        starts: Mapping[JobId, float],
+    ) -> "Schedule":
+        """Build from the paper's two decision vectors ``(p, s)``."""
+        placements = {
+            j: ScheduledJob(
+                job_id=j,
+                start=float(starts[j]),
+                time=instance.time(j, allocation[j]),
+                alloc=allocation[j],
+            )
+            for j in instance.jobs
+        }
+        return cls(instance=instance, placements=placements)
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """``T = max_j c_j`` (0 for an empty schedule)."""
+        if not self.placements:
+            return 0.0
+        return max(p.finish for p in self.placements.values())
+
+    @property
+    def allocation(self) -> dict[JobId, ResourceVector]:
+        return {j: p.alloc for j, p in self.placements.items()}
+
+    @property
+    def starts(self) -> dict[JobId, float]:
+        return {j: p.start for j, p in self.placements.items()}
+
+    def __len__(self) -> int:
+        return len(self.placements)
+
+    # ------------------------------------------------------------------
+    # validation (independent oracle)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any capacity or precedence violation."""
+        inst = self.instance
+        if set(self.placements) != set(inst.jobs):
+            raise ValueError("schedule must place exactly the instance's jobs")
+        tol = TIME_RTOL * max(1.0, self.makespan)
+
+        # precedence
+        for u, v in inst.dag.edges():
+            if self.placements[v].start < self.placements[u].finish - tol:
+                raise ValueError(
+                    f"precedence violated: {v!r} starts at {self.placements[v].start} "
+                    f"before {u!r} finishes at {self.placements[u].finish}"
+                )
+
+        # capacity, via an event sweep per resource type done jointly
+        d = inst.d
+        caps = inst.pool.capacities
+        events: list[tuple[float, int, tuple[int, ...]]] = []
+        for p in self.placements.values():
+            if p.start < -tol:
+                raise ValueError(f"job {p.job_id!r} starts before time 0")
+            # release (-1) sorts before acquire (+1) at equal times so that
+            # back-to-back jobs may reuse resources at the same instant
+            events.append((p.start, +1, tuple(p.alloc)))
+            events.append((p.finish, -1, tuple(p.alloc)))
+        events.sort(key=lambda e: (e[0], e[1]))
+        usage = [0] * d
+        i = 0
+        while i < len(events):
+            t = events[i][0]
+            # apply all releases at (approximately) time t first
+            while i < len(events) and abs(events[i][0] - t) <= tol and events[i][1] == -1:
+                for r in range(d):
+                    usage[r] -= events[i][2][r]
+                i += 1
+            while i < len(events) and abs(events[i][0] - t) <= tol and events[i][1] == +1:
+                for r in range(d):
+                    usage[r] += events[i][2][r]
+                i += 1
+            for r in range(d):
+                if usage[r] > caps[r]:
+                    raise ValueError(
+                        f"capacity violated at t={t}: type {r} uses {usage[r]} > {caps[r]}"
+                    )
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def intervals(self) -> Iterator[tuple[float, float, tuple[int, ...]]]:
+        """Yield maximal intervals ``(t0, t1, usage)`` of constant resource
+        usage (the partition I of Section 4.2.2).  Zero-length intervals are
+        skipped."""
+        if not self.placements:
+            return
+        points = sorted({p.start for p in self.placements.values()}
+                        | {p.finish for p in self.placements.values()})
+        jobs = list(self.placements.values())
+        d = self.instance.d
+        for t0, t1 in zip(points, points[1:]):
+            if t1 <= t0:
+                continue
+            usage = [0] * d
+            mid = (t0 + t1) / 2.0
+            for p in jobs:
+                if p.start <= mid < p.finish:
+                    for r in range(d):
+                        usage[r] += p.alloc[r]
+            yield (t0, t1, tuple(usage))
+
+    def utilization(self) -> list[float]:
+        """Average fraction of each resource type in use over the makespan."""
+        T = self.makespan
+        if T <= 0:
+            return [0.0] * self.instance.d
+        caps = self.instance.pool.capacities
+        tot = [0.0] * self.instance.d
+        for t0, t1, usage in self.intervals():
+            for r in range(self.instance.d):
+                tot[r] += (t1 - t0) * usage[r]
+        return [tot[r] / (caps[r] * T) for r in range(self.instance.d)]
+
+    def fraction_of_job_in(self, job_id: JobId, t0: float, t1: float) -> float:
+        """``β_{j,I}`` — the fraction of job ``j`` executed in ``[t0, t1]``."""
+        p = self.placements[job_id]
+        overlap = max(0.0, min(p.finish, t1) - max(p.start, t0))
+        return overlap / p.time if p.time > 0 else 0.0

@@ -1,0 +1,78 @@
+"""Schedule (de)serialization: JSON traces for external analysis/plotting.
+
+The trace format is deliberately plain — one record per job with start,
+duration and per-type allocation, plus the platform description — so it can
+be loaded by pandas / a plotting notebook without importing this library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Hashable
+
+from repro.instance.instance import Instance
+from repro.resources.vector import ResourceVector
+from repro.sim.schedule import Schedule, ScheduledJob
+
+__all__ = ["schedule_to_trace", "trace_to_json", "schedule_from_trace"]
+
+JobId = Hashable
+
+#: Trace format version (bump on schema change).
+TRACE_VERSION = 1
+
+
+def schedule_to_trace(schedule: Schedule) -> dict:
+    """A JSON-ready dict describing the schedule and its platform."""
+    inst = schedule.instance
+    return {
+        "version": TRACE_VERSION,
+        "platform": {
+            "capacities": list(inst.pool.capacities),
+            "names": list(inst.pool.names),
+        },
+        "makespan": schedule.makespan,
+        "jobs": [
+            {
+                "id": repr(p.job_id),
+                "start": p.start,
+                "time": p.time,
+                "alloc": list(p.alloc),
+            }
+            for p in sorted(
+                schedule.placements.values(), key=lambda q: (q.start, repr(q.job_id))
+            )
+        ],
+        "edges": [[repr(u), repr(v)] for u, v in inst.dag.edges()],
+    }
+
+
+def trace_to_json(schedule: Schedule, *, indent: int | None = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(schedule_to_trace(schedule), indent=indent)
+
+
+def schedule_from_trace(instance: Instance, trace: dict | str) -> Schedule:
+    """Rebuild a :class:`Schedule` for ``instance`` from a trace.
+
+    Job ids are matched by ``repr`` (the trace's portable key); raises
+    ``ValueError`` when the trace does not cover the instance's jobs.
+    """
+    data = json.loads(trace) if isinstance(trace, str) else trace
+    if data.get("version") != TRACE_VERSION:
+        raise ValueError(f"unsupported trace version {data.get('version')!r}")
+    by_repr = {repr(j): j for j in instance.jobs}
+    placements: dict[JobId, ScheduledJob] = {}
+    for rec in data["jobs"]:
+        jid = by_repr.get(rec["id"])
+        if jid is None:
+            raise ValueError(f"trace job {rec['id']} not in instance")
+        placements[jid] = ScheduledJob(
+            job_id=jid,
+            start=float(rec["start"]),
+            time=float(rec["time"]),
+            alloc=ResourceVector(rec["alloc"]),
+        )
+    if set(placements) != set(instance.jobs):
+        raise ValueError("trace does not cover every instance job")
+    return Schedule(instance=instance, placements=placements)

@@ -1,0 +1,6 @@
+"""Small shared utilities: seeded RNG handling and ordering helpers."""
+
+from repro.util.rng import ensure_rng
+from repro.util.order import argsort_by, stable_unique
+
+__all__ = ["ensure_rng", "argsort_by", "stable_unique"]

@@ -1,0 +1,25 @@
+"""Ordering helpers used across the scheduling code."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["argsort_by", "stable_unique"]
+
+
+def argsort_by(items: Sequence[T], key: Callable[[T], object]) -> list[int]:
+    """Indices that sort ``items`` by ``key`` (stable)."""
+    return sorted(range(len(items)), key=lambda i: key(items[i]))
+
+
+def stable_unique(items: Iterable[T]) -> list[T]:
+    """Unique items preserving first-seen order (items must be hashable)."""
+    seen: set[T] = set()
+    out: list[T] = []
+    for x in items:
+        if x not in seen:
+            seen.add(x)
+            out.append(x)
+    return out

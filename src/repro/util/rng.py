@@ -1,0 +1,27 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts either a seed (``int``),
+an existing :class:`numpy.random.Generator`, or ``None`` (fresh OS entropy),
+and normalizes it through :func:`ensure_rng`.  This keeps experiments
+reproducible end-to-end: a single integer seed pins the whole pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` seed, or an existing generator
+        (returned unchanged so callers can thread one RNG through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,61 @@
+"""Tests for structural DAG metrics."""
+
+import pytest
+
+from repro.dag import generators
+from repro.dag.analysis import depth, edge_density, level_widths, node_levels, summarize, width
+from repro.dag.graph import DAG
+
+
+class TestLevels:
+    def test_chain(self):
+        g = generators.chain(4)
+        assert node_levels(g) == {0: 0, 1: 1, 2: 2, 3: 3}
+        assert depth(g) == 4
+        assert width(g) == 1
+        assert level_widths(g) == [1, 1, 1, 1]
+
+    def test_independent(self):
+        g = generators.independent(5)
+        assert depth(g) == 1
+        assert width(g) == 5
+
+    def test_diamond(self):
+        g = DAG(edges=[(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert node_levels(g) == {0: 0, 1: 1, 2: 1, 3: 2}
+        assert level_widths(g) == [1, 2, 1]
+
+    def test_empty(self):
+        g = DAG()
+        assert depth(g) == 0
+        assert width(g) == 0
+        assert level_widths(g) == []
+
+    def test_unbalanced_levels(self):
+        # 0 -> 2 and 1 -> 2, but 1 also depends on 0: level(2) = 2
+        g = DAG(edges=[(0, 1), (0, 2), (1, 2)])
+        assert node_levels(g)[2] == 2
+
+
+class TestDensityAndSummary:
+    def test_edge_density(self):
+        assert edge_density(generators.independent(4)) == 0.0
+        full = generators.erdos_renyi_dag(5, 1.0, seed=0)
+        assert edge_density(full) == pytest.approx(1.0)
+        assert edge_density(DAG(nodes=[0])) == 0.0
+
+    def test_summarize(self):
+        g = generators.fork_join(width=3, stages=1)
+        s = summarize(g)
+        assert s["n"] == 5
+        assert s["depth"] == 3
+        assert s["width"] == 3
+        assert s["sources"] == 1
+        assert s["sinks"] == 1
+
+    def test_summary_on_workflows(self):
+        from repro.dag.workflows import montage_dag
+
+        s = summarize(montage_dag(6))
+        assert s["depth"] >= 6  # project -> diff -> concat -> bg -> back -> tail
+        assert s["width"] >= 5

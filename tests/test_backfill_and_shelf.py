@@ -1,0 +1,85 @@
+"""Tests for the conservative backfilling and level-shelf baselines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import tiny_instance
+from repro.baselines.backfill import backfill_scheduler
+from repro.baselines.level_shelf import level_shelf_scheduler
+from repro.core.lower_bounds import lp_lower_bound
+from repro.jobs.candidates import full_grid
+
+
+class TestBackfill:
+    @given(st.integers(min_value=0, max_value=10**5))
+    @settings(max_examples=15, deadline=None)
+    def test_valid_on_random_instances(self, seed):
+        inst = tiny_instance(seed=seed, d=2, capacity=6,
+                             edges=((0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5)))
+        res = backfill_scheduler(inst, full_grid)
+        res.schedule.validate()
+        assert len(res.schedule) == inst.n
+        assert res.makespan >= lp_lower_bound(inst, full_grid) / (1 + 1e-6)
+
+    def test_backfills_small_jobs(self):
+        """A small independent job gets packed alongside large ones instead
+        of waiting behind the priority order."""
+        from repro.dag.graph import DAG
+        from repro.instance.instance import Instance
+        from repro.jobs.job import Job
+        from repro.resources.pool import ResourcePool
+        from repro.resources.vector import ResourceVector
+
+        pool = ResourcePool.of(4)
+        spec = {"long": (3, 4.0), "wide": (4, 1.0), "tiny": (1, 1.0)}
+        jobs = {
+            k: Job(id=k, time_fn=(lambda t: (lambda p: t))(t),
+                   candidates=(ResourceVector((s,)),))
+            for k, (s, t) in spec.items()
+        }
+        inst = Instance(jobs=jobs, dag=DAG(nodes=list(spec)), pool=pool)
+        res = backfill_scheduler(inst, full_grid)
+        res.schedule.validate()
+        # tiny (1 unit) fits alongside long (3 units) from t=0
+        assert res.schedule.placements["tiny"].start == pytest.approx(
+            res.schedule.placements["long"].start
+        )
+
+
+class TestLevelShelf:
+    @given(st.integers(min_value=0, max_value=10**5))
+    @settings(max_examples=15, deadline=None)
+    def test_valid_on_random_instances(self, seed):
+        inst = tiny_instance(seed=seed, d=2, capacity=6,
+                             edges=((0, 1), (0, 2), (1, 3), (2, 3)))
+        res = level_shelf_scheduler(inst, full_grid)
+        res.schedule.validate()
+        assert len(res.schedule) == inst.n
+
+    def test_levels_are_barriers(self):
+        """Every level-l job finishes before any level-(l+1) job starts."""
+        from repro.dag.analysis import node_levels
+
+        inst = tiny_instance(seed=2, d=2, capacity=6,
+                             edges=((0, 2), (1, 2), (2, 3), (1, 4)))
+        res = level_shelf_scheduler(inst, full_grid)
+        levels = node_levels(inst.dag)
+        for j1, p1 in res.schedule.placements.items():
+            for j2, p2 in res.schedule.placements.items():
+                if levels[j1] < levels[j2]:
+                    assert p1.finish <= p2.start + 1e-9
+
+    def test_list_scheduler_not_worse_on_average(self):
+        """Across seeds, Phase 2 list scheduling beats the barrier-laden
+        level-shelf approach with the same knee allocations."""
+        from repro.core.list_scheduler import list_schedule
+
+        wins = 0
+        for seed in range(6):
+            inst = tiny_instance(seed=seed, d=2, capacity=6,
+                                 edges=((0, 1), (0, 2), (1, 3), (2, 3), (2, 4)))
+            shelf = level_shelf_scheduler(inst, full_grid)
+            ls = list_schedule(inst, shelf.allocation)
+            if ls.makespan <= shelf.makespan + 1e-9:
+                wins += 1
+        assert wins >= 4

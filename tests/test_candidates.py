@@ -1,0 +1,104 @@
+"""Tests for candidate-allocation enumeration strategies."""
+
+import pytest
+
+from repro.jobs.candidates import (
+    candidates_for_job,
+    diagonal_grid,
+    full_grid,
+    geometric_grid,
+    make_candidates,
+)
+from repro.jobs.job import Job
+from repro.resources.pool import ResourcePool
+from repro.resources.vector import ResourceVector
+
+
+class TestGrids:
+    def test_full_grid_size(self):
+        pool = ResourcePool.of(3, 4)
+        grid = full_grid(pool)
+        assert len(grid) == 12
+        assert len(set(grid)) == 12
+        assert all(1 <= a[i] <= pool.capacities[i] for a in grid for i in range(2))
+
+    def test_geometric_grid_axis(self):
+        pool = ResourcePool.of(16)
+        grid = geometric_grid(pool, base=2.0)
+        assert set(grid) == {(1,), (2,), (4,), (8,), (16,)}
+
+    def test_geometric_grid_includes_extremes(self):
+        pool = ResourcePool.of(13, 7)
+        grid = geometric_grid(pool)
+        assert ResourceVector((1, 1)) in grid
+        assert ResourceVector((13, 7)) in grid
+
+    def test_geometric_bad_base(self):
+        with pytest.raises(ValueError):
+            geometric_grid(ResourcePool.of(4), base=1.0)
+
+    def test_diagonal_grid(self):
+        pool = ResourcePool.of(10, 20)
+        grid = diagonal_grid(pool, levels=4)
+        assert grid[-1] == (10, 20)
+        assert all(len(a) == 2 for a in grid)
+        # fractions 1/4, 2/4, 3/4, 1 -> no duplicates here
+        assert len(grid) == 4
+
+    def test_diagonal_min_one_unit(self):
+        pool = ResourcePool.of(2, 100)
+        grid = diagonal_grid(pool, levels=8)
+        assert all(a[0] >= 1 for a in grid)
+
+    def test_make_candidates(self):
+        pool = ResourcePool.of(8, 8)
+        assert make_candidates("full")(pool) == full_grid(pool)
+        assert make_candidates("geometric", base=3.0)(pool) == geometric_grid(pool, base=3.0)
+        assert make_candidates("diagonal", levels=2)(pool) == diagonal_grid(pool, levels=2)
+        with pytest.raises(ValueError):
+            make_candidates("nope")
+        with pytest.raises(TypeError):
+            make_candidates("geometric", bogus=1)
+
+
+class TestPerJob:
+    def test_pinned_candidates_win(self):
+        pool = ResourcePool.of(4, 4)
+        pinned = (ResourceVector((1, 0)),)
+        job = Job(id="j", time_fn=lambda a: 1.0, candidates=pinned)
+        assert candidates_for_job(job, pool, full_grid) == pinned
+
+    def test_strategy_used_when_unpinned(self):
+        pool = ResourcePool.of(2, 2)
+        job = Job(id="j", time_fn=lambda a: 1.0)
+        assert candidates_for_job(job, pool, full_grid) == full_grid(pool)
+
+    def test_invalid_pinned_rejected(self):
+        pool = ResourcePool.of(2, 2)
+        job = Job(id="j", time_fn=lambda a: 1.0, candidates=(ResourceVector((3, 1)),))
+        with pytest.raises(ValueError):
+            candidates_for_job(job, pool, full_grid)
+
+    def test_empty_pinned_rejected(self):
+        pool = ResourcePool.of(2, 2)
+        job = Job(id="j", time_fn=lambda a: 1.0, candidates=())
+        with pytest.raises(ValueError):
+            candidates_for_job(job, pool, full_grid)
+
+    def test_rigid_flag(self):
+        job = Job(id="j", time_fn=lambda a: 1.0, candidates=(ResourceVector((1, 1)),))
+        assert job.is_rigid()
+        assert not Job(id="k", time_fn=lambda a: 1.0).is_rigid()
+
+
+class TestJobValidation:
+    def test_time_must_be_positive_finite(self):
+        bad = Job(id="j", time_fn=lambda a: 0.0)
+        with pytest.raises(ValueError):
+            bad.time(ResourceVector((1,)))
+        nan = Job(id="j", time_fn=lambda a: float("nan"))
+        with pytest.raises(ValueError):
+            nan.time(ResourceVector((1,)))
+        inf = Job(id="j", time_fn=lambda a: float("inf"))
+        with pytest.raises(ValueError):
+            inf.time(ResourceVector((1,)))

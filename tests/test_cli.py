@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        p = build_parser()
+        for argv in (
+            ["figure1"],
+            ["figure2", "--d", "2", "--m", "6"],
+            ["table1", "--d", "3"],
+            ["sim-a", "--families", "layered"],
+            ["sim-b"],
+            ["ablation", "mu-rho"],
+            ["schedule", "--family", "chain"],
+        ):
+            args = p.parse_args(argv)
+            assert args.command == argv[0]
+
+
+class TestCommands:
+    def test_figure1(self, capsys):
+        assert main(["figure1", "--d-min", "22", "--d-max", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "22" in out
+
+    def test_figure2(self, capsys):
+        assert main(["figure2", "--d", "2", "3", "--m", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 6" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--d", "2", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "independent" in out
+
+    def test_sim_a_small(self, capsys):
+        assert main(["sim-a", "--families", "chain", "--d", "1",
+                     "--n", "6", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Sim-A" in out
+
+    def test_sim_b_small(self, capsys):
+        assert main(["sim-b", "--d", "1", "--n", "6", "--seeds", "0"]) == 0
+        assert "Sim-B" in capsys.readouterr().out
+
+    def test_schedule_ours(self, capsys):
+        assert main(["schedule", "--family", "layered", "--n", "8",
+                     "--d", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan=" in out
+        assert "proven<=" in out
+
+    def test_schedule_baseline_with_gantt(self, capsys):
+        assert main(["schedule", "--family", "independent", "--n", "6",
+                     "--algorithm", "sun_shelf", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "sun2018_shelf" in out
+        assert "makespan = " in out  # gantt header
+
+    def test_schedule_trace_output(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.json"
+        assert main(["schedule", "--family", "chain", "--n", "5",
+                     "--trace", str(trace_file)]) == 0
+        data = json.loads(trace_file.read_text())
+        assert data["version"] == 1
+        assert len(data["jobs"]) == 5
+
+    def test_schedule_sp_family_uses_fptas(self, capsys):
+        assert main(["schedule", "--family", "outtree", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "allocator=sp" in out
+
+    def test_ablation_commands(self, capsys):
+        assert main(["ablation", "mu-rho", "--d", "2", "--n", "6"]) == 0
+        assert "Ablation: mu-rho" in capsys.readouterr().out
+        assert main(["ablation", "priority", "--d", "2", "--n", "6"]) == 0
+        assert "Ablation: priority" in capsys.readouterr().out
+
+    def test_schedule_new_baselines(self, capsys):
+        for algo in ("backfill", "level_shelf"):
+            assert main(["schedule", "--family", "layered", "--n", "8",
+                         "--algorithm", algo]) == 0
+            assert algo in capsys.readouterr().out

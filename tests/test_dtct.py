@@ -1,0 +1,116 @@
+"""Tests for the DTCT LP relaxation and the ρ-quantile rounding (Lemma 3).
+
+The rounding guarantees are deterministic — we assert them exactly (up to
+LP solver tolerance) on randomized instances, not just on fixtures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import tiny_instance
+from repro.core.dtct import dtct_allocate, round_fractional, solve_dtct_lp
+from repro.dag.graph import DAG
+from repro.instance.instance import Instance, make_instance
+from repro.jobs.candidates import full_grid
+from repro.jobs.job import Job
+from repro.resources.pool import ResourcePool
+from repro.resources.vector import ResourceVector
+
+TOL = 1 + 1e-6
+
+
+class TestLP:
+    def test_lower_bound_below_any_integral_allocation(self):
+        inst = tiny_instance(seed=42)
+        table = inst.candidate_table(full_grid)
+        sol = solve_dtct_lp(inst, table)
+        # L_LP <= L(p) for every combination of frontier endpoints
+        for pick in (0, -1):
+            alloc = {j: entries[pick].alloc for j, entries in table.items()}
+            assert sol.lower_bound <= inst.lower_bound_functional(alloc) * TOL
+
+    def test_fractional_consistency(self):
+        inst = tiny_instance(seed=7)
+        table = inst.candidate_table(full_grid)
+        sol = solve_dtct_lp(inst, table)
+        for j, x in sol.fractions.items():
+            assert x.sum() == pytest.approx(1.0, abs=1e-6)
+            assert (x >= -1e-9).all()
+            times = np.array([e.time for e in table[j]])
+            assert sol.fractional_times[j] == pytest.approx(float(times @ x))
+
+    def test_lp_bound_at_least_area_and_path_floors(self):
+        inst = tiny_instance(seed=3)
+        table = inst.candidate_table(full_grid)
+        sol = solve_dtct_lp(inst, table)
+        min_area = sum(min(e.area for e in es) for es in table.values())
+        assert sol.lower_bound >= min_area / TOL
+        # some path exists; its fractional length >= max over jobs of min time
+        max_min_time = max(min(e.time for e in es) for es in table.values())
+        assert sol.lower_bound >= max_min_time / TOL
+
+    def test_empty_instance(self):
+        pool = ResourcePool.of(4)
+        inst = Instance(jobs={}, dag=DAG(), pool=pool)
+        sol = solve_dtct_lp(inst, {})
+        assert sol.lower_bound == 0.0
+
+    def test_single_rigid_job(self):
+        pool = ResourcePool.of(4, 4)
+        alloc = ResourceVector((2, 2))
+        job = Job(id="j", time_fn=lambda p: 3.0, candidates=(alloc,))
+        inst = Instance(jobs={"j": job}, dag=DAG(nodes=["j"]), pool=pool)
+        table = inst.candidate_table(full_grid)
+        sol = solve_dtct_lp(inst, table)
+        assert sol.lower_bound == pytest.approx(3.0, rel=1e-6)
+        p_prime = round_fractional(table, sol, rho=0.5)
+        assert p_prime["j"] == alloc
+
+
+class TestRounding:
+    @pytest.mark.parametrize("rho", [0.1, 0.31, 0.5, 0.9])
+    def test_lemma3_guarantees(self, rho):
+        inst = tiny_instance(seed=11, d=2, capacity=8)
+        table = inst.candidate_table(full_grid)
+        p_prime, sol = dtct_allocate(inst, table, rho)
+        # Lemma 3: C(p') <= L_LP / rho and A(p') <= L_LP / (1 - rho)
+        assert inst.critical_path(p_prime) <= sol.lower_bound / rho * TOL
+        assert inst.total_area(p_prime) <= sol.lower_bound / (1.0 - rho) * TOL
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lemma3_randomized(self, seed, rho, d):
+        inst = tiny_instance(seed=seed, d=d, capacity=6)
+        table = inst.candidate_table(full_grid)
+        p_prime, sol = dtct_allocate(inst, table, rho)
+        assert inst.critical_path(p_prime) <= sol.lower_bound / rho * TOL
+        assert inst.total_area(p_prime) <= sol.lower_bound / (1.0 - rho) * TOL
+        # per-job quantile guarantees
+        for j in inst.jobs:
+            t = inst.time(j, p_prime[j])
+            a = inst.avg_area(j, p_prime[j])
+            assert t <= sol.fractional_times[j] / rho * TOL
+            assert a <= sol.fractional_areas[j] / (1.0 - rho) * TOL
+
+    def test_rho_extremes_shift_choice(self):
+        """Small ρ favors cheap/slow candidates; large ρ favors fast ones."""
+        inst = tiny_instance(seed=5, edges=(), n=6)
+        table = inst.candidate_table(full_grid)
+        slow, _ = dtct_allocate(inst, table, rho=0.05)
+        fast, _ = dtct_allocate(inst, table, rho=0.95)
+        t_slow = sum(inst.time(j, slow[j]) for j in inst.jobs)
+        t_fast = sum(inst.time(j, fast[j]) for j in inst.jobs)
+        assert t_fast <= t_slow * TOL
+
+    def test_invalid_rho(self):
+        inst = tiny_instance(seed=1)
+        table = inst.candidate_table(full_grid)
+        sol = solve_dtct_lp(inst, table)
+        for rho in (0.0, 1.0, -0.1):
+            with pytest.raises(ValueError):
+                round_fractional(table, sol, rho)

@@ -1,0 +1,112 @@
+"""Tests for the experiment harness: report, figure/table builders, sweeps."""
+
+import pytest
+
+from repro.core import theory
+from repro.experiments.figure1 import figure1_table
+from repro.experiments.report import format_table, format_value
+from repro.experiments.sweeps import (
+    independent_comparison,
+    mu_rho_ablation,
+    priority_ablation,
+    theorem6_sweep,
+)
+from repro.experiments.table1 import empirical_check, table1_rows, table1_text
+from repro.experiments.workloads import WORKLOAD_FAMILIES, random_instance
+from repro.resources.pool import ResourcePool
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(3.14159, 3) == "3.142"
+        assert format_value(4.0) == "4"
+        assert format_value(True) == "yes"
+        assert format_value("x") == "x"
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(l) for l in lines[1:]}) == 1  # all rows aligned
+
+
+class TestFigure1:
+    def test_table_contents(self):
+        out = figure1_table(22, 26)
+        assert "Figure 1" in out
+        assert out.count("\n") == 2 + 5  # title + header + sep + 5 rows
+        # first data row is d=22
+        assert out.splitlines()[3].strip().startswith("22")
+
+
+class TestTable1:
+    def test_rows_cover_classes(self):
+        rows = table1_rows((3,))
+        classes = {r.precedence for r in rows}
+        assert classes == {"general", "sp/tree", "independent"}
+
+    def test_large_d_adds_theorem2_and_4(self):
+        rows = table1_rows((25,))
+        formulas = [r.formula for r in rows]
+        assert any("O(d^(1/3))" in f for f in formulas)
+        assert any("sqrt(d-1)" in f for f in formulas)
+
+    def test_text_renders(self):
+        out = table1_text((2, 4))
+        assert "Table 1" in out
+        assert "independent" in out
+
+    def test_empirical_check_within_bounds(self):
+        for row in empirical_check(2, n=10, seeds=(0,), capacity=8):
+            assert row["within_bound"], row
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("family", WORKLOAD_FAMILIES)
+    def test_all_families_build(self, family):
+        pool = ResourcePool.uniform(2, 8)
+        wl = random_instance(family, 12, pool, seed=0)
+        assert wl.instance.n >= 2
+        wl.instance.dag.validate()
+        if family in ("outtree", "intree", "sp"):
+            assert wl.sp_tree is not None
+            assert set(wl.sp_tree.leaves()) == set(wl.instance.jobs)
+        else:
+            assert wl.sp_tree is None
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            random_instance("nope", 5, ResourcePool.of(4), seed=0)
+
+    def test_deterministic(self):
+        pool = ResourcePool.uniform(2, 8)
+        a = random_instance("layered", 12, pool, seed=5)
+        b = random_instance("layered", 12, pool, seed=5)
+        alloc = {j: pool.capacities for j in a.instance.jobs}
+        assert a.instance.times({j: pool.capacities for j in a.instance.jobs}) == \
+            b.instance.times({j: pool.capacities for j in b.instance.jobs})
+
+
+class TestSweeps:
+    def test_theorem6_sweep_matches_theory(self):
+        rows = theorem6_sweep(d_values=(2, 3), m_values=(6,))
+        for r in rows:
+            assert r["measured_ratio"] == pytest.approx(r["closed_form_ratio"])
+            assert r["measured_ratio"] < r["theorem6_bound"]
+
+    def test_independent_comparison_shape(self):
+        rows = independent_comparison(d_values=(1,), n=8, seeds=(0,))
+        assert rows[0]["ours"] <= rows[0]["proven_ours"] + 1e-9
+        assert rows[0]["sun_list"] <= rows[0]["proven_sun_list"] + 1e-9
+
+    def test_mu_rho_ablation_shape(self):
+        rows = mu_rho_ablation(d=2, n=8, mus=(0.382,), rhos=(0.3, 0.6), seeds=(0,))
+        assert len(rows) == 2
+        assert all(r["mean_ratio"] >= 1.0 - 1e-9 for r in rows)
+
+    def test_priority_ablation_shape(self):
+        rows = priority_ablation(d=2, n=8, seeds=(0,), families=("layered",))
+        assert len(rows) == 1
+        for key in ("fifo", "lpt", "spt", "random", "bottom_level"):
+            assert rows[0][key] >= 1.0 - 1e-9

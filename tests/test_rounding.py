@@ -1,0 +1,73 @@
+"""Tests for the alternative DTCT roundings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import tiny_instance
+from repro.core.dtct import round_fractional, solve_dtct_lp
+from repro.core.rounding import (
+    best_quantile_rounding,
+    compare_roundings,
+    randomized_rounding,
+)
+from repro.jobs.candidates import full_grid
+
+
+def lp_setup(seed, d=2):
+    inst = tiny_instance(seed=seed, d=d, capacity=6)
+    table = inst.candidate_table(full_grid)
+    sol = solve_dtct_lp(inst, table)
+    return inst, table, sol
+
+
+class TestRandomizedRounding:
+    def test_deterministic_for_seed(self):
+        inst, table, sol = lp_setup(1)
+        a = randomized_rounding(inst, table, sol, trials=4, seed=9)
+        b = randomized_rounding(inst, table, sol, trials=4, seed=9)
+        assert a == b
+
+    def test_samples_are_candidates(self):
+        inst, table, sol = lp_setup(2)
+        alloc = randomized_rounding(inst, table, sol, trials=2, seed=0)
+        for j, a in alloc.items():
+            assert a in [e.alloc for e in table[j]]
+
+    def test_more_trials_not_worse(self):
+        inst, table, sol = lp_setup(3)
+        few = randomized_rounding(inst, table, sol, trials=1, seed=4)
+        many = randomized_rounding(inst, table, sol, trials=32, seed=4)
+        assert inst.lower_bound_functional(many) <= inst.lower_bound_functional(few) + 1e-12
+
+    def test_trials_validation(self):
+        inst, table, sol = lp_setup(0)
+        with pytest.raises(ValueError):
+            randomized_rounding(inst, table, sol, trials=0)
+
+
+class TestBestQuantile:
+    def test_not_worse_than_any_single_rho(self):
+        inst, table, sol = lp_setup(5)
+        rhos = (0.2, 0.4, 0.6)
+        alloc, chosen = best_quantile_rounding(inst, table, sol, rhos=rhos)
+        l_best = inst.lower_bound_functional(alloc)
+        for rho in rhos:
+            single = round_fractional(table, sol, rho)
+            assert l_best <= inst.lower_bound_functional(single) + 1e-12
+        assert chosen in rhos
+
+    def test_empty_rhos_rejected(self):
+        inst, table, sol = lp_setup(0)
+        with pytest.raises(ValueError):
+            best_quantile_rounding(inst, table, sol, rhos=())
+
+
+class TestCompare:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_all_roundings_above_lp_bound(self, seed):
+        inst = tiny_instance(seed=seed, d=2, capacity=6)
+        res = compare_roundings(inst, rho=0.4, trials=8, seed=seed)
+        for key in ("quantile", "randomized", "best_quantile"):
+            assert res[key] >= res["lp_bound"] / (1 + 1e-6)
+        assert res["best_quantile"] <= res["quantile"] + 1e-12

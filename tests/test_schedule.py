@@ -1,0 +1,169 @@
+"""Tests for the Schedule container, validation oracle and interval analysis."""
+
+import pytest
+
+from conftest import rigid_unit_job, tiny_instance
+from repro.core.list_scheduler import list_schedule
+from repro.dag.graph import DAG
+from repro.instance.instance import Instance
+from repro.jobs.candidates import full_grid
+from repro.jobs.job import Job
+from repro.resources.pool import ResourcePool
+from repro.resources.vector import ResourceVector
+from repro.sim.intervals import classify_intervals
+from repro.sim.schedule import Schedule, ScheduledJob
+
+
+def two_job_instance():
+    pool = ResourcePool.of(2, 2)
+    jobs = {
+        "a": Job(id="a", time_fn=lambda p: 2.0, candidates=(ResourceVector((1, 1)),)),
+        "b": Job(id="b", time_fn=lambda p: 3.0, candidates=(ResourceVector((2, 1)),)),
+    }
+    dag = DAG(nodes=["a", "b"], edges=[("a", "b")])
+    return Instance(jobs=jobs, dag=dag, pool=pool)
+
+
+class TestScheduleBasics:
+    def test_from_decisions_and_makespan(self):
+        inst = two_job_instance()
+        s = Schedule.from_decisions(
+            inst,
+            {"a": ResourceVector((1, 1)), "b": ResourceVector((2, 1))},
+            {"a": 0.0, "b": 2.0},
+        )
+        assert s.makespan == pytest.approx(5.0)
+        assert s.placements["b"].finish == pytest.approx(5.0)
+        s.validate()
+
+    def test_precedence_violation_detected(self):
+        inst = two_job_instance()
+        s = Schedule.from_decisions(
+            inst,
+            {"a": ResourceVector((1, 1)), "b": ResourceVector((2, 1))},
+            {"a": 0.0, "b": 1.0},  # b starts before a finishes
+        )
+        with pytest.raises(ValueError, match="precedence"):
+            s.validate()
+
+    def test_capacity_violation_detected(self):
+        pool = ResourcePool.of(2)
+        jobs = {
+            k: Job(id=k, time_fn=lambda p: 2.0, candidates=(ResourceVector((2,)),))
+            for k in ("x", "y")
+        }
+        inst = Instance(jobs=jobs, dag=DAG(nodes=["x", "y"]), pool=pool)
+        s = Schedule.from_decisions(
+            inst, {k: ResourceVector((2,)) for k in jobs}, {"x": 0.0, "y": 1.0}
+        )
+        with pytest.raises(ValueError, match="capacity"):
+            s.validate()
+
+    def test_back_to_back_reuse_allowed(self):
+        """A job may start exactly when another releases the resources."""
+        pool = ResourcePool.of(2)
+        jobs = {
+            k: Job(id=k, time_fn=lambda p: 1.0, candidates=(ResourceVector((2,)),))
+            for k in ("x", "y")
+        }
+        inst = Instance(jobs=jobs, dag=DAG(nodes=["x", "y"]), pool=pool)
+        s = Schedule.from_decisions(
+            inst, {k: ResourceVector((2,)) for k in jobs}, {"x": 0.0, "y": 1.0}
+        )
+        s.validate()
+
+    def test_negative_start_detected(self):
+        inst = two_job_instance()
+        s = Schedule.from_decisions(
+            inst,
+            {"a": ResourceVector((1, 1)), "b": ResourceVector((2, 1))},
+            {"a": -1.0, "b": 2.0},
+        )
+        with pytest.raises(ValueError, match="before time 0"):
+            s.validate()
+
+    def test_missing_job_detected(self):
+        inst = two_job_instance()
+        s = Schedule(instance=inst, placements={})
+        with pytest.raises(ValueError, match="exactly"):
+            s.validate()
+
+
+class TestIntervalsAndUtilization:
+    def test_intervals_partition_makespan(self):
+        inst = tiny_instance(seed=4, d=2, capacity=6)
+        table = inst.candidate_table(full_grid)
+        alloc = {j: es[len(es) // 2].alloc for j, es in table.items()}
+        s = list_schedule(inst, alloc)
+        total = sum(t1 - t0 for t0, t1, _ in s.intervals())
+        assert total == pytest.approx(s.makespan)
+
+    def test_interval_usage_matches_placements(self):
+        inst = two_job_instance()
+        s = Schedule.from_decisions(
+            inst,
+            {"a": ResourceVector((1, 1)), "b": ResourceVector((2, 1))},
+            {"a": 0.0, "b": 2.0},
+        )
+        ivals = list(s.intervals())
+        assert ivals[0][2] == (1, 1)
+        assert ivals[1][2] == (2, 1)
+
+    def test_utilization_bounds(self):
+        inst = tiny_instance(seed=8, d=2, capacity=5)
+        table = inst.candidate_table(full_grid)
+        alloc = {j: es[0].alloc for j, es in table.items()}
+        s = list_schedule(inst, alloc)
+        for u in s.utilization():
+            assert 0.0 < u <= 1.0 + 1e-9
+
+    def test_fraction_of_job_in(self):
+        inst = two_job_instance()
+        s = Schedule.from_decisions(
+            inst,
+            {"a": ResourceVector((1, 1)), "b": ResourceVector((2, 1))},
+            {"a": 0.0, "b": 2.0},
+        )
+        assert s.fraction_of_job_in("a", 0.0, 1.0) == pytest.approx(0.5)
+        assert s.fraction_of_job_in("a", 0.0, 5.0) == pytest.approx(1.0)
+        assert s.fraction_of_job_in("b", 0.0, 2.0) == pytest.approx(0.0)
+
+    def test_classification_partitions(self):
+        inst = tiny_instance(seed=15, d=2, capacity=8)
+        table = inst.candidate_table(full_grid)
+        alloc = {j: es[len(es) // 2].alloc for j, es in table.items()}
+        s = list_schedule(inst, alloc)
+        cls = classify_intervals(s, mu=0.382)
+        assert cls.total == pytest.approx(s.makespan)
+        assert cls.t1 >= 0 and cls.t2 >= 0 and cls.t3 >= 0
+
+    def test_classification_categories(self):
+        """Hand-crafted usages land in the right buckets (P=10, µ=0.382:
+        lo = ceil(3.82) = 4, hi = ceil(6.18) = 7)."""
+        pool = ResourcePool.of(10)
+        jobs = {}
+        starts = {}
+        allocs = {}
+        # t in [0,1): usage 3 -> I1; [1,2): usage 5 -> I2; [2,3): usage 8 -> I3
+        for k, (t0, units) in enumerate([(0.0, 3), (1.0, 5), (2.0, 8)]):
+            jid = f"j{k}"
+            jobs[jid] = Job(id=jid, time_fn=lambda p: 1.0,
+                            candidates=(ResourceVector((units,)),))
+            starts[jid] = t0
+            allocs[jid] = ResourceVector((units,))
+        inst = Instance(jobs=jobs, dag=DAG(nodes=list(jobs)), pool=pool)
+        s = Schedule.from_decisions(inst, allocs, starts)
+        cls = classify_intervals(s, mu=0.382)
+        assert cls.t1 == pytest.approx(1.0)
+        assert cls.t2 == pytest.approx(1.0)
+        assert cls.t3 == pytest.approx(1.0)
+
+    def test_classification_rejects_bad_mu(self):
+        inst = two_job_instance()
+        s = Schedule.from_decisions(
+            inst,
+            {"a": ResourceVector((1, 1)), "b": ResourceVector((2, 1))},
+            {"a": 0.0, "b": 2.0},
+        )
+        with pytest.raises(ValueError):
+            classify_intervals(s, mu=0.7)

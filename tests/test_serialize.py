@@ -1,0 +1,81 @@
+"""Tests for instance JSON serialization."""
+
+import json
+
+import pytest
+
+from conftest import tiny_instance
+from repro.core.two_phase import MoldableScheduler
+from repro.instance.serialize import instance_from_json, instance_to_json
+from repro.jobs.candidates import full_grid
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        inst = tiny_instance(seed=1, d=2, capacity=4)
+        text = instance_to_json(inst, full_grid)
+        back = instance_from_json(text)
+        assert back.n == inst.n
+        assert back.pool.capacities == inst.pool.capacities
+        assert back.dag.num_edges == inst.dag.num_edges
+
+    def test_times_preserved_on_grid(self):
+        inst = tiny_instance(seed=2, d=2, capacity=4)
+        back = instance_from_json(instance_to_json(inst, full_grid))
+        by_repr = {repr(j): j for j in inst.jobs}
+        for jid2, job2 in back.jobs.items():
+            j1 = by_repr[jid2]
+            for c in job2.candidates:
+                assert job2.time(c) == pytest.approx(inst.time(j1, c), rel=1e-12)
+
+    def test_schedulers_agree_on_roundtrip(self):
+        """Scheduling the original and the round-tripped instance with the
+        same parameters yields the same makespan (same profiles, same DAG)."""
+        inst = tiny_instance(seed=3, d=2, capacity=4)
+        back = instance_from_json(instance_to_json(inst, full_grid))
+        r1 = MoldableScheduler(allocator="lp", candidate_strategy=full_grid).schedule(inst)
+        r2 = MoldableScheduler(allocator="lp").schedule(back)  # candidates pinned
+        assert r2.makespan == pytest.approx(r1.makespan, rel=1e-9)
+        assert r2.lower_bound == pytest.approx(r1.lower_bound, rel=1e-6)
+
+    def test_pinned_flag_and_version(self):
+        inst = tiny_instance(seed=0, d=2, capacity=3)
+        data = json.loads(instance_to_json(inst, full_grid))
+        assert data["version"] == 1
+        assert all(not rec["pinned"] for rec in data["jobs"])
+
+    def test_bad_version(self):
+        inst = tiny_instance(seed=0, d=2, capacity=3)
+        data = json.loads(instance_to_json(inst, full_grid))
+        data["version"] = 9
+        with pytest.raises(ValueError, match="version"):
+            instance_from_json(data)
+
+    def test_unknown_edge_job(self):
+        inst = tiny_instance(seed=0, d=2, capacity=3)
+        data = json.loads(instance_to_json(inst, full_grid))
+        data["edges"].append(["'ghost'", data["jobs"][0]["id"]])
+        with pytest.raises(ValueError, match="unknown job"):
+            instance_from_json(data)
+
+
+class TestParallelRunner:
+    def test_map_parallel_serial_fallback(self):
+        from repro.experiments.parallel import map_parallel
+
+        assert map_parallel(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_map_parallel_pool(self):
+        from repro.experiments.parallel import map_parallel
+
+        out = map_parallel(_square, list(range(8)), workers=2)
+        assert out == [x * x for x in range(8)]
+
+    def test_default_workers_positive(self):
+        from repro.experiments.parallel import default_workers
+
+        assert default_workers() >= 1
+
+
+def _square(x):
+    return x * x

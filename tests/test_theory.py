@@ -1,0 +1,173 @@
+"""Tests for the approximation-ratio theory (Theorems 1-6, Figure 1)."""
+
+import math
+
+import pytest
+
+from repro.core import theory
+
+
+class TestConstants:
+    def test_phi_and_mu_a(self):
+        assert theory.PHI == pytest.approx((1 + math.sqrt(5)) / 2)
+        assert theory.MU_A == pytest.approx(1 - 1 / theory.PHI)
+        assert theory.MU_A == pytest.approx(0.381966, abs=1e-6)
+
+
+class TestTheorem1:
+    def test_ratio_formula(self):
+        for d in (1, 2, 3, 10):
+            expected = theory.PHI * d + 2 * math.sqrt(theory.PHI * d) + 1
+            assert theory.theorem1_ratio(d) == pytest.approx(expected)
+
+    def test_d1_improves_lepere(self):
+        """The paper: d=1 gives 5.164, improving on 5.236 [26]."""
+        assert theory.theorem1_ratio(1) == pytest.approx(5.1618, abs=1e-3)
+        assert theory.theorem1_ratio(1) < 5.236
+
+    def test_upper_form(self):
+        # phi d + 2 sqrt(phi d) + 1 <= 1.619 d + 2.545 sqrt(d) + 1
+        for d in range(1, 60):
+            assert theory.theorem1_ratio(d) <= 1.619 * d + 2.545 * math.sqrt(d) + 1 + 1e-9
+
+    def test_rho_star(self):
+        for d in (1, 4, 25):
+            assert theory.theorem1_rho(d) == pytest.approx(1 / (math.sqrt(theory.PHI * d) + 1))
+
+    def test_ratio_is_f_at_optimum(self):
+        for d in (1, 5, 12):
+            assert theory.f_bound(d, theory.theorem1_mu(), theory.theorem1_rho(d)) == pytest.approx(
+                theory.theorem1_ratio(d)
+            )
+
+    def test_rho_star_minimizes_f(self):
+        d = 6
+        mu = theory.theorem1_mu()
+        best = theory.f_bound(d, mu, theory.theorem1_rho(d))
+        for rho in (0.05, 0.2, 0.4, 0.6, 0.9):
+            assert best <= theory.f_bound(d, mu, rho) + 1e-9
+
+    def test_pmin(self):
+        assert theory.theorem1_pmin() == pytest.approx(6.854, abs=1e-3)
+
+    def test_invalid_d(self):
+        with pytest.raises(ValueError):
+            theory.theorem1_ratio(0)
+
+
+class TestTheorem2:
+    def test_h_poly_signs(self):
+        """h_d > 0 on (0, mu_A] for d <= 21; root in (0, 3/8] for d >= 22."""
+        for d in (1, 10, 21):
+            for mu in (0.01, 0.1, 0.2, 0.3, theory.MU_A):
+                assert theory.h_poly(d, mu) > 0
+        for d in (22, 30, 50):
+            assert theory.h_poly(d, 1e-9) > 0
+            assert theory.h_poly(d, theory.MU_B) < 0
+
+    def test_mu_star_small_d(self):
+        for d in (1, 15, 21):
+            assert theory.mu_star(d) == pytest.approx(theory.MU_A)
+
+    def test_mu_star_large_d_is_root(self):
+        for d in (22, 35, 50):
+            mu = theory.mu_star(d)
+            assert 0 < mu < theory.MU_B
+            assert theory.h_poly(d, mu) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mu_star_approx_cube_root(self):
+        """The paper's estimate µ* ≈ d^(-1/3) is close for large d."""
+        for d in (100, 500):
+            assert theory.mu_star(d) == pytest.approx(d ** (-1 / 3), rel=0.15)
+
+    def test_theorem2_beats_theorem1_for_large_d(self):
+        for d in range(22, 51):
+            assert theory.theorem2_ratio_actual(d) < theory.theorem1_ratio(d)
+
+    def test_estimate_close_to_actual(self):
+        """Figure 1's key visual: estimate tracks the actual curve closely."""
+        for d in range(22, 51):
+            actual = theory.theorem2_ratio_actual(d)
+            estimate = theory.theorem2_ratio_estimate(d)
+            assert estimate == pytest.approx(actual, rel=0.02)
+            assert estimate >= actual - 1e-9  # estimate uses a suboptimal µ
+
+    def test_asymptotic_form(self):
+        for d in (1000, 10000):
+            ratio = theory.theorem2_ratio_actual(d)
+            assert ratio == pytest.approx(d + 3 * d ** (2 / 3), rel=0.05)
+
+    def test_estimate_needs_d_at_least_8(self):
+        with pytest.raises(ValueError):
+            theory.theorem2_ratio_estimate(7)
+
+
+class TestSpecialGraphTheorems:
+    def test_theorem3(self):
+        assert theory.theorem3_ratio(3) == pytest.approx(theory.PHI * 3 + 1)
+        assert theory.theorem3_ratio(3, eps=0.5) == pytest.approx(1.5 * (theory.PHI * 3 + 1))
+        with pytest.raises(ValueError):
+            theory.theorem3_ratio(2, eps=-0.1)
+
+    def test_theorem4(self):
+        assert theory.theorem4_ratio(4) == pytest.approx(4 + 2 * math.sqrt(3))
+        assert theory.theorem4_mu(5) == pytest.approx(1 / 3)
+        with pytest.raises(ValueError):
+            theory.theorem4_ratio(3)
+
+    def test_theorem4_beats_theorem3_eventually(self):
+        assert theory.theorem4_ratio(10) < theory.theorem3_ratio(10)
+
+    def test_theorem5_piecewise(self):
+        assert theory.theorem5_ratio(1) == 2.0
+        assert theory.theorem5_ratio(2) == 4.0
+        assert theory.theorem5_ratio(3) == pytest.approx(theory.PHI * 3 + 1)
+        assert theory.theorem5_ratio(4) == pytest.approx(4 + 2 * math.sqrt(3))
+
+    def test_theorem5_improves_sun2018_for_d_ge_3(self):
+        for d in range(3, 30):
+            assert theory.theorem5_ratio(d) < 2 * d
+
+
+class TestTheorem6AndSelection:
+    def test_lower_bound(self):
+        assert theory.local_list_lower_bound(4) == 4.0
+
+    def test_best_parameters_general(self):
+        mu, rho, ratio = theory.best_parameters(3, "general")
+        assert mu == pytest.approx(theory.MU_A)
+        assert ratio == pytest.approx(theory.theorem1_ratio(3))
+        mu, rho, ratio = theory.best_parameters(40, "general")
+        assert mu < theory.MU_A
+        assert ratio == pytest.approx(theory.theorem2_ratio_actual(40))
+
+    def test_best_parameters_sp_and_independent(self):
+        _, _, r_sp = theory.best_parameters(6, "sp", eps=0.0)
+        assert r_sp == pytest.approx(min(theory.theorem3_ratio(6), theory.theorem4_ratio(6)))
+        _, _, r_ind = theory.best_parameters(6, "independent")
+        assert r_ind == pytest.approx(theory.theorem5_ratio(6))
+        with pytest.raises(ValueError):
+            theory.best_parameters(3, "bogus")
+
+    def test_figure1_rows(self):
+        rows = theory.figure1_rows(22, 30)
+        assert [r["d"] for r in rows] == list(range(22, 31))
+        for r in rows:
+            assert r["theorem2_actual"] <= r["theorem1"]
+            assert r["theorem2_estimate"] >= r["theorem2_actual"] - 1e-9
+
+
+class TestBounds:
+    def test_f_and_g_agree_at_mu_a(self):
+        """At µ = µ_A the two regimes' coefficients coincide:
+        (1-2µ)/(µ(1-µ)) = 1 when (1-µ)² = µ."""
+        d, rho = 5, 0.3
+        assert theory.f_bound(d, theory.MU_A, rho) == pytest.approx(
+            theory.g_bound(d, theory.MU_A, rho)
+        )
+
+    def test_domain_checks(self):
+        with pytest.raises(ValueError):
+            theory.f_bound(2, 0.6, 0.5)
+        with pytest.raises(ValueError):
+            theory.g_bound(2, 0.3, 1.5)

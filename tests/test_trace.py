@@ -1,0 +1,68 @@
+"""Tests for schedule trace (de)serialization."""
+
+import json
+
+import pytest
+
+from conftest import tiny_instance
+from repro.core.list_scheduler import list_schedule
+from repro.jobs.candidates import full_grid
+from repro.sim.trace import schedule_from_trace, schedule_to_trace, trace_to_json
+
+
+def make_schedule(seed=0):
+    inst = tiny_instance(seed=seed, d=2, capacity=6)
+    table = inst.candidate_table(full_grid)
+    alloc = {j: es[len(es) // 2].alloc for j, es in table.items()}
+    return inst, list_schedule(inst, alloc)
+
+
+class TestTrace:
+    def test_roundtrip(self):
+        inst, sched = make_schedule()
+        trace = schedule_to_trace(sched)
+        rebuilt = schedule_from_trace(inst, trace)
+        rebuilt.validate()
+        assert rebuilt.makespan == pytest.approx(sched.makespan)
+        for j in inst.jobs:
+            assert rebuilt.placements[j].start == sched.placements[j].start
+            assert rebuilt.placements[j].alloc == sched.placements[j].alloc
+
+    def test_json_string_roundtrip(self):
+        inst, sched = make_schedule(1)
+        s = trace_to_json(sched)
+        data = json.loads(s)
+        assert data["version"] == 1
+        rebuilt = schedule_from_trace(inst, s)
+        assert rebuilt.makespan == pytest.approx(sched.makespan)
+
+    def test_trace_contents(self):
+        inst, sched = make_schedule(2)
+        trace = schedule_to_trace(sched)
+        assert trace["platform"]["capacities"] == list(inst.pool.capacities)
+        assert len(trace["jobs"]) == inst.n
+        assert len(trace["edges"]) == inst.dag.num_edges
+        # jobs sorted by start time
+        starts = [r["start"] for r in trace["jobs"]]
+        assert starts == sorted(starts)
+
+    def test_version_check(self):
+        inst, sched = make_schedule()
+        trace = schedule_to_trace(sched)
+        trace["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            schedule_from_trace(inst, trace)
+
+    def test_unknown_job_rejected(self):
+        inst, sched = make_schedule()
+        trace = schedule_to_trace(sched)
+        trace["jobs"][0]["id"] = "'bogus'"
+        with pytest.raises(ValueError):
+            schedule_from_trace(inst, trace)
+
+    def test_incomplete_trace_rejected(self):
+        inst, sched = make_schedule()
+        trace = schedule_to_trace(sched)
+        trace["jobs"] = trace["jobs"][:-1]
+        with pytest.raises(ValueError, match="cover"):
+            schedule_from_trace(inst, trace)
