@@ -31,6 +31,8 @@ from repro.jobs import (
 )
 from repro.jobs.candidates import full_grid, geometric_grid, diagonal_grid, make_candidates
 from repro.instance import Instance, make_instance
+from repro.instance.instance import with_poisson_arrivals, with_release_times
+from repro.registry import available_schedulers, get_scheduler, register_scheduler
 from repro.core import (
     MoldableScheduler,
     ScheduleResult,
@@ -68,6 +70,11 @@ __all__ = [
     "make_candidates",
     "Instance",
     "make_instance",
+    "with_release_times",
+    "with_poisson_arrivals",
+    "get_scheduler",
+    "register_scheduler",
+    "available_schedulers",
     "MoldableScheduler",
     "ScheduleResult",
     "allocate_resources",

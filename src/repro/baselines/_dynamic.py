@@ -1,16 +1,18 @@
-"""Shared event-driven engine for *dynamic-allocation* baseline heuristics.
+"""Dispatch-time-allocation substrate for the dynamic baseline heuristics.
 
 Unlike Algorithm 2 (fixed allocations from Phase 1), Tetris- and HEFT-style
 heuristics choose each job's allocation at dispatch time based on the
-resources currently available.  The engine owns readiness tracking, the
-event heap and resource accounting; a policy callback decides what to start.
+resources currently available.  The event loop itself — readiness tracking,
+the event heap, resource accounting, release gating — lives in
+:mod:`repro.engine`; this module adapts its policy driver to the baseline
+result shape.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Callable, Hashable, Sequence
 
+from repro.engine.dispatch import drive_policy_schedule
 from repro.instance.instance import Instance
 from repro.resources.vector import ResourceVector
 from repro.sim.schedule import Schedule, ScheduledJob
@@ -28,61 +30,19 @@ DispatchPolicy = Callable[
 
 
 def run_dynamic(instance: Instance, policy: DispatchPolicy) -> Schedule:
-    """Run the event loop with ``policy`` deciding dispatches.
+    """Run the shared kernel with ``policy`` deciding dispatches.
 
     The policy must only return jobs from the ready list with allocations
-    that fit the available vector (validated here); returning ``[]`` yields
-    until the next completion event.
+    that fit the available vector (validated by the engine); returning
+    ``[]`` yields until the next event.
     """
-    dag = instance.dag
-    remaining = {j: dag.in_degree(j) for j in instance.jobs}
-    ready: list[JobId] = list(dag.sources())
-    avail = list(instance.pool.capacities)
-    d = instance.d
-    running: list[tuple[float, int, JobId]] = []
-    seq = 0
-    now = 0.0
     placements: dict[JobId, ScheduledJob] = {}
 
-    while ready or running:
-        while True:
-            starts = policy(instance, list(ready), tuple(avail))
-            if not starts:
-                break
-            for j, alloc in starts:
-                if j not in ready:
-                    raise RuntimeError(f"policy started non-ready job {j!r}")
-                instance.pool.validate_allocation(alloc)
-                if any(alloc[r] > avail[r] for r in range(d)):
-                    raise RuntimeError(
-                        f"policy overcommitted: {tuple(alloc)} vs available {tuple(avail)}"
-                    )
-                t = instance.time(j, alloc)
-                for r in range(d):
-                    avail[r] -= alloc[r]
-                placements[j] = ScheduledJob(job_id=j, start=now, time=t, alloc=alloc)
-                heapq.heappush(running, (now + t, seq, j))
-                seq += 1
-                ready.remove(j)
+    def on_start(j: JobId, start: float, duration: float, alloc) -> None:
+        placements[j] = ScheduledJob(job_id=j, start=start, time=duration, alloc=alloc)
 
-        if not running:
-            if ready:
-                raise RuntimeError("policy stalled with ready jobs and an idle platform")
-            break
+    drive_policy_schedule(instance, policy, on_start)
 
-        now, _, j = heapq.heappop(running)
-        done = [j]
-        while running and running[0][0] <= now + 1e-12:
-            done.append(heapq.heappop(running)[2])
-        for c in done:
-            a = placements[c].alloc
-            for r in range(d):
-                avail[r] += a[r]
-            for s in dag.successors(c):
-                remaining[s] -= 1
-                if remaining[s] == 0:
-                    ready.append(s)
-
-    if len(placements) != len(instance.jobs):  # pragma: no cover - invariant
-        raise RuntimeError("dynamic engine failed to place every job")
+    if len(placements) != len(instance.jobs):
+        raise RuntimeError("policy stalled with ready jobs and an idle platform")
     return Schedule(instance=instance, placements=placements)

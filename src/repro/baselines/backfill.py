@@ -7,7 +7,8 @@ only at its own reserved slot computation — under *conservative*
 backfilling every queued job gets a reservation, so no job is ever delayed
 past it.  We adapt it to moldable multi-resource jobs by fixing each job's
 allocation to its frontier knee (as production sites fix user requests) and
-reserving on the d-type availability profile.
+reserving on the engine's :class:`~repro.engine.profile.ReservationProfile`
+(the d-type availability profile).
 
 Because every job starts exactly at its reservation, the schedule equals
 the reservation plan; planning happens in bottom-level priority order with
@@ -20,8 +21,10 @@ from typing import Hashable
 
 from repro.baselines.naive import BaselineResult
 from repro.dag.paths import bottom_levels
+from repro.engine.profile import ReservationProfile
 from repro.instance.instance import Instance
 from repro.jobs.candidates import CandidateStrategy
+from repro.registry import register_scheduler
 from repro.sim.schedule import Schedule, ScheduledJob
 
 __all__ = ["backfill_scheduler"]
@@ -29,11 +32,17 @@ __all__ = ["backfill_scheduler"]
 JobId = Hashable
 
 
+@register_scheduler("backfill", kind="baseline", graphs="any")
 def backfill_scheduler(
     instance: Instance,
     strategy: CandidateStrategy | None = None,
 ) -> BaselineResult:
     """Conservative backfilling with knee allocations and bottom-level order."""
+    if instance.has_releases:
+        raise ValueError(
+            "backfill is an offline planner: it reserves every job up front and "
+            "cannot honor release times (use an event-driven scheduler instead)"
+        )
     table = instance.candidate_table(strategy)
     allocation = {
         j: min(es, key=lambda e: e.time * e.area).alloc for j, es in table.items()
@@ -46,30 +55,9 @@ def backfill_scheduler(
         key=lambda j: (-rank[j],),
     )
     # topological feasibility: process jobs so predecessors are reserved first
+    profile = ReservationProfile(instance.pool.capacities)
     reserved: dict[JobId, ScheduledJob] = {}
     pending = list(order)
-    caps = instance.pool.capacities
-    d = instance.d
-
-    def earliest_fit(est: float, alloc, duration: float) -> float:
-        """Earliest t >= est where alloc fits for duration among reservations."""
-        points = sorted({est} | {r.finish for r in reserved.values() if r.finish > est})
-        for t in points:
-            end = t + duration
-            ok = True
-            probes = [t] + [r.start for r in reserved.values() if t < r.start < end - 1e-12]
-            for probe in probes:
-                usage = [0] * d
-                for r in reserved.values():
-                    if r.start <= probe + 1e-12 and probe < r.finish - 1e-12:
-                        for i in range(d):
-                            usage[i] += r.alloc[i]
-                if any(usage[i] + alloc[i] > caps[i] for i in range(d)):
-                    ok = False
-                    break
-            if ok:
-                return t
-        return max((r.finish for r in reserved.values()), default=est)
 
     while pending:
         progressed = False
@@ -78,7 +66,8 @@ def backfill_scheduler(
             if any(p not in reserved for p in preds):
                 continue
             est = max((reserved[p].finish for p in preds), default=0.0)
-            start = earliest_fit(est, allocation[j], times[j])
+            start = profile.earliest_fit(est, allocation[j], times[j])
+            profile.reserve(start, times[j], allocation[j])
             reserved[j] = ScheduledJob(job_id=j, start=start, time=times[j],
                                        alloc=allocation[j])
             pending.remove(j)

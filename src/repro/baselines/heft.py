@@ -22,19 +22,16 @@ from repro.baselines.naive import BaselineResult
 from repro.dag.paths import bottom_levels
 from repro.instance.instance import Instance
 from repro.jobs.candidates import CandidateStrategy
+from repro.registry import register_scheduler
 from repro.resources.vector import ResourceVector
 
-__all__ = ["heft_moldable_scheduler"]
+__all__ = ["heft_moldable_scheduler", "make_heft_policy"]
 
 JobId = Hashable
 
 
-def heft_moldable_scheduler(
-    instance: Instance,
-    strategy: CandidateStrategy | None = None,
-) -> BaselineResult:
-    """Schedule with the moldable HEFT heuristic; returns the result."""
-    table = instance.candidate_table(strategy)
+def make_heft_policy(instance: Instance, table) -> callable:
+    """The rank-ordered earliest-finish dispatch policy over ``table``."""
     d = instance.d
     # rank with each job's balanced (knee) time — a standard HEFT-style
     # estimate that does not depend on the dispatch-time molding decision
@@ -57,5 +54,15 @@ def heft_moldable_scheduler(
                 return [(j, best[2])]
         return []
 
-    schedule = run_dynamic(instance, policy)
+    return policy
+
+
+@register_scheduler("heft", kind="baseline", graphs="any")
+def heft_moldable_scheduler(
+    instance: Instance,
+    strategy: CandidateStrategy | None = None,
+) -> BaselineResult:
+    """Schedule with the moldable HEFT heuristic; returns the result."""
+    table = instance.candidate_table(strategy)
+    schedule = run_dynamic(instance, make_heft_policy(instance, table))
     return BaselineResult(name="heft_moldable", schedule=schedule, allocation=schedule.allocation)

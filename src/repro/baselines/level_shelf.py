@@ -3,9 +3,9 @@
 A classic simple baseline for DAG scheduling: decompose the graph into
 precedence levels (every job's predecessors sit in strictly earlier
 levels), then schedule each level as an independent-jobs instance using
-shelf packing, executing levels back-to-back.  The inter-level barriers
-cost parallelism — exactly the loss list scheduling avoids — which makes
-this a sharp foil for Phase 2 in the comparisons.
+the engine's shared shelf packer, executing levels back-to-back.  The
+inter-level barriers cost parallelism — exactly the loss list scheduling
+avoids — which makes this a sharp foil for Phase 2 in the comparisons.
 """
 
 from __future__ import annotations
@@ -14,8 +14,10 @@ from typing import Hashable
 
 from repro.baselines.naive import BaselineResult
 from repro.dag.analysis import node_levels
+from repro.engine.shelves import pack_shelves, stack_shelves
 from repro.instance.instance import Instance
 from repro.jobs.candidates import CandidateStrategy
+from repro.registry import register_scheduler
 from repro.sim.schedule import Schedule, ScheduledJob
 
 __all__ = ["level_shelf_scheduler"]
@@ -23,11 +25,16 @@ __all__ = ["level_shelf_scheduler"]
 JobId = Hashable
 
 
+@register_scheduler("level_shelf", kind="baseline", graphs="any")
 def level_shelf_scheduler(
     instance: Instance,
     strategy: CandidateStrategy | None = None,
 ) -> BaselineResult:
     """Shelf-pack each precedence level; run levels sequentially."""
+    if instance.has_releases:
+        raise ValueError(
+            "level-shelf is an offline planner and cannot honor release times"
+        )
     table = instance.candidate_table(strategy)
     allocation = {
         j: min(es, key=lambda e: e.time * e.area).alloc for j, es in table.items()
@@ -38,31 +45,13 @@ def level_shelf_scheduler(
     for j, l in levels.items():
         by_level.setdefault(l, []).append(j)
 
-    caps = instance.pool.capacities
-    d = instance.d
     placements: dict[JobId, ScheduledJob] = {}
     t0 = 0.0
     for level in sorted(by_level):
         jobs = sorted(by_level[level], key=lambda j: -times[j])
-        shelves: list[dict] = []
-        for j in jobs:
-            a = allocation[j]
-            placed = False
-            for shelf in shelves:
-                if all(shelf["used"][r] + a[r] <= caps[r] for r in range(d)):
-                    shelf["jobs"].append(j)
-                    for r in range(d):
-                        shelf["used"][r] += a[r]
-                    placed = True
-                    break
-            if not placed:
-                shelves.append({"jobs": [j], "used": list(a), "height": times[j]})
-        for shelf in shelves:
-            for j in shelf["jobs"]:
-                placements[j] = ScheduledJob(
-                    job_id=j, start=t0, time=times[j], alloc=allocation[j]
-                )
-            t0 += shelf["height"]
+        shelves = pack_shelves(jobs, allocation, times, instance.pool.capacities)
+        placed, t0 = stack_shelves(shelves, allocation, times, t0=t0)
+        placements.update(placed)
 
     schedule = Schedule(instance=instance, placements=placements)
     return BaselineResult(name="level_shelf", schedule=schedule, allocation=allocation)

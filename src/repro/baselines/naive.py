@@ -20,6 +20,7 @@ from typing import Callable, Hashable
 from repro.core.list_scheduler import PriorityRule, fifo_priority, list_schedule
 from repro.instance.instance import Instance
 from repro.jobs.candidates import CandidateStrategy
+from repro.registry import register_scheduler
 from repro.resources.vector import ResourceVector
 from repro.sim.schedule import Schedule
 
@@ -61,12 +62,16 @@ def _fixed_allocation_scheduler(
 
 
 #: Cheapest candidate per job (last on the frontier: max time, min area).
-min_area_scheduler = _fixed_allocation_scheduler("min_area", lambda entries: entries[-1])
+min_area_scheduler = register_scheduler(
+    "min_area", kind="baseline", description="cheapest-candidate allocation + list scheduling"
+)(_fixed_allocation_scheduler("min_area", lambda entries: entries[-1]))
 
 #: Fastest candidate per job (first on the frontier: min time, max area).
-min_time_scheduler = _fixed_allocation_scheduler("min_time", lambda entries: entries[0])
+min_time_scheduler = register_scheduler(
+    "min_time", kind="baseline", description="fastest-candidate allocation + list scheduling"
+)(_fixed_allocation_scheduler("min_time", lambda entries: entries[0]))
 
 #: Knee of the frontier: minimize the time-area product.
-balanced_scheduler = _fixed_allocation_scheduler(
-    "balanced", lambda entries: min(entries, key=lambda e: e.time * e.area)
-)
+balanced_scheduler = register_scheduler(
+    "balanced", kind="baseline", description="knee-candidate allocation + list scheduling"
+)(_fixed_allocation_scheduler("balanced", lambda entries: min(entries, key=lambda e: e.time * e.area)))

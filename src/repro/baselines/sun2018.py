@@ -7,9 +7,9 @@ Two algorithms, both starting from the Lemma 8 optimal allocation
 * :func:`sun_list_scheduler` — plain greedy list scheduling of the allocated
   jobs, proven 2d-approximation in [36];
 * :func:`sun_shelf_scheduler` — pack/shelf scheduling: sort jobs by
-  non-increasing execution time, greedily close a shelf when the next job
-  does not fit in any open position of the current shelf, run shelves
-  back-to-back; proven (2d+1)-approximation in [36].
+  non-increasing execution time, pack first-fit with the engine's shared
+  shelf packer, run shelves back-to-back; proven (2d+1)-approximation
+  in [36].
 
 These are the head-to-head baselines for Theorem 5's improvement.
 """
@@ -21,15 +21,18 @@ from typing import Hashable
 from repro.baselines.naive import BaselineResult
 from repro.core.independent import optimal_independent_allocation
 from repro.core.list_scheduler import PriorityRule, fifo_priority, list_schedule
+from repro.engine.shelves import pack_shelves, stack_shelves
 from repro.instance.instance import Instance
 from repro.jobs.candidates import CandidateStrategy
-from repro.sim.schedule import Schedule, ScheduledJob
+from repro.registry import register_scheduler
+from repro.sim.schedule import Schedule
 
 __all__ = ["sun_list_scheduler", "sun_shelf_scheduler"]
 
 JobId = Hashable
 
 
+@register_scheduler("sun_list", kind="baseline", graphs="independent")
 def sun_list_scheduler(
     instance: Instance,
     strategy: CandidateStrategy | None = None,
@@ -43,6 +46,7 @@ def sun_list_scheduler(
     return BaselineResult(name="sun2018_list", schedule=schedule, allocation=ind.allocation)
 
 
+@register_scheduler("sun_shelf", kind="baseline", graphs="independent")
 def sun_shelf_scheduler(
     instance: Instance,
     strategy: CandidateStrategy | None = None,
@@ -55,32 +59,16 @@ def sun_shelf_scheduler(
     """
     if not instance.dag.is_independent():
         raise ValueError("Sun et al. [36] algorithms apply to independent jobs")
+    if instance.has_releases:
+        raise ValueError(
+            "shelf (pack) scheduling is an offline planner and cannot honor release times"
+        )
     ind = optimal_independent_allocation(instance, strategy)
     allocation = ind.allocation
     times = {j: instance.time(j, allocation[j]) for j in instance.jobs}
     order = sorted(instance.jobs, key=lambda j: -times[j])
 
-    caps = instance.pool.capacities
-    d = instance.d
-    shelves: list[dict] = []  # each: {"jobs": [...], "used": [..], "height": h}
-    for j in order:
-        a = allocation[j]
-        placed = False
-        for shelf in shelves:
-            if all(shelf["used"][r] + a[r] <= caps[r] for r in range(d)):
-                shelf["jobs"].append(j)
-                for r in range(d):
-                    shelf["used"][r] += a[r]
-                placed = True
-                break
-        if not placed:
-            shelves.append({"jobs": [j], "used": list(a), "height": times[j]})
-
-    placements: dict[JobId, ScheduledJob] = {}
-    t0 = 0.0
-    for shelf in shelves:
-        for j in shelf["jobs"]:
-            placements[j] = ScheduledJob(job_id=j, start=t0, time=times[j], alloc=allocation[j])
-        t0 += shelf["height"]
+    shelves = pack_shelves(order, allocation, times, instance.pool.capacities)
+    placements, _ = stack_shelves(shelves, allocation, times)
     schedule = Schedule(instance=instance, placements=placements)
     return BaselineResult(name="sun2018_shelf", schedule=schedule, allocation=allocation)

@@ -17,19 +17,16 @@ from repro.baselines._dynamic import run_dynamic
 from repro.baselines.naive import BaselineResult
 from repro.instance.instance import Instance
 from repro.jobs.candidates import CandidateStrategy
+from repro.registry import register_scheduler
 from repro.resources.vector import ResourceVector
 
-__all__ = ["tetris_scheduler"]
+__all__ = ["tetris_scheduler", "make_tetris_policy"]
 
 JobId = Hashable
 
 
-def tetris_scheduler(
-    instance: Instance,
-    strategy: CandidateStrategy | None = None,
-) -> BaselineResult:
-    """Schedule with the Tetris alignment heuristic; returns the result."""
-    table = instance.candidate_table(strategy)
+def make_tetris_policy(instance: Instance, table) -> callable:
+    """The alignment-scoring dispatch policy over ``table``'s candidates."""
     caps = instance.pool.capacities
     d = instance.d
 
@@ -50,5 +47,15 @@ def tetris_scheduler(
             return []
         return [(best[1], best[2])]
 
-    schedule = run_dynamic(instance, policy)
+    return policy
+
+
+@register_scheduler("tetris", kind="baseline", graphs="any")
+def tetris_scheduler(
+    instance: Instance,
+    strategy: CandidateStrategy | None = None,
+) -> BaselineResult:
+    """Schedule with the Tetris alignment heuristic; returns the result."""
+    table = instance.candidate_table(strategy)
+    schedule = run_dynamic(instance, make_tetris_policy(instance, table))
     return BaselineResult(name="tetris", schedule=schedule, allocation=schedule.allocation)

@@ -7,10 +7,13 @@ Usage (after ``pip install -e .``)::
     python -m repro table1
     python -m repro sim-a --families layered cholesky --d 1 2 3
     python -m repro sim-b
+    python -m repro schedulers
     python -m repro schedule --family cholesky --n 40 --d 3 --gantt
-    python -m repro schedule --family independent --algorithm sun_shelf
+    python -m repro schedule --family independent --scheduler sun_shelf
+    python -m repro schedule --scheduler tetris --arrival-rate 2.0
 
-Every command prints the same tables the benchmark harness asserts on.
+Every scheduler name comes from :mod:`repro.registry`; every command
+prints the same tables the benchmark harness asserts on.
 """
 
 from __future__ import annotations
@@ -19,18 +22,6 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.baselines import (
-    backfill_scheduler,
-    balanced_scheduler,
-    heft_moldable_scheduler,
-    level_shelf_scheduler,
-    min_area_scheduler,
-    min_time_scheduler,
-    sun_list_scheduler,
-    sun_shelf_scheduler,
-    tetris_scheduler,
-)
-from repro.core.two_phase import MoldableScheduler
 from repro.experiments.figure1 import figure1_table
 from repro.experiments.report import format_table
 from repro.experiments.sweeps import (
@@ -42,23 +33,14 @@ from repro.experiments.sweeps import (
 )
 from repro.experiments.table1 import table1_text
 from repro.experiments.workloads import WORKLOAD_FAMILIES, random_instance
+from repro.instance.instance import with_poisson_arrivals
+from repro.registry import available_schedulers, get_scheduler, scheduler_specs
 from repro.resources.pool import ResourcePool
 from repro.sim.gantt import ascii_gantt
+from repro.sim.schedule import Schedule
 from repro.sim.trace import trace_to_json
 
 __all__ = ["main", "build_parser"]
-
-_BASELINES = {
-    "min_area": min_area_scheduler,
-    "min_time": min_time_scheduler,
-    "balanced": balanced_scheduler,
-    "tetris": tetris_scheduler,
-    "heft": heft_moldable_scheduler,
-    "backfill": backfill_scheduler,
-    "level_shelf": level_shelf_scheduler,
-    "sun_list": sun_list_scheduler,
-    "sun_shelf": sun_shelf_scheduler,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,38 +76,70 @@ def build_parser() -> argparse.ArgumentParser:
     ab.add_argument("--d", type=int, default=3)
     ab.add_argument("--n", type=int, default=24)
 
+    sub.add_parser("schedulers", help="list the registered schedulers")
+
     sc = sub.add_parser("schedule", help="schedule one workload and report")
     sc.add_argument("--family", default="layered", choices=list(WORKLOAD_FAMILIES))
     sc.add_argument("--n", type=int, default=24)
     sc.add_argument("--d", type=int, default=2)
     sc.add_argument("--capacity", type=int, default=16)
     sc.add_argument("--seed", type=int, default=0)
-    sc.add_argument("--algorithm", default="ours", choices=["ours", *list(_BASELINES)])
+    sc.add_argument("--scheduler", "--algorithm", dest="scheduler", default="ours",
+                    metavar="NAME",
+                    help="a registered scheduler name (see `repro schedulers`)")
+    sc.add_argument("--arrival-rate", type=float, default=None, metavar="RATE",
+                    help="online scenario: jobs arrive as a Poisson process "
+                         "with this rate (event-driven schedulers only)")
     sc.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     sc.add_argument("--trace", metavar="FILE", help="write a JSON trace")
 
     return p
 
 
+def _cmd_schedulers() -> int:
+    rows = [
+        (s.name, s.kind, s.graphs, s.description)
+        for s in scheduler_specs()
+    ]
+    print(format_table(["name", "kind", "graphs", "description"], rows,
+                       title="Registered schedulers"))
+    return 0
+
+
 def _cmd_schedule(args) -> int:
     pool = ResourcePool.uniform(args.d, args.capacity)
     wl = random_instance(args.family, args.n, pool, seed=args.seed)
     inst = wl.instance
-    if args.algorithm == "ours":
-        result = MoldableScheduler().schedule(inst, sp_tree=wl.sp_tree)
-        schedule = result.schedule
+    try:
+        spec = get_scheduler(args.scheduler)
+    except KeyError:
+        print(f"unknown scheduler {args.scheduler!r}; "
+              f"registered: {', '.join(available_schedulers())}", file=sys.stderr)
+        return 2
+    opts = {"sp_tree": wl.sp_tree} if args.scheduler == "ours" else {}
+    try:
+        if args.arrival_rate is not None:
+            inst = with_poisson_arrivals(inst, args.arrival_rate, seed=args.seed)
+        result = spec.schedule(inst, **opts)
+    except ValueError as exc:  # e.g. offline planner given release times
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if hasattr(result, "lower_bound"):
         print(
             f"family={args.family} n={inst.n} d={inst.d} allocator={result.allocator}\n"
             f"makespan={result.makespan:.4f} lower_bound={result.lower_bound:.4f} "
             f"ratio={result.ratio():.4f} proven<={result.proven_ratio:.4f}"
         )
     else:
-        fn = _BASELINES[args.algorithm]
-        res = fn(inst)
-        schedule = res.schedule
-        print(f"family={args.family} n={inst.n} d={inst.d} algorithm={res.name}\n"
-              f"makespan={res.makespan:.4f}")
+        print(f"family={args.family} n={inst.n} d={inst.d} algorithm={result.name}\n"
+              f"makespan={result.makespan:.4f}")
+    schedule = result.schedule
     schedule.validate()
+    if not isinstance(schedule, Schedule):
+        if args.gantt or args.trace:
+            print(f"({args.scheduler} produces no moldable timeline; "
+                  "--gantt/--trace skipped)")
+        return 0
     if args.gantt:
         print()
         print(ascii_gantt(schedule, width=78))
@@ -170,6 +184,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(format_table(list(rows[0]), [list(r.values()) for r in rows],
                            title=f"Ablation: {args.kind}"))
         return 0
+    if args.command == "schedulers":
+        return _cmd_schedulers()
     if args.command == "schedule":
         return _cmd_schedule(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

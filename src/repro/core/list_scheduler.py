@@ -17,13 +17,12 @@ of the precedence graph, e.g. bottom level) is the crux of Theorem 6.  The
 
 from __future__ import annotations
 
-import heapq
-from bisect import insort
 from typing import Callable, Hashable, Mapping
 
 import numpy as np
 
 from repro.dag.paths import bottom_levels
+from repro.engine.dispatch import drive_priority_schedule
 from repro.instance.instance import Instance
 from repro.resources.vector import ResourceVector
 from repro.sim.schedule import Schedule, ScheduledJob
@@ -102,64 +101,24 @@ def list_schedule(
 
     ``allocation`` must cover every job and fit within the pool's capacities
     (guaranteed by Phase 1; validated here).  Deterministic for a fixed
-    priority rule.
+    priority rule.  The event loop — virtual time, completion batching,
+    vectorized resource accounting, release gating for online arrivals —
+    lives in :mod:`repro.engine`; this function contributes only the
+    priority keys and collects the placements.
     """
     instance.validate_allocation_map(allocation)
     times = {j: instance.time(j, allocation[j]) for j in instance.jobs}
     keys = priority(instance, allocation, times)
 
-    dag = instance.dag
-    remaining_preds = {j: dag.in_degree(j) for j in instance.jobs}
-    # ready queue kept sorted by (priority key, stable tiebreak)
-    tie = {j: i for i, j in enumerate(dag.topological_order())}
-    ready: list[tuple[object, int, JobId]] = []
-    for j in dag.sources():
-        insort(ready, (keys[j], tie[j], j))
-
-    avail = list(instance.pool.capacities)
-    d = instance.d
-    running: list[tuple[float, int, JobId]] = []  # (finish, seq, job)
-    seq = 0
     placements: dict[JobId, ScheduledJob] = {}
-    now = 0.0
 
-    while ready or running:
-        # --- scheduling pass: scan the whole queue in priority order -----
-        still_waiting: list[tuple[object, int, JobId]] = []
-        for entry in ready:
-            j = entry[2]
-            a = allocation[j]
-            if all(a[r] <= avail[r] for r in range(d)):
-                for r in range(d):
-                    avail[r] -= a[r]
-                placements[j] = ScheduledJob(job_id=j, start=now, time=times[j], alloc=a)
-                heapq.heappush(running, (now + times[j], seq, j))
-                seq += 1
-            else:
-                still_waiting.append(entry)
-        ready = still_waiting
+    def on_start(j: JobId, start: float, duration: float) -> None:
+        placements[j] = ScheduledJob(job_id=j, start=start, time=duration, alloc=allocation[j])
 
-        if not running:
-            if ready:  # pragma: no cover - prevented by allocation validation
-                raise RuntimeError("deadlock: ready jobs cannot fit an empty platform")
-            break
-
-        # --- advance to the next completion (pop ties together) ----------
-        now, _, j = heapq.heappop(running)
-        completed = [j]
-        while running and running[0][0] <= now + 1e-12:
-            completed.append(heapq.heappop(running)[2])
-        for c in completed:
-            a = allocation[c]
-            for r in range(d):
-                avail[r] += a[r]
-            for s in dag.successors(c):
-                remaining_preds[s] -= 1
-                if remaining_preds[s] == 0:
-                    insort(ready, (keys[s], tie[s], s))
+    drive_priority_schedule(instance, allocation, keys, times, on_start)
 
     if len(placements) != len(instance.jobs):  # pragma: no cover - invariant
-        raise RuntimeError("list scheduling failed to place every job")
+        raise RuntimeError("deadlock: ready jobs cannot fit an empty platform")
     return Schedule(instance=instance, placements=placements)
 
 
@@ -172,7 +131,13 @@ def portfolio_list_schedule(
 
     Every candidate inherits the approximation guarantee (the proofs hold
     for *any* queue order), so the portfolio can only improve the constant.
-    Returns ``(schedule, winning_rule_name)``; ties favor the first rule.
+    Returns ``(schedule, winning_rule_name)``.
+
+    Tie-breaking contract: **the first rule (in ``rules`` iteration order)
+    wins ties** — a later rule replaces the incumbent only when its makespan
+    is strictly better by more than the 1e-12 tolerance.  Downstream
+    experiments key on the winner's name, so this is load-bearing and
+    guarded by a regression test (``tests/test_list_scheduler.py``).
     """
     if rules is None:
         rules = {
@@ -186,6 +151,7 @@ def portfolio_list_schedule(
     best: tuple[float, Schedule, str] | None = None
     for name, rule in rules.items():
         sched = list_schedule(instance, allocation, rule)
+        # strict improvement required: earlier rules keep ties
         if best is None or sched.makespan < best[0] - 1e-12:
             best = (sched.makespan, sched, name)
     assert best is not None

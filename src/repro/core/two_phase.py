@@ -27,10 +27,11 @@ from repro.core.sp_fptas import sp_fptas_allocation
 from repro.dag.sp import SPNode
 from repro.instance.instance import Instance
 from repro.jobs.candidates import CandidateStrategy
+from repro.registry import register_scheduler
 from repro.resources.vector import ResourceVector
 from repro.sim.schedule import Schedule
 
-__all__ = ["ScheduleResult", "MoldableScheduler"]
+__all__ = ["ScheduleResult", "MoldableScheduler", "moldable_schedule"]
 
 JobId = Hashable
 
@@ -160,3 +161,17 @@ class MoldableScheduler:
         if sp is not None:
             return "sp"
         return "lp"
+
+
+@register_scheduler(
+    "ours",
+    kind="core",
+    description="the paper's two-phase algorithm with theorem-optimal parameters",
+)
+def moldable_schedule(instance: Instance, *, sp_tree: SPNode | None = None, **opts) -> ScheduleResult:
+    """Registry entry point: construct a :class:`MoldableScheduler` from
+    ``opts`` (``mu``, ``rho``, ``allocator``, ``priority``, ``epsilon``, …)
+    and run both phases on ``instance``."""
+    return MoldableScheduler(**opts).schedule(instance, sp_tree=sp_tree)
+
+

@@ -1,0 +1,36 @@
+"""The shared event-driven simulation engine.
+
+* :mod:`repro.engine.kernel` — the discrete-event core: virtual time, one
+  event heap (completions, releases, failures) and numpy-vector resource
+  accounting;
+* :mod:`repro.engine.dispatch` — the two queue disciplines built on it:
+  Algorithm 2's priority scan and dispatch-time allocation policies;
+* :mod:`repro.engine.shelves` — first-fit shelf packing (pack scheduling);
+* :mod:`repro.engine.profile` — future-availability reservations
+  (conservative backfilling);
+* :mod:`repro.engine.reference` — the frozen pre-kernel loops, kept only
+  for differential tests and benchmarks.
+
+Every scheduler in :mod:`repro.core`, :mod:`repro.baselines`,
+:mod:`repro.malleable` and :mod:`repro.sim.faults` runs on this engine; the
+named-scheduler registry in :mod:`repro.registry` is the front door.
+"""
+
+from repro.engine.dispatch import drive_policy_schedule, drive_priority_schedule
+from repro.engine.kernel import COMPLETE, FAILURE, RELEASE, TIME_EPS, EventKernel
+from repro.engine.profile import ReservationProfile
+from repro.engine.shelves import Shelf, pack_shelves, stack_shelves
+
+__all__ = [
+    "COMPLETE",
+    "FAILURE",
+    "RELEASE",
+    "TIME_EPS",
+    "EventKernel",
+    "ReservationProfile",
+    "Shelf",
+    "drive_policy_schedule",
+    "drive_priority_schedule",
+    "pack_shelves",
+    "stack_shelves",
+]

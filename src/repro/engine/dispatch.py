@@ -1,0 +1,223 @@
+"""Scheduling drivers on top of :class:`~repro.engine.kernel.EventKernel`.
+
+Two queue disciplines cover every event-driven scheduler in the repository:
+
+* :func:`drive_priority_schedule` — Algorithm 2's discipline: allocations
+  fixed up front, a ready queue kept in priority order, and every pass
+  starting *every* queued job that fits (the ``for each job j ∈ Q`` loop).
+  Used by the core list scheduler and the fault simulator.
+* :func:`drive_policy_schedule` — dispatch-time allocation: a policy
+  callback inspects the ready set and the availability vector and picks
+  ``(job, allocation)`` pairs to start.  Used by the Tetris and HEFT
+  baselines.
+
+Both gate readiness on job release times (online arrivals) via kernel
+release events, and both preserve the historical tie-breaking exactly:
+simultaneous completions are processed as one batch, and newly ready jobs
+enter the queue by ``(priority key, topological index)``.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from operator import le as _le
+from typing import Callable, Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.engine.kernel import RELEASE, EventKernel
+
+__all__ = ["drive_priority_schedule", "drive_policy_schedule"]
+
+JobId = Hashable
+
+#: Ready-queue length beyond which a whole-queue vectorized feasibility
+#: prefilter is cheaper than scanning jobs one by one.
+_VECTOR_SCAN_MIN = 32
+
+
+def drive_priority_schedule(
+    instance,
+    allocation: Mapping[JobId, Sequence[int]],
+    keys: Mapping[JobId, object],
+    durations: Mapping[JobId, float],
+    on_start: Callable[[JobId, float, float], None],
+    *,
+    on_complete: Callable[[JobId, float], float | None] | None = None,
+) -> EventKernel:
+    """Run Algorithm 2's queue discipline on the kernel.
+
+    The ready queue is kept sorted by ``(key, topological tie-break)``; every
+    scheduling pass scans the whole queue in that order and starts every job
+    whose allocation fits.  Resource accounting is batched into whole-vector
+    kernel operations — one acquire per pass, one release per event batch —
+    and long queues are pruned with a single vectorized feasibility
+    comparison before the scan (exact: availability only shrinks within a
+    pass, so a job failing the prefilter cannot start until the next event).
+
+    ``on_start(job, start, duration)`` records each dispatch.  When given,
+    ``on_complete(job, now) -> float | None`` intercepts completions: a
+    float re-runs the job immediately for that duration *without* releasing
+    its resources (failure re-execution); ``None`` completes it normally.
+    Returns the kernel (its clock holds the final virtual time).
+    """
+    dag = instance.dag
+    order = dag.topological_order()
+    index = {j: i for i, j in enumerate(order)}
+    d = instance.d
+    rng_d = range(d)
+    alloc_mat = np.zeros((len(order), d), dtype=np.int64)
+    for j, i in index.items():
+        alloc_mat[i] = tuple(allocation[j])
+    alloc_tup = [tuple(allocation[j]) for j in order]
+
+    remaining = {j: dag.in_degree(j) for j in order}
+    kernel = EventKernel(instance.pool.capacities)
+    for j, r in instance.release_times().items():
+        if r > 0.0:
+            remaining[j] += 1  # the release acts as one extra virtual predecessor
+            kernel.schedule_release(r, j)
+
+    ready: list[tuple[object, int, JobId]] = []
+    for j in dag.sources():
+        if remaining[j] == 0:
+            insort(ready, (keys[j], index[j], j))
+
+    # resources freed by the current event batch, flushed as one vector op
+    freed = [0] * d
+    have_freed = False
+
+    def dispatch(k: EventKernel) -> None:
+        nonlocal have_freed
+        if have_freed:
+            k.release(freed)
+            for r in rng_d:
+                freed[r] = 0
+            have_freed = False
+        if not ready:
+            return
+        m = len(ready)
+        fit = None
+        if m > _VECTOR_SCAN_MIN:
+            idxs = np.fromiter((e[1] for e in ready), dtype=np.int64, count=m)
+            fit = (alloc_mat[idxs] <= k.available).all(axis=1).tolist()
+            if True not in fit:
+                return
+        av = k.available.tolist()
+        acq: list[int] | None = None
+        keep: list[tuple[object, int, JobId]] = []
+        for pos in range(m):
+            entry = ready[pos]
+            if fit is None or fit[pos]:
+                a = alloc_tup[entry[1]]
+                if all(map(_le, a, av)):
+                    j = entry[2]
+                    dur = durations[j]
+                    k.hold(entry[1], dur)
+                    if acq is None:
+                        acq = list(a)
+                    else:
+                        for r in rng_d:
+                            acq[r] += a[r]
+                    for r in rng_d:
+                        av[r] -= a[r]
+                    on_start(j, k.now, dur)
+                    continue
+            keep.append(entry)
+        if acq is not None:
+            k.acquire(acq)
+            ready[:] = keep
+
+    def handle(k: EventKernel, kind: str, payload) -> None:
+        nonlocal have_freed
+        if kind == RELEASE:
+            j = payload
+            remaining[j] -= 1
+            if remaining[j] == 0:
+                insort(ready, (keys[j], index[j], j))
+            return
+        i = payload
+        j = order[i]
+        if on_complete is not None:
+            retry = on_complete(j, k.now)
+            if retry is not None:
+                k.hold(i, retry)
+                return
+        a = alloc_tup[i]
+        for r in rng_d:
+            freed[r] += a[r]
+        have_freed = True
+        for s in dag.successors(j):
+            remaining[s] -= 1
+            if remaining[s] == 0:
+                insort(ready, (keys[s], index[s], s))
+
+    kernel.run(dispatch, handle)
+    return kernel
+
+
+#: Policy: (instance, ready job ids, available amounts) -> jobs to start now,
+#: each with its chosen allocation.  Called repeatedly until it returns [].
+DispatchPolicy = Callable[[object, Sequence[JobId], Sequence[int]], list[tuple[JobId, object]]]
+
+
+def drive_policy_schedule(
+    instance,
+    policy: DispatchPolicy,
+    on_start: Callable[[JobId, float, float, object], None],
+) -> EventKernel:
+    """Run the dispatch-time-allocation discipline on the kernel.
+
+    ``policy(instance, ready, available)`` must only return jobs from the
+    ready list with allocations that fit the available vector (validated
+    here); returning ``[]`` yields until the next event.  ``on_start(job,
+    start, duration, alloc)`` records each dispatch.
+    """
+    dag = instance.dag
+    remaining = {j: dag.in_degree(j) for j in instance.jobs}
+    kernel = EventKernel(instance.pool.capacities)
+    for j, r in instance.release_times().items():
+        if r > 0.0:
+            remaining[j] += 1
+            kernel.schedule_release(r, j)
+
+    ready: list[JobId] = [j for j in dag.sources() if remaining[j] == 0]
+    held: dict[JobId, np.ndarray] = {}
+    d = instance.d
+
+    def dispatch(k: EventKernel) -> None:
+        while True:
+            starts = policy(instance, list(ready), tuple(int(a) for a in k.available))
+            if not starts:
+                return
+            for j, alloc in starts:
+                if j not in ready:
+                    raise RuntimeError(f"policy started non-ready job {j!r}")
+                instance.pool.validate_allocation(alloc)
+                row = np.asarray(tuple(alloc), dtype=np.int64)
+                if not (row <= k.available).all():
+                    raise RuntimeError(
+                        f"policy overcommitted: {tuple(alloc)} vs available "
+                        f"{tuple(int(a) for a in k.available)}"
+                    )
+                t = instance.time(j, alloc)
+                k.start(j, row, t)
+                held[j] = row
+                on_start(j, k.now, t, alloc)
+                ready.remove(j)
+
+    def handle(k: EventKernel, kind: str, payload) -> None:
+        if kind == RELEASE:
+            remaining[payload] -= 1
+            if remaining[payload] == 0:
+                ready.append(payload)
+            return
+        j = payload
+        k.release(held.pop(j))
+        for s in dag.successors(j):
+            remaining[s] -= 1
+            if remaining[s] == 0:
+                ready.append(s)
+
+    kernel.run(dispatch, handle)
+    return kernel

@@ -1,0 +1,75 @@
+"""Future-availability profile for reservation-based planning.
+
+Conservative backfilling does not react to events — it *plans*: every job
+gets a reservation at the earliest interval where its allocation fits the
+d-type availability profile induced by all earlier reservations, and then
+starts exactly there.  :class:`ReservationProfile` owns that profile (the
+planning-time counterpart of the kernel's instantaneous availability
+vector), with numpy-vector usage accounting over the reserved intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ReservationProfile"]
+
+#: Tolerance for open/closed interval boundaries, matching the event loops.
+_EPS = 1e-12
+
+
+class ReservationProfile:
+    """A set of reservations ``(start, finish, allocation)`` on a d-type pool."""
+
+    def __init__(self, capacities: Sequence[int]) -> None:
+        self._caps = np.asarray(tuple(capacities), dtype=np.int64)
+        self._starts: list[float] = []
+        self._finishes: list[float] = []
+        self._allocs: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def usage_at(self, t: float) -> np.ndarray:
+        """Total reserved amount per type at instant ``t`` (half-open
+        intervals: a reservation occupies ``[start, finish)``)."""
+        if not self._starts:
+            return np.zeros_like(self._caps)
+        starts = np.asarray(self._starts)
+        finishes = np.asarray(self._finishes)
+        active = (starts <= t + _EPS) & (t < finishes - _EPS)
+        if not active.any():
+            return np.zeros_like(self._caps)
+        return np.asarray(self._allocs)[active].sum(axis=0)
+
+    def fits_throughout(self, start: float, duration: float, demand: Sequence[int]) -> bool:
+        """True when ``demand`` fits from ``start`` for ``duration`` given the
+        existing reservations (checked at every usage change point)."""
+        a = np.asarray(tuple(demand), dtype=np.int64)
+        end = start + duration
+        probes = [start] + [s for s in self._starts if start < s < end - _EPS]
+        for probe in probes:
+            if ((self.usage_at(probe) + a) > self._caps).any():
+                return False
+        return True
+
+    def earliest_fit(self, est: float, demand: Sequence[int], duration: float) -> float:
+        """Earliest ``t >= est`` where ``demand`` fits for ``duration``.
+
+        Candidate starts are ``est`` and every reservation finish after it —
+        availability only increases at finish times, so the scan is exact.
+        """
+        points = sorted({est} | {f for f in self._finishes if f > est})
+        for t in points:
+            if self.fits_throughout(t, duration, demand):
+                return t
+        return max(self._finishes, default=est)  # pragma: no cover - last point always fits
+
+    def reserve(self, start: float, duration: float, demand: Sequence[int]) -> None:
+        """Record a reservation (no feasibility re-check — callers use
+        :meth:`earliest_fit` first)."""
+        self._starts.append(start)
+        self._finishes.append(start + duration)
+        self._allocs.append(np.asarray(tuple(demand), dtype=np.int64))

@@ -1,0 +1,368 @@
+"""Frozen pre-kernel scheduling loops, kept for differential testing.
+
+Before the :mod:`repro.engine` refactor, the event loop was re-implemented
+(with subtle drift in tie-breaking and resource accounting) in the core list
+scheduler, the dynamic-baseline engine, the shelf packers, the backfill
+planner, the malleable scheduler and the fault simulator.  This module
+preserves those original loops *verbatim in behavior* so that
+
+* the equivalence tests (``tests/test_engine_equivalence.py``) can assert the
+  kernel ports produce identical schedules, and
+* ``benchmarks/bench_engine.py`` can measure the kernel against the loop it
+  replaced.
+
+Nothing in the package imports this module at runtime; do not use it for
+scheduling — it exists only as an executable specification of the old
+behavior.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import Hashable, Mapping
+
+from repro.instance.instance import Instance
+from repro.sim.schedule import Schedule, ScheduledJob
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "reference_list_schedule",
+    "reference_run_dynamic",
+    "reference_pack_shelf_placements",
+    "reference_backfill_plan",
+    "reference_malleable_task_starts",
+    "reference_execute_with_faults",
+]
+
+JobId = Hashable
+
+
+def reference_list_schedule(instance, allocation, priority) -> Schedule:
+    """The pre-kernel Algorithm 2 loop (python per-type accounting, insort
+    ready queue, full-queue scans)."""
+    instance.validate_allocation_map(allocation)
+    times = {j: instance.time(j, allocation[j]) for j in instance.jobs}
+    keys = priority(instance, allocation, times)
+
+    dag = instance.dag
+    remaining_preds = {j: dag.in_degree(j) for j in instance.jobs}
+    tie = {j: i for i, j in enumerate(dag.topological_order())}
+    ready: list[tuple[object, int, JobId]] = []
+    for j in dag.sources():
+        insort(ready, (keys[j], tie[j], j))
+
+    avail = list(instance.pool.capacities)
+    d = instance.d
+    running: list[tuple[float, int, JobId]] = []
+    seq = 0
+    placements: dict[JobId, ScheduledJob] = {}
+    now = 0.0
+
+    while ready or running:
+        still_waiting: list[tuple[object, int, JobId]] = []
+        for entry in ready:
+            j = entry[2]
+            a = allocation[j]
+            if all(a[r] <= avail[r] for r in range(d)):
+                for r in range(d):
+                    avail[r] -= a[r]
+                placements[j] = ScheduledJob(job_id=j, start=now, time=times[j], alloc=a)
+                heapq.heappush(running, (now + times[j], seq, j))
+                seq += 1
+            else:
+                still_waiting.append(entry)
+        ready = still_waiting
+
+        if not running:
+            if ready:
+                raise RuntimeError("deadlock: ready jobs cannot fit an empty platform")
+            break
+
+        now, _, j = heapq.heappop(running)
+        completed = [j]
+        while running and running[0][0] <= now + 1e-12:
+            completed.append(heapq.heappop(running)[2])
+        for c in completed:
+            a = allocation[c]
+            for r in range(d):
+                avail[r] += a[r]
+            for s in dag.successors(c):
+                remaining_preds[s] -= 1
+                if remaining_preds[s] == 0:
+                    insort(ready, (keys[s], tie[s], s))
+
+    if len(placements) != len(instance.jobs):
+        raise RuntimeError("list scheduling failed to place every job")
+    return Schedule(instance=instance, placements=placements)
+
+
+def reference_run_dynamic(instance, policy) -> Schedule:
+    """The pre-kernel dynamic-allocation loop (Tetris/HEFT substrate)."""
+    dag = instance.dag
+    remaining = {j: dag.in_degree(j) for j in instance.jobs}
+    ready: list[JobId] = list(dag.sources())
+    avail = list(instance.pool.capacities)
+    d = instance.d
+    running: list[tuple[float, int, JobId]] = []
+    seq = 0
+    now = 0.0
+    placements: dict[JobId, ScheduledJob] = {}
+
+    while ready or running:
+        while True:
+            starts = policy(instance, list(ready), tuple(avail))
+            if not starts:
+                break
+            for j, alloc in starts:
+                if j not in ready:
+                    raise RuntimeError(f"policy started non-ready job {j!r}")
+                instance.pool.validate_allocation(alloc)
+                if any(alloc[r] > avail[r] for r in range(d)):
+                    raise RuntimeError(
+                        f"policy overcommitted: {tuple(alloc)} vs available {tuple(avail)}"
+                    )
+                t = instance.time(j, alloc)
+                for r in range(d):
+                    avail[r] -= alloc[r]
+                placements[j] = ScheduledJob(job_id=j, start=now, time=t, alloc=alloc)
+                heapq.heappush(running, (now + t, seq, j))
+                seq += 1
+                ready.remove(j)
+
+        if not running:
+            if ready:
+                raise RuntimeError("policy stalled with ready jobs and an idle platform")
+            break
+
+        now, _, j = heapq.heappop(running)
+        done = [j]
+        while running and running[0][0] <= now + 1e-12:
+            done.append(heapq.heappop(running)[2])
+        for c in done:
+            a = placements[c].alloc
+            for r in range(d):
+                avail[r] += a[r]
+            for s in dag.successors(c):
+                remaining[s] -= 1
+                if remaining[s] == 0:
+                    ready.append(s)
+
+    if len(placements) != len(instance.jobs):
+        raise RuntimeError("dynamic engine failed to place every job")
+    return Schedule(instance=instance, placements=placements)
+
+
+def reference_pack_shelf_placements(
+    jobs, allocation, times, capacities, *, t0: float = 0.0
+) -> tuple[dict[JobId, ScheduledJob], float]:
+    """The pre-kernel first-fit shelf loop shared (by copy) between the
+    level-shelf baseline and Sun et al.'s pack scheduler."""
+    caps = capacities
+    d = len(caps)
+    shelves: list[dict] = []
+    for j in jobs:
+        a = allocation[j]
+        placed = False
+        for shelf in shelves:
+            if all(shelf["used"][r] + a[r] <= caps[r] for r in range(d)):
+                shelf["jobs"].append(j)
+                for r in range(d):
+                    shelf["used"][r] += a[r]
+                placed = True
+                break
+        if not placed:
+            shelves.append({"jobs": [j], "used": list(a), "height": times[j]})
+    placements: dict[JobId, ScheduledJob] = {}
+    for shelf in shelves:
+        for j in shelf["jobs"]:
+            placements[j] = ScheduledJob(job_id=j, start=t0, time=times[j], alloc=allocation[j])
+        t0 += shelf["height"]
+    return placements, t0
+
+
+def reference_backfill_plan(instance, allocation, times, order) -> dict[JobId, ScheduledJob]:
+    """The pre-kernel conservative-backfilling reservation loop."""
+    reserved: dict[JobId, ScheduledJob] = {}
+    pending = list(order)
+    caps = instance.pool.capacities
+    d = instance.d
+
+    def earliest_fit(est: float, alloc, duration: float) -> float:
+        points = sorted({est} | {r.finish for r in reserved.values() if r.finish > est})
+        for t in points:
+            end = t + duration
+            ok = True
+            probes = [t] + [r.start for r in reserved.values() if t < r.start < end - 1e-12]
+            for probe in probes:
+                usage = [0] * d
+                for r in reserved.values():
+                    if r.start <= probe + 1e-12 and probe < r.finish - 1e-12:
+                        for i in range(d):
+                            usage[i] += r.alloc[i]
+                if any(usage[i] + alloc[i] > caps[i] for i in range(d)):
+                    ok = False
+                    break
+            if ok:
+                return t
+        return max((r.finish for r in reserved.values()), default=est)
+
+    while pending:
+        progressed = False
+        for j in list(pending):
+            preds = instance.dag.predecessors(j)
+            if any(p not in reserved for p in preds):
+                continue
+            est = max((reserved[p].finish for p in preds), default=0.0)
+            start = earliest_fit(est, allocation[j], times[j])
+            reserved[j] = ScheduledJob(job_id=j, start=start, time=times[j], alloc=allocation[j])
+            pending.remove(j)
+            progressed = True
+        if not progressed:
+            raise RuntimeError("backfill planning stalled")
+    return reserved
+
+
+def reference_malleable_task_starts(instance) -> dict:
+    """The pre-kernel unit-time-stepped malleable loop."""
+    inst = instance
+    outer_remaining = {j: inst.dag.in_degree(j) for j in inst.jobs}
+    job_tasks_left = {j: inst.jobs[j].n_tasks for j in inst.jobs}
+    open_jobs = [j for j in inst.dag.topological_order() if outer_remaining[j] == 0]
+
+    intra_remaining = {
+        j: {t: inst.jobs[j].tasks.in_degree(t) for t in inst.jobs[j].tasks.nodes()}
+        for j in inst.jobs
+    }
+    ready = [
+        (j, t)
+        for j in open_jobs
+        for t, k in intra_remaining[j].items()
+        if k == 0
+    ]
+    task_start: dict = {}
+    step = 0
+    total = sum(job_tasks_left.values())
+
+    while len(task_start) < total:
+        if not ready:
+            raise RuntimeError("malleable scheduler stalled")
+        avail = list(inst.pool.capacities)
+        started = []
+        leftover = []
+        for j, t in ready:
+            r = inst.jobs[j].rtype[t]
+            if avail[r] > 0:
+                avail[r] -= 1
+                task_start[(j, t)] = step
+                started.append((j, t))
+            else:
+                leftover.append((j, t))
+        ready = leftover
+        newly_open = []
+        for j, t in started:
+            job_tasks_left[j] -= 1
+            for s in inst.jobs[j].tasks.successors(t):
+                intra_remaining[j][s] -= 1
+                if intra_remaining[j][s] == 0:
+                    ready.append((j, s))
+            if job_tasks_left[j] == 0:
+                for nxt in inst.dag.successors(j):
+                    outer_remaining[nxt] -= 1
+                    if outer_remaining[nxt] == 0:
+                        newly_open.append(nxt)
+        for j in newly_open:
+            for t, k in intra_remaining[j].items():
+                if k == 0:
+                    ready.append((j, t))
+        step += 1
+
+    return task_start
+
+
+def reference_execute_with_faults(
+    instance: Instance,
+    allocation: Mapping[JobId, object],
+    *,
+    priority,
+    straggler_fraction: float = 0.0,
+    straggler_factor: float = 1.0,
+    failure_prob: float = 0.0,
+    max_retries: int = 3,
+    seed=0,
+):
+    """The pre-kernel fault-injection replay loop.
+
+    Returns ``(attempts, completion)`` where ``attempts`` is a list of
+    ``(job_id, start, duration, alloc, failed)`` tuples in dispatch order.
+    """
+    instance.validate_allocation_map(allocation)
+    rng = ensure_rng(seed)
+
+    base_times = {j: instance.time(j, allocation[j]) for j in instance.jobs}
+    order = instance.dag.topological_order()
+    is_straggler = {j: bool(rng.random() < straggler_fraction) for j in order}
+    times = {
+        j: base_times[j] * (straggler_factor if is_straggler[j] else 1.0) for j in order
+    }
+    keys = priority(instance, allocation, base_times)
+    tie = {j: i for i, j in enumerate(order)}
+
+    dag = instance.dag
+    remaining = {j: dag.in_degree(j) for j in instance.jobs}
+    ready = sorted(dag.sources(), key=lambda j: (keys[j], tie[j]))
+    avail = list(instance.pool.capacities)
+    d = instance.d
+    running: list[tuple[float, int, JobId]] = []
+    seq = 0
+    now = 0.0
+    retries_used = {j: 0 for j in instance.jobs}
+    attempts: list[tuple] = []
+    completion: dict[JobId, float] = {}
+
+    while ready or running:
+        still: list[JobId] = []
+        for j in ready:
+            a = allocation[j]
+            if all(a[r] <= avail[r] for r in range(d)):
+                for r in range(d):
+                    avail[r] -= a[r]
+                heapq.heappush(running, (now + times[j], seq, j))
+                seq += 1
+                attempts.append((j, now, times[j], a, False))
+            else:
+                still.append(j)
+        ready = still
+
+        if not running:
+            break
+        now, _, j = heapq.heappop(running)
+        done = [j]
+        while running and running[0][0] <= now + 1e-12:
+            done.append(heapq.heappop(running)[2])
+        for c in done:
+            a = allocation[c]
+            failed = retries_used[c] < max_retries and float(rng.random()) < failure_prob
+            if failed:
+                retries_used[c] += 1
+                for idx in range(len(attempts) - 1, -1, -1):
+                    at = attempts[idx]
+                    if at[0] == c and not at[4] and c not in completion:
+                        attempts[idx] = (at[0], at[1], at[2], at[3], True)
+                        break
+                heapq.heappush(running, (now + times[c], seq, c))
+                seq += 1
+                attempts.append((c, now, times[c], a, False))
+                continue
+            completion[c] = now
+            for r in range(d):
+                avail[r] += a[r]
+            for s in dag.successors(c):
+                remaining[s] -= 1
+                if remaining[s] == 0:
+                    ready.append(s)
+                    ready.sort(key=lambda x: (keys[x], tie[x]))
+
+    if len(completion) != len(instance.jobs):
+        raise RuntimeError("fault simulation failed to complete every job")
+    return attempts, completion

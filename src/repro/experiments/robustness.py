@@ -14,7 +14,6 @@ from __future__ import annotations
 from statistics import mean
 from typing import Hashable, Sequence
 
-from repro.core.allocation import allocate_resources
 from repro.core import theory
 from repro.core.list_scheduler import list_schedule
 from repro.core.lower_bounds import lp_lower_bound
@@ -22,6 +21,7 @@ from repro.experiments.workloads import random_instance
 from repro.instance.instance import Instance
 from repro.jobs.builders import perturbed_time_fn
 from repro.jobs.job import Job
+from repro.registry import get_scheduler
 from repro.resources.pool import ResourcePool
 
 __all__ = ["perturbed_instance", "robustness_sweep"]
@@ -54,17 +54,36 @@ def robustness_sweep(
     capacity: int = 16,
     seeds: Sequence[int] = (0, 1, 2),
     family: str = "layered",
+    scheduler: str = "ours",
 ) -> list[dict]:
     """Degradation of the measured ratio under estimation noise.
 
-    For each noise level: allocate on the perturbed instance, execute on the
-    true one, report mean/max ratio vs. the true LP bound.
+    For each noise level: run the registered ``scheduler`` on the perturbed
+    instance to *choose allocations*, then execute that allocation on the
+    true instance (dispatch order chosen on estimates, execution uses true
+    times) and report mean/max ratio vs. the true LP bound.  Any registered
+    moldable scheduler whose result exposes an allocation works — the
+    default is the paper's algorithm with theorem parameters.
     """
     pool = ResourcePool.uniform(d, capacity)
     mu, rho, proven = theory.best_parameters(d, "general")
+    spec = get_scheduler(scheduler)
     rows: list[dict] = []
     workloads = [random_instance(family, n, pool, seed=s) for s in seeds]
     lbs = [lp_lower_bound(w.instance) for w in workloads]
+
+    def choose_allocation(est_inst):
+        if scheduler == "ours":
+            # Phase 1 only — the estimate-side Phase-2 schedule would be
+            # discarded anyway
+            from repro.core.allocation import allocate_resources
+
+            return allocate_resources(est_inst, rho, mu).allocation
+        res = spec.schedule(est_inst)
+        if res.allocation is None:
+            raise ValueError(f"scheduler {scheduler!r} exposes no allocation to replay")
+        return res.allocation
+
     for noise in noise_levels:
         ratios = []
         for s, (wl, lb) in enumerate(zip(workloads, lbs)):
@@ -72,13 +91,14 @@ def robustness_sweep(
             est_inst = (
                 true_inst if noise == 0.0 else perturbed_instance(true_inst, noise, seed=s)
             )
-            phase1 = allocate_resources(est_inst, rho, mu)
+            allocation = choose_allocation(est_inst)
             # dispatch order chosen on estimates, execution uses true times
-            sched = list_schedule(true_inst, phase1.allocation)
+            sched = list_schedule(true_inst, allocation)
             sched.validate()
             ratios.append(sched.makespan / lb)
         rows.append(
             {
+                "scheduler": scheduler,
                 "rel_noise": noise,
                 "mean_ratio": mean(ratios),
                 "max_ratio": max(ratios),

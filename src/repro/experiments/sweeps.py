@@ -10,17 +10,6 @@ from __future__ import annotations
 from statistics import mean
 from typing import Sequence
 
-from repro.baselines import (
-    backfill_scheduler,
-    balanced_scheduler,
-    heft_moldable_scheduler,
-    level_shelf_scheduler,
-    min_area_scheduler,
-    min_time_scheduler,
-    sun_list_scheduler,
-    sun_shelf_scheduler,
-    tetris_scheduler,
-)
 from repro.core import theory
 from repro.core.list_scheduler import (
     bottom_level_priority,
@@ -31,7 +20,6 @@ from repro.core.list_scheduler import (
     spt_priority,
 )
 from repro.core.lower_bounds import lp_lower_bound
-from repro.core.two_phase import MoldableScheduler
 from repro.experiments.lb_instance import (
     adversarial_priority,
     informed_priority,
@@ -39,6 +27,7 @@ from repro.experiments.lb_instance import (
     theoretical_makespans,
 )
 from repro.experiments.workloads import random_instance
+from repro.registry import available_schedulers, get_scheduler
 from repro.resources.pool import ResourcePool
 
 __all__ = [
@@ -49,17 +38,6 @@ __all__ = [
     "theorem6_sweep",
 ]
 
-#: Baselines compared in Sim-A (name -> callable).
-_BASELINES = {
-    "min_area": min_area_scheduler,
-    "min_time": min_time_scheduler,
-    "balanced": balanced_scheduler,
-    "tetris": tetris_scheduler,
-    "heft": heft_moldable_scheduler,
-    "backfill": backfill_scheduler,
-    "level_shelf": level_shelf_scheduler,
-}
-
 
 def algorithm_comparison(
     families: Sequence[str] = ("layered", "cholesky", "forkjoin", "outtree"),
@@ -68,26 +46,33 @@ def algorithm_comparison(
     n: int = 30,
     capacity: int = 16,
     seeds: Sequence[int] = (0, 1, 2),
+    schedulers: Sequence[str] | None = None,
 ) -> list[dict]:
     """Sim-A: mean makespan / LP-lower-bound ratio, ours vs. baselines.
 
     One row per (family, d) with the mean ratio of each algorithm over the
-    seeds, plus the proven bound for reference.
+    seeds, plus the proven bound for reference.  ``schedulers`` defaults to
+    every registered DAG-capable baseline (see :mod:`repro.registry`), so
+    newly registered schedulers join the comparison automatically.
     """
+    if schedulers is None:
+        schedulers = available_schedulers(kind="baseline", graphs="any")
+    specs = {name: get_scheduler(name) for name in schedulers}
+    ours = get_scheduler("ours")
     rows: list[dict] = []
     for family in families:
         for d in d_values:
             pool = ResourcePool.uniform(d, capacity)
-            ratios: dict[str, list[float]] = {name: [] for name in ("ours", *_BASELINES)}
+            ratios: dict[str, list[float]] = {name: [] for name in ("ours", *specs)}
             for seed in seeds:
                 wl = random_instance(family, n, pool, seed=seed)
                 inst = wl.instance
                 lb = lp_lower_bound(inst)
-                res = MoldableScheduler(allocator="lp").schedule(inst)
+                res = ours.schedule(inst, allocator="lp")
                 res.schedule.validate()
                 ratios["ours"].append(res.makespan / lb)
-                for name, fn in _BASELINES.items():
-                    b = fn(inst)
+                for name, spec in specs.items():
+                    b = spec.schedule(inst)
                     b.schedule.validate()
                     ratios[name].append(b.makespan / lb)
             row = {"family": family, "d": d, "proven": theory.theorem1_ratio(d)}
@@ -108,6 +93,9 @@ def independent_comparison(
     Ratios are against the *exact* ``L_min`` (Lemma 8), so they are true
     upper bounds on the approximation factor achieved.
     """
+    ours_spec = get_scheduler("ours")
+    sun_list_spec = get_scheduler("sun_list")
+    sun_shelf_spec = get_scheduler("sun_shelf")
     rows: list[dict] = []
     for d in d_values:
         pool = ResourcePool.uniform(d, capacity)
@@ -115,14 +103,14 @@ def independent_comparison(
         for seed in seeds:
             wl = random_instance("independent", n, pool, seed=seed)
             inst = wl.instance
-            res = MoldableScheduler(allocator="independent").schedule(inst)
+            res = ours_spec.schedule(inst, allocator="independent")
             res.schedule.validate()
             lb = res.lower_bound
             ours.append(res.makespan / lb)
-            bl = sun_list_scheduler(inst)
+            bl = sun_list_spec.schedule(inst)
             bl.schedule.validate()
             sun_list.append(bl.makespan / lb)
-            bs = sun_shelf_scheduler(inst)
+            bs = sun_shelf_spec.schedule(inst)
             bs.schedule.validate()
             sun_shelf.append(bs.makespan / lb)
         rows.append(
@@ -159,11 +147,12 @@ def mu_rho_ablation(
     workloads = [random_instance(family, n, pool, seed=s) for s in seeds]
     lbs = [lp_lower_bound(w.instance) for w in workloads]
     rows: list[dict] = []
+    ours = get_scheduler("ours")
     for mu in mus:
         for rho in rhos:
             rs = []
             for wl, lb in zip(workloads, lbs):
-                res = MoldableScheduler(mu=mu, rho=rho, allocator="lp").schedule(wl.instance)
+                res = ours.schedule(wl.instance, mu=mu, rho=rho, allocator="lp")
                 rs.append(res.makespan / lb)
             rows.append({"mu": mu, "rho": rho, "mean_ratio": mean(rs), "max_ratio": max(rs)})
     return rows
@@ -189,6 +178,7 @@ def priority_ablation(
         "random": random_priority(123),
         "bottom_level": bottom_level_priority,
     }
+    ours = get_scheduler("ours")
     rows: list[dict] = []
     for family in families:
         pool = ResourcePool.uniform(d, capacity)
@@ -196,7 +186,7 @@ def priority_ablation(
         for seed in seeds:
             wl = random_instance(family, n, pool, seed=seed)
             inst = wl.instance
-            base = MoldableScheduler(allocator="lp").schedule(inst)
+            base = ours.schedule(inst, allocator="lp")
             lb = base.lower_bound
             for name, rule in rules.items():
                 sched = list_schedule(inst, base.allocation, rule)

@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import theory
-from repro.core.two_phase import MoldableScheduler
 from repro.experiments.report import format_table
 from repro.experiments.workloads import random_instance
+from repro.registry import get_scheduler
 from repro.resources.pool import ResourcePool
 
 __all__ = ["Table1Row", "table1_rows", "table1_text", "empirical_check"]
@@ -73,14 +73,14 @@ def empirical_check(
     correct implementation).
     """
     pool = ResourcePool.uniform(d, capacity)
+    ours = get_scheduler("ours")
     out: list[dict] = []
     for cls, family in (("general", "layered"), ("sp/tree", "sp"), ("independent", "independent")):
         worst = 0.0
         proven = None
         for seed in seeds:
             wl = random_instance(family, n, pool, seed=seed)
-            sched = MoldableScheduler()
-            res = sched.schedule(wl.instance, sp_tree=wl.sp_tree)
+            res = ours.schedule(wl.instance, sp_tree=wl.sp_tree)
             res.schedule.validate()
             worst = max(worst, res.ratio())
             proven = res.proven_ratio

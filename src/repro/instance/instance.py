@@ -25,7 +25,13 @@ from repro.jobs.profiles import ProfileEntry, pareto_filter
 from repro.resources.pool import ResourcePool
 from repro.resources.vector import ResourceVector
 
-__all__ = ["Instance", "AllocationMap", "make_instance"]
+__all__ = [
+    "Instance",
+    "AllocationMap",
+    "make_instance",
+    "with_release_times",
+    "with_poisson_arrivals",
+]
 
 JobId = Hashable
 AllocationMap = Mapping[JobId, ResourceVector]
@@ -78,6 +84,18 @@ class Instance:
     def time(self, job_id: JobId, alloc: ResourceVector) -> float:
         """``t_j(p_j)``."""
         return self.jobs[job_id].time(alloc)
+
+    # ------------------------------------------------------------------
+    # release times (online-arrival scenarios)
+    # ------------------------------------------------------------------
+    def release_times(self) -> dict[JobId, float]:
+        """Per-job release (arrival) times; all 0.0 in the offline model."""
+        return {j: job.release for j, job in self.jobs.items()}
+
+    @property
+    def has_releases(self) -> bool:
+        """True when any job arrives after time 0 (online scenario)."""
+        return any(job.release > 0.0 for job in self.jobs.values())
 
     # ------------------------------------------------------------------
     # Definition 1
@@ -185,3 +203,41 @@ def make_instance(
         cands = candidates_factory(node) if candidates_factory else None
         jobs[node] = Job(id=node, time_fn=time_fn_factory(node), candidates=cands)
     return Instance(jobs=jobs, dag=dag, pool=pool)
+
+
+def with_release_times(instance: Instance, releases: Mapping[JobId, float]) -> Instance:
+    """A copy of ``instance`` whose jobs carry the given release times.
+
+    Jobs absent from ``releases`` keep their current release.  The DAG and
+    pool are shared; candidate caches are not (they rebuild on demand).
+    """
+    jobs: dict[JobId, Job] = {}
+    for j, job in instance.jobs.items():
+        r = float(releases.get(j, job.release))
+        jobs[j] = Job(
+            id=j, time_fn=job.time_fn, candidates=job.candidates, release=r, name=job.name
+        )
+    return Instance(jobs=jobs, dag=instance.dag, pool=instance.pool)
+
+
+def with_poisson_arrivals(
+    instance: Instance, rate: float, seed: int | None = 0
+) -> Instance:
+    """An online-arrival variant: jobs arrive as a Poisson process.
+
+    Exponential inter-arrival times (mean ``1/rate``) are assigned in
+    topological order, so a job never arrives before its predecessors —
+    the natural shape of a workflow submission stream.  Deterministic for a
+    fixed seed.
+    """
+    if not rate > 0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+    from repro.util.rng import ensure_rng
+
+    rng = ensure_rng(seed)
+    t = 0.0
+    releases: dict[JobId, float] = {}
+    for j in instance.dag.topological_order():
+        t += float(rng.exponential(1.0 / rate))
+        releases[j] = t
+    return with_release_times(instance, releases)

@@ -44,15 +44,16 @@ def instance_to_json(
     jobs_out = []
     for j, job in sorted(instance.jobs.items(), key=lambda kv: repr(kv[0])):
         cands = candidates_for_job(job, instance.pool, strat)
-        jobs_out.append(
-            {
-                "id": repr(j),
-                "pinned": job.candidates is not None,
-                "profile": [
-                    {"alloc": list(c), "time": job.time(c)} for c in cands
-                ],
-            }
-        )
+        rec = {
+            "id": repr(j),
+            "pinned": job.candidates is not None,
+            "profile": [
+                {"alloc": list(c), "time": job.time(c)} for c in cands
+            ],
+        }
+        if job.release > 0.0:
+            rec["release"] = job.release
+        jobs_out.append(rec)
     payload = {
         "version": FORMAT_VERSION,
         "platform": {
@@ -91,6 +92,7 @@ def instance_from_json(text: str | dict) -> Instance:
             id=jid,
             time_fn=fn,
             candidates=tuple(table),
+            release=float(rec.get("release", 0.0)),
         )
         dag.add_node(jid)
     for u, v in data["edges"]:

@@ -36,6 +36,10 @@ class Job:
         Optional explicit candidate allocations for Phase 1; when ``None``
         the instance-wide strategy is used.  A single-entry tuple makes the
         job rigid.
+    release:
+        Earliest time the job may start (its arrival in online scenarios).
+        The default 0.0 is the paper's offline model — all jobs known and
+        available at time zero.  The event kernel gates readiness on it.
     name:
         Cosmetic label for reports.
     """
@@ -43,7 +47,12 @@ class Job:
     id: JobId
     time_fn: TimeFunction
     candidates: tuple[ResourceVector, ...] | None = None
+    release: float = 0.0
     name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.release >= 0.0:
+            raise ValueError(f"job {self.id!r}: release time must be >= 0, got {self.release}")
 
     def time(self, alloc: ResourceVector) -> float:
         """Execution time under ``alloc`` — validated positive and finite."""

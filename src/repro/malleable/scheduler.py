@@ -1,11 +1,14 @@
-"""Time-stepped greedy list scheduling for the malleable model.
+"""Greedy list scheduling for the malleable model, on the shared kernel.
 
 He et al. [21] prove that greedy list scheduling of unit-task DAGs on
-``d`` resource types is a (d+1)-approximation.  The scheduler below runs in
-unit time steps: at each step it starts as many ready tasks as capacities
-allow (tasks are ready when their intra-job predecessors, and all tasks of
-the job's outer-DAG predecessors, have completed).  Priorities follow the
-outer topological order (any order preserves the bound).
+``d`` resource types is a (d+1)-approximation.  The scheduler runs on
+:class:`repro.engine.kernel.EventKernel` with every task a unit-duration
+start: at each step it starts as many ready tasks as capacities allow
+(tasks are ready when their intra-job predecessors, and all tasks of the
+job's outer-DAG predecessors, have completed).  Priorities follow the
+outer topological order (any order preserves the bound) — readiness
+bookkeeping stays here, while virtual time, the completion heap and the
+resource vectors live in the kernel.
 """
 
 from __future__ import annotations
@@ -13,9 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable
 
-from repro.malleable.model import MalleableInstance
+import numpy as np
 
-__all__ = ["MalleableSchedule", "malleable_list_schedule"]
+from repro.engine.kernel import EventKernel
+from repro.malleable.model import MalleableInstance
+from repro.registry import register_scheduler
+
+__all__ = ["MalleableSchedule", "MalleableResult", "malleable_list_schedule"]
 
 JobId = Hashable
 TaskId = Hashable
@@ -59,9 +66,23 @@ class MalleableSchedule:
             raise ValueError("schedule must place exactly the instance's tasks")
 
 
+@dataclass(frozen=True)
+class MalleableResult:
+    """Registry-protocol wrapper around a :class:`MalleableSchedule`."""
+
+    name: str
+    schedule: MalleableSchedule
+    allocation: None = None
+
+    @property
+    def makespan(self) -> int:
+        return self.schedule.makespan
+
+
 def malleable_list_schedule(instance: MalleableInstance) -> MalleableSchedule:
     """Greedy unit-step list scheduling ((d+1)-approximation, [21])."""
     inst = instance
+    d = inst.d
     # outer-DAG gating: a job's tasks become available once all predecessors'
     # tasks completed
     outer_remaining = {j: inst.dag.in_degree(j) for j in inst.jobs}
@@ -80,41 +101,72 @@ def malleable_list_schedule(instance: MalleableInstance) -> MalleableSchedule:
         if k == 0
     ]
     task_start: dict[tuple[JobId, TaskId], int] = {}
-    step = 0
-    total = sum(job_tasks_left.values())
+    unit_rows = np.eye(d, dtype=np.int64)  # one unit of a single type
+    kernel = EventKernel(inst.pool.capacities)
+    # jobs whose outer predecessors completed mid-batch; their ready tasks
+    # enter the queue only after the batch, preserving the historical
+    # "completions release successors at the end of the step" order
+    newly_open: list[JobId] = []
 
-    while len(task_start) < total:
-        if not ready:  # pragma: no cover - a DAG always has ready tasks left
-            raise RuntimeError("malleable scheduler stalled")
-        avail = list(inst.pool.capacities)
-        started: list[tuple[JobId, TaskId]] = []
+    def dispatch(k: EventKernel) -> None:
+        for j in newly_open:
+            for t, left in intra_remaining[j].items():
+                if left == 0:
+                    ready.append((j, t))
+        newly_open.clear()
+        if not ready:
+            return
+        avail = k.available
         leftover: list[tuple[JobId, TaskId]] = []
         for j, t in ready:
             r = inst.jobs[j].rtype[t]
             if avail[r] > 0:
-                avail[r] -= 1
-                task_start[(j, t)] = step
-                started.append((j, t))
+                k.start((j, t), unit_rows[r], 1.0)
+                task_start[(j, t)] = int(round(k.now))
             else:
                 leftover.append((j, t))
-        ready = leftover
-        # completions at end of this step release successors
-        newly_open: list[JobId] = []
-        for j, t in started:
-            job_tasks_left[j] -= 1
-            for s in inst.jobs[j].tasks.successors(t):
-                intra_remaining[j][s] -= 1
-                if intra_remaining[j][s] == 0:
-                    ready.append((j, s))
-            if job_tasks_left[j] == 0:
-                for nxt in inst.dag.successors(j):
-                    outer_remaining[nxt] -= 1
-                    if outer_remaining[nxt] == 0:
-                        newly_open.append(nxt)
-        for j in newly_open:
-            for t, k in intra_remaining[j].items():
-                if k == 0:
-                    ready.append((j, t))
-        step += 1
+        ready[:] = leftover
 
+    def handle(k: EventKernel, kind: str, payload) -> None:
+        j, t = payload
+        k.release(unit_rows[inst.jobs[j].rtype[t]])
+        job_tasks_left[j] -= 1
+        for s in inst.jobs[j].tasks.successors(t):
+            intra_remaining[j][s] -= 1
+            if intra_remaining[j][s] == 0:
+                ready.append((j, s))
+        if job_tasks_left[j] == 0:
+            for nxt in inst.dag.successors(j):
+                outer_remaining[nxt] -= 1
+                if outer_remaining[nxt] == 0:
+                    newly_open.append(nxt)
+
+    kernel.run(dispatch, handle)
+
+    total = sum(inst.jobs[j].n_tasks for j in inst.jobs)
+    if len(task_start) != total:  # pragma: no cover - a DAG always progresses
+        raise RuntimeError("malleable scheduler stalled")
     return MalleableSchedule(instance=inst, task_start=task_start)
+
+
+@register_scheduler(
+    "malleable",
+    kind="malleable",
+    description="He et al.'s (d+1)-approximation on the malleable relaxation",
+)
+def malleable_scheduler(instance, **opts) -> MalleableResult:
+    """Registry entry point: accepts a :class:`MalleableInstance` directly,
+    or relaxes a moldable :class:`~repro.instance.instance.Instance` via
+    :func:`~repro.malleable.model.moldable_to_malleable` first."""
+    from repro.instance.instance import Instance
+    from repro.malleable.model import moldable_to_malleable
+
+    if isinstance(instance, Instance):
+        if instance.has_releases:
+            raise ValueError(
+                "the malleable relaxation drops release times; use an "
+                "event-driven moldable scheduler for online-arrival scenarios"
+            )
+        instance = moldable_to_malleable(instance, **opts)
+    sched = malleable_list_schedule(instance)
+    return MalleableResult(name="malleable", schedule=sched)

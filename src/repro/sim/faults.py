@@ -21,13 +21,13 @@ schedule's guarantee on the same allocation).
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
 import numpy as np
 
 from repro.core.list_scheduler import PriorityRule, fifo_priority
+from repro.engine.dispatch import drive_priority_schedule
 from repro.instance.instance import Instance
 from repro.resources.vector import ResourceVector
 from repro.util.rng import ensure_rng
@@ -105,7 +105,14 @@ def execute_with_faults(
     max_retries: int = 3,
     seed: int | np.random.Generator | None = 0,
 ) -> FaultyExecution:
-    """Replay Algorithm 2's dispatching under stragglers and failures."""
+    """Replay Algorithm 2's dispatching under stragglers and failures.
+
+    The event loop is the shared engine driver; this function contributes
+    the perturbed durations (stragglers) and a completion interceptor that
+    rolls failure dice, records failed attempts and re-runs them in place
+    (the failure hook keeps the allocation's resources held across the
+    re-execution, exactly like bounded re-submission on a real platform).
+    """
     if not 0.0 <= straggler_fraction <= 1.0:
         raise ValueError("straggler_fraction must be in [0, 1]")
     if straggler_factor < 1.0:
@@ -126,72 +133,38 @@ def execute_with_faults(
         j: base_times[j] * (straggler_factor if is_straggler[j] else 1.0) for j in order
     }
     keys = priority(instance, allocation, base_times)
-    tie = {j: i for i, j in enumerate(order)}
 
-    dag = instance.dag
-    remaining = {j: dag.in_degree(j) for j in instance.jobs}
-    ready = sorted(dag.sources(), key=lambda j: (keys[j], tie[j]))
-    avail = list(instance.pool.capacities)
-    d = instance.d
-    running: list[tuple[float, int, JobId]] = []
-    seq = 0
-    now = 0.0
     retries_used = {j: 0 for j in instance.jobs}
     execution = FaultyExecution(instance=instance)
 
-    while ready or running:
-        still: list[JobId] = []
-        for j in ready:
-            a = allocation[j]
-            if all(a[r] <= avail[r] for r in range(d)):
-                for r in range(d):
-                    avail[r] -= a[r]
-                heapq.heappush(running, (now + times[j], seq, j))
-                seq += 1
-                execution.attempts.append(
-                    Attempt(job_id=j, start=now, duration=times[j], alloc=a, failed=False)
-                )
-            else:
-                still.append(j)
-        ready = still
+    def on_start(j: JobId, start: float, duration: float) -> None:
+        execution.attempts.append(
+            Attempt(job_id=j, start=start, duration=duration, alloc=allocation[j], failed=False)
+        )
 
-        if not running:
-            break
-        now, _, j = heapq.heappop(running)
-        done = [j]
-        while running and running[0][0] <= now + 1e-12:
-            done.append(heapq.heappop(running)[2])
-        for c in done:
-            a = allocation[c]
-            failed = (
-                retries_used[c] < max_retries and float(rng.random()) < failure_prob
+    def on_complete(c: JobId, now: float) -> float | None:
+        failed = retries_used[c] < max_retries and float(rng.random()) < failure_prob
+        if failed:
+            retries_used[c] += 1
+            # mark the just-finished attempt as failed and restart now
+            for idx in range(len(execution.attempts) - 1, -1, -1):
+                at = execution.attempts[idx]
+                if at.job_id == c and not at.failed and c not in execution.completion:
+                    execution.attempts[idx] = Attempt(
+                        job_id=at.job_id, start=at.start, duration=at.duration,
+                        alloc=at.alloc, failed=True,
+                    )
+                    break
+            execution.attempts.append(
+                Attempt(job_id=c, start=now, duration=times[c], alloc=allocation[c], failed=False)
             )
-            if failed:
-                retries_used[c] += 1
-                # mark the just-finished attempt as failed and restart now
-                for idx in range(len(execution.attempts) - 1, -1, -1):
-                    at = execution.attempts[idx]
-                    if at.job_id == c and not at.failed and c not in execution.completion:
-                        execution.attempts[idx] = Attempt(
-                            job_id=at.job_id, start=at.start, duration=at.duration,
-                            alloc=at.alloc, failed=True,
-                        )
-                        break
-                heapq.heappush(running, (now + times[c], seq, c))
-                seq += 1
-                execution.attempts.append(
-                    Attempt(job_id=c, start=now, duration=times[c], alloc=a, failed=False)
-                )
-                continue
-            execution.completion[c] = now
-            for r in range(d):
-                avail[r] += a[r]
-            for s in dag.successors(c):
-                remaining[s] -= 1
-                if remaining[s] == 0:
-                    # insert preserving priority order
-                    ready.append(s)
-                    ready.sort(key=lambda x: (keys[x], tie[x]))
+            return times[c]  # re-run on the held allocation
+        execution.completion[c] = now
+        return None
+
+    drive_priority_schedule(
+        instance, allocation, keys, times, on_start, on_complete=on_complete
+    )
 
     if len(execution.completion) != len(instance.jobs):  # pragma: no cover
         raise RuntimeError("fault simulation failed to complete every job")

@@ -103,6 +103,14 @@ class Schedule:
             raise ValueError("schedule must place exactly the instance's jobs")
         tol = TIME_RTOL * max(1.0, self.makespan)
 
+        # release times (online arrivals)
+        for j, p in self.placements.items():
+            r = inst.jobs[j].release
+            if r > 0.0 and p.start < r - tol:
+                raise ValueError(
+                    f"job {j!r} starts at {p.start} before its release at {r}"
+                )
+
         # precedence
         for u, v in inst.dag.edges():
             if self.placements[v].start < self.placements[u].finish - tol:

@@ -1,40 +1,12 @@
-"""Shared fixtures and builders for the test suite."""
+"""Shared pytest fixtures; instance builders live in ``helpers.py``."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.dag.graph import DAG
-from repro.instance.instance import Instance, make_instance
-from repro.jobs.job import Job
-from repro.jobs.speedup import random_multi_resource_time
+from helpers import tiny_instance
+from repro.instance.instance import Instance
 from repro.resources.pool import ResourcePool
-from repro.resources.vector import ResourceVector
-
-
-def tiny_instance(
-    *,
-    d: int = 2,
-    capacity: int = 8,
-    edges: tuple[tuple[int, int], ...] = ((0, 1), (0, 2), (1, 3), (2, 3)),
-    n: int | None = None,
-    seed: int = 0,
-    model: str = "mixed",
-) -> Instance:
-    """A small diamond-DAG (or custom) instance with random moldable jobs."""
-    nodes = range(n if n is not None else (max((max(e) for e in edges), default=-1) + 1))
-    dag = DAG(nodes=nodes, edges=edges)
-    pool = ResourcePool.uniform(d, capacity)
-    rng = np.random.default_rng(seed)
-    fns = {j: random_multi_resource_time(d, rng, model=model) for j in dag.topological_order()}
-    return make_instance(dag, pool, lambda j: fns[j])
-
-
-def rigid_unit_job(job_id, d: int, rtype: int) -> Job:
-    """A unit-time job pinned to one unit of a single resource type."""
-    alloc = ResourceVector.unit(d, rtype)
-    return Job(id=job_id, time_fn=lambda a: 1.0, candidates=(alloc,))
 
 
 @pytest.fixture

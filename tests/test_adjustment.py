@@ -5,7 +5,7 @@ import math
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import tiny_instance
+from helpers import tiny_instance
 from repro.core.adjustment import adjust_allocation
 from repro.core.dtct import dtct_allocate
 from repro.jobs.candidates import full_grid

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import tiny_instance
+from helpers import tiny_instance
 from repro.baselines.backfill import backfill_scheduler
 from repro.baselines.level_shelf import level_shelf_scheduler
 from repro.core.lower_bounds import lp_lower_bound

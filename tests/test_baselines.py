@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import tiny_instance
+from helpers import tiny_instance
 from repro.baselines import (
     balanced_scheduler,
     heft_moldable_scheduler,

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import tiny_instance
+from helpers import tiny_instance
 from repro.core.dtct import dtct_allocate, round_fractional, solve_dtct_lp
 from repro.dag.graph import DAG
 from repro.instance.instance import Instance, make_instance

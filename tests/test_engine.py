@@ -1,0 +1,201 @@
+"""Tests for the shared event kernel and its dispatch drivers."""
+
+import numpy as np
+import pytest
+
+from helpers import rigid_unit_job, tiny_instance
+from repro.core.list_scheduler import list_schedule
+from repro.dag.graph import DAG
+from repro.engine.kernel import COMPLETE, RELEASE, EventKernel
+from repro.engine.profile import ReservationProfile
+from repro.engine.shelves import pack_shelves, stack_shelves
+from repro.instance.instance import (
+    Instance,
+    with_poisson_arrivals,
+    with_release_times,
+)
+from repro.jobs.candidates import full_grid
+from repro.resources.pool import ResourcePool
+from repro.resources.vector import ResourceVector
+
+
+def balanced_allocation(inst):
+    table = inst.candidate_table(full_grid)
+    return {j: min(es, key=lambda e: e.time * e.area).alloc for j, es in table.items()}
+
+
+class TestKernel:
+    def test_start_and_complete(self):
+        k = EventKernel((4, 4))
+        k.start("a", (2, 1), 3.0)
+        assert tuple(k.available) == (2, 3)
+        assert k.pop_batch() == [(COMPLETE, "a")]
+        assert k.now == pytest.approx(3.0)
+        k.release((2, 1))
+        assert tuple(k.available) == (4, 4)
+
+    def test_batching_pops_near_simultaneous_events(self):
+        k = EventKernel((8,))
+        k.start("a", (1,), 1.0)
+        k.start("b", (1,), 1.0 + 1e-13)
+        k.start("c", (1,), 2.0)
+        batch = k.pop_batch()
+        assert [p for _, p in batch] == ["a", "b"]
+        assert k.pending == 1
+
+    def test_overcommit_rejected(self):
+        k = EventKernel((2,))
+        k.acquire((2,))
+        with pytest.raises(RuntimeError, match="overcommitted"):
+            k.acquire((1,))
+        # failed acquire must not corrupt the availability vector
+        assert tuple(k.available) == (0,)
+
+    def test_over_release_rejected(self):
+        k = EventKernel((2,))
+        with pytest.raises(RuntimeError, match="released more"):
+            k.release((1,))
+
+    def test_past_event_rejected(self):
+        k = EventKernel((1,))
+        k.start("a", (1,), 5.0)
+        k.pop_batch()
+        with pytest.raises(ValueError, match="past"):
+            k.push_event(1.0, RELEASE, "x")
+
+    def test_run_alternates_dispatch_and_events(self):
+        k = EventKernel((1,))
+        log = []
+        pending = ["a", "b"]
+
+        def dispatch(kk):
+            if pending and kk.fits((1,)):
+                j = pending.pop(0)
+                kk.start(j, (1,), 1.0)
+                log.append(("start", j, kk.now))
+
+        def handle(kk, kind, payload):
+            kk.release((1,))
+            log.append(("done", payload, kk.now))
+
+        k.run(dispatch, handle)
+        assert log == [
+            ("start", "a", 0.0), ("done", "a", 1.0),
+            ("start", "b", 1.0), ("done", "b", 2.0),
+        ]
+
+
+class TestReservationProfile:
+    def test_earliest_fit_on_empty_profile(self):
+        p = ReservationProfile((4, 4))
+        assert p.earliest_fit(3.0, (2, 2), 1.0) == 3.0
+
+    def test_reservation_blocks_interval(self):
+        p = ReservationProfile((4,))
+        p.reserve(0.0, 2.0, (3,))
+        # demand 2 cannot overlap the reservation; earliest start is its finish
+        assert p.earliest_fit(0.0, (2,), 1.0) == pytest.approx(2.0)
+        # demand 1 fits alongside immediately
+        assert p.earliest_fit(0.0, (1,), 1.0) == pytest.approx(0.0)
+
+    def test_usage_half_open(self):
+        p = ReservationProfile((4,))
+        p.reserve(0.0, 2.0, (3,))
+        assert p.usage_at(2.0).tolist() == [0]
+        assert p.usage_at(1.0).tolist() == [3]
+
+
+class TestShelves:
+    def test_first_fit_and_heights(self):
+        alloc = {"a": (2,), "b": (2,), "c": (3,)}
+        times = {"a": 3.0, "b": 2.0, "c": 1.0}
+        shelves = pack_shelves(["a", "b", "c"], alloc, times, (4,))
+        assert [s.jobs for s in shelves] == [["a", "b"], ["c"]]
+        placements, end = stack_shelves(shelves, alloc, times)
+        assert placements["c"].start == pytest.approx(3.0)
+        assert end == pytest.approx(4.0)
+
+
+class TestOnlineArrivals:
+    def test_release_delays_start(self):
+        pool = ResourcePool.of(4)
+        jobs = {i: rigid_unit_job(i, 1, 0) for i in range(3)}
+        inst = Instance(jobs=jobs, dag=DAG(nodes=range(3)), pool=pool)
+        inst = with_release_times(inst, {0: 0.0, 1: 2.5, 2: 0.0})
+        alloc = {i: ResourceVector((1,)) for i in range(3)}
+        s = list_schedule(inst, alloc)
+        s.validate()
+        assert s.placements[0].start == pytest.approx(0.0)
+        assert s.placements[2].start == pytest.approx(0.0)
+        assert s.placements[1].start == pytest.approx(2.5)
+        assert s.makespan == pytest.approx(3.5)
+
+    def test_release_and_precedence_jointly_gate(self):
+        pool = ResourcePool.of(2)
+        jobs = {i: rigid_unit_job(i, 1, 0) for i in range(2)}
+        inst = Instance(jobs=jobs, dag=DAG(nodes=range(2), edges=[(0, 1)]), pool=pool)
+        alloc = {i: ResourceVector((1,)) for i in range(2)}
+        # successor released before its predecessor finishes: precedence wins
+        s = list_schedule(with_release_times(inst, {1: 0.5}), alloc)
+        assert s.placements[1].start == pytest.approx(1.0)
+        # successor released after: the release wins
+        s = list_schedule(with_release_times(inst, {1: 4.0}), alloc)
+        assert s.placements[1].start == pytest.approx(4.0)
+        s.validate()
+
+    def test_poisson_arrivals_through_moldable_pipeline(self):
+        inst = tiny_instance(seed=7, d=2, capacity=6)
+        online = with_poisson_arrivals(inst, rate=1.5, seed=3)
+        assert online.has_releases
+        # releases are deterministic and topologically monotone on a chain
+        again = with_poisson_arrivals(inst, rate=1.5, seed=3)
+        assert online.release_times() == again.release_times()
+        alloc = balanced_allocation(online)
+        s = list_schedule(online, alloc)
+        s.validate()  # validates release times as well
+        offline = list_schedule(inst, alloc)
+        assert s.makespan >= offline.makespan - 1e-12
+
+    def test_dynamic_policy_respects_releases(self):
+        from repro.baselines.tetris import tetris_scheduler
+
+        inst = tiny_instance(seed=11, d=2, capacity=6)
+        online = with_poisson_arrivals(inst, rate=1.0, seed=5)
+        res = tetris_scheduler(online)
+        res.schedule.validate()
+        rel = online.release_times()
+        for j, p in res.schedule.placements.items():
+            assert p.start >= rel[j] - 1e-9
+
+    def test_offline_planners_reject_releases(self):
+        from repro.baselines.backfill import backfill_scheduler
+        from repro.baselines.level_shelf import level_shelf_scheduler
+        from repro.malleable.scheduler import malleable_scheduler
+
+        inst = with_poisson_arrivals(tiny_instance(seed=0), rate=1.0, seed=0)
+        for fn in (backfill_scheduler, level_shelf_scheduler, malleable_scheduler):
+            with pytest.raises(ValueError, match="release"):
+                fn(inst)
+
+    def test_validate_flags_release_violation(self):
+        pool = ResourcePool.of(2)
+        jobs = {0: rigid_unit_job(0, 1, 0)}
+        inst = Instance(jobs=jobs, dag=DAG(nodes=[0]), pool=pool)
+        inst = with_release_times(inst, {0: 3.0})
+        from repro.sim.schedule import Schedule, ScheduledJob
+
+        bad = Schedule(
+            instance=inst,
+            placements={0: ScheduledJob(job_id=0, start=0.0, time=1.0,
+                                        alloc=ResourceVector((1,)))},
+        )
+        with pytest.raises(ValueError, match="release"):
+            bad.validate()
+
+    def test_serialize_round_trips_releases(self):
+        from repro.instance.serialize import instance_from_json, instance_to_json
+
+        inst = with_poisson_arrivals(tiny_instance(seed=1), rate=2.0, seed=1)
+        back = instance_from_json(instance_to_json(inst))
+        rel = {repr(j): r for j, r in inst.release_times().items()}
+        assert back.release_times() == rel

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import tiny_instance
+from helpers import tiny_instance
 from repro.jobs.candidates import full_grid
 from repro.sim.faults import execute_with_faults
 

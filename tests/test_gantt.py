@@ -1,6 +1,6 @@
 """Tests for ASCII Gantt rendering."""
 
-from conftest import tiny_instance
+from helpers import tiny_instance
 from repro.core.list_scheduler import list_schedule
 from repro.experiments.lb_instance import (
     informed_priority,

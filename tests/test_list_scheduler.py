@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import rigid_unit_job, tiny_instance
+from helpers import rigid_unit_job, tiny_instance
 from repro.core.list_scheduler import (
     bottom_level_priority,
     explicit_priority,
@@ -193,3 +193,38 @@ class TestPortfolio:
         alloc = balanced_allocation(inst)
         with pytest.raises(ValueError):
             portfolio_list_schedule(inst, alloc, rules={})
+
+    def test_first_rule_wins_ties(self):
+        """Regression: the documented tie-breaking contract — the first rule
+        (iteration order) keeps ties, later rules need a strict improvement."""
+        from repro.core.list_scheduler import portfolio_list_schedule
+
+        inst = tiny_instance(seed=31, d=2, capacity=6)
+        alloc = balanced_allocation(inst)
+        # identical rules => identical makespans for every entry
+        rules = {"first": fifo_priority, "second": fifo_priority,
+                 "third": fifo_priority}
+        sched, winner = portfolio_list_schedule(inst, alloc, rules=rules)
+        assert winner == "first"
+        # reversing the dict order flips the winner, confirming it is the
+        # *order*, not the name, that decides ties
+        rules_rev = {"third": fifo_priority, "first": fifo_priority}
+        _, winner_rev = portfolio_list_schedule(inst, alloc, rules=rules_rev)
+        assert winner_rev == "third"
+
+    def test_tiny_improvements_within_tolerance_do_not_steal_the_win(self):
+        from repro.core.list_scheduler import portfolio_list_schedule
+
+        inst = tiny_instance(seed=8, d=2, capacity=6)
+        alloc = balanced_allocation(inst)
+        base = list_schedule(inst, alloc, fifo_priority).makespan
+        better = list_schedule(inst, alloc, bottom_level_priority).makespan
+        sched, winner = portfolio_list_schedule(
+            inst, alloc,
+            rules={"fifo": fifo_priority, "bottom": bottom_level_priority},
+        )
+        if better < base - 1e-12:
+            assert winner == "bottom"
+        else:
+            assert winner == "fifo"
+        assert sched.makespan == pytest.approx(min(base, better))

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import tiny_instance
+from helpers import tiny_instance
 from repro.core.lower_bounds import (
     exact_lmin_bruteforce,
     lp_lower_bound,

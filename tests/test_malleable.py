@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import tiny_instance
+from helpers import tiny_instance
 from repro.dag.graph import DAG
 from repro.malleable.model import MalleableInstance, MalleableJob, moldable_to_malleable
 from repro.malleable.scheduler import malleable_list_schedule

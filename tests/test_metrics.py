@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import tiny_instance
+from helpers import tiny_instance
 from repro.core.allocation import allocate_resources
 from repro.core.list_scheduler import list_schedule, random_priority
 from repro.core import theory

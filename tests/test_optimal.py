@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import rigid_unit_job, tiny_instance
+from helpers import rigid_unit_job, tiny_instance
 from repro.core.list_scheduler import list_schedule, random_priority
 from repro.core.lower_bounds import lp_lower_bound
 from repro.core.optimal import optimal_makespan, optimal_makespan_fixed_allocation

@@ -1,0 +1,96 @@
+"""Tests for the named-scheduler registry."""
+
+import pytest
+
+from helpers import tiny_instance
+from repro import registry
+from repro.registry import (
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+    scheduler_specs,
+)
+
+EXPECTED = {
+    "ours", "min_area", "min_time", "balanced", "tetris", "heft",
+    "backfill", "level_shelf", "sun_list", "sun_shelf", "malleable",
+}
+
+
+class TestRoundTrip:
+    def test_all_builtins_registered(self):
+        assert EXPECTED <= set(available_schedulers())
+
+    def test_get_scheduler_resolves_every_name(self):
+        for name in available_schedulers():
+            spec = get_scheduler(name)
+            assert spec.name == name
+            assert callable(spec.factory)
+            assert spec.kind in ("core", "baseline", "malleable")
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(KeyError, match="unknown scheduler 'nope'"):
+            get_scheduler("nope")
+
+    def test_every_dag_scheduler_runs(self):
+        inst = tiny_instance(seed=3, d=2, capacity=8)
+        for spec in scheduler_specs(graphs="any"):
+            res = spec.schedule(inst)
+            assert res.makespan > 0
+            res.schedule.validate()
+
+    def test_independent_only_schedulers_run(self):
+        inst = tiny_instance(seed=5, d=2, capacity=8, edges=(), n=6)
+        for name in ("sun_list", "sun_shelf"):
+            res = get_scheduler(name).schedule(inst)
+            res.schedule.validate()
+            assert res.makespan > 0
+
+    def test_ours_forwards_options(self):
+        inst = tiny_instance(seed=1)
+        res = get_scheduler("ours").schedule(inst, allocator="lp", mu=0.3)
+        assert res.allocator == "lp"
+        assert res.mu == 0.3
+
+    def test_malleable_accepts_moldable_instance(self):
+        res = get_scheduler("malleable").schedule(tiny_instance(seed=2, capacity=4))
+        assert res.makespan >= 1
+        res.schedule.validate()
+
+
+class TestFiltering:
+    def test_kind_filter(self):
+        baselines = available_schedulers(kind="baseline")
+        assert "ours" not in baselines
+        assert "tetris" in baselines
+
+    def test_graphs_filter_excludes_independent_only(self):
+        dag_capable = available_schedulers(kind="baseline", graphs="any")
+        assert "sun_list" not in dag_capable
+        assert "sun_shelf" not in dag_capable
+        assert {"min_area", "min_time", "balanced", "tetris", "heft",
+                "backfill", "level_shelf"} <= set(dag_capable)
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        @register_scheduler("_test_dup_")
+        def s1(instance):
+            return None
+
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                @register_scheduler("_test_dup_")
+                def s2(instance):
+                    return None
+        finally:
+            registry._REGISTRY.pop("_test_dup_", None)
+
+    def test_invalid_metadata_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            register_scheduler("_x_", kind="bogus")
+        with pytest.raises(ValueError, match="graphs"):
+            register_scheduler("_x_", graphs="bogus")
+
+    def test_description_defaults_to_docstring(self):
+        assert get_scheduler("tetris").description.startswith("Schedule with the Tetris")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import tiny_instance
+from helpers import tiny_instance
 from repro.experiments.robustness import perturbed_instance, robustness_sweep
 
 

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import tiny_instance
+from helpers import tiny_instance
 from repro.core.dtct import round_fractional, solve_dtct_lp
 from repro.core.rounding import (
     best_quantile_rounding,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import rigid_unit_job, tiny_instance
+from helpers import rigid_unit_job, tiny_instance
 from repro.core.list_scheduler import list_schedule
 from repro.dag.graph import DAG
 from repro.instance.instance import Instance

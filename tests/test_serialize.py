@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from conftest import tiny_instance
+from helpers import tiny_instance
 from repro.core.two_phase import MoldableScheduler
 from repro.instance.serialize import instance_from_json, instance_to_json
 from repro.jobs.candidates import full_grid

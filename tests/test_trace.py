@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from conftest import tiny_instance
+from helpers import tiny_instance
 from repro.core.list_scheduler import list_schedule
 from repro.jobs.candidates import full_grid
 from repro.sim.trace import schedule_from_trace, schedule_to_trace, trace_to_json

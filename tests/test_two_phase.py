@@ -4,7 +4,7 @@ guarantee T <= f_d(µ,ρ)·L_LP that the proof of Theorem 1 establishes."""
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import tiny_instance
+from helpers import tiny_instance
 from repro.core import theory
 from repro.core.two_phase import MoldableScheduler
 from repro.dag.sp import random_sp_tree, sp_to_dag
