@@ -1,21 +1,29 @@
-"""Engine — kernel list scheduling vs. the loop it replaced.
+"""Engine — the compiled-instance scheduler vs. the loops it replaced.
 
-The `repro.engine` refactor routes every scheduler through one
-discrete-event kernel with batched numpy-vector resource accounting and a
-vectorized ready-queue feasibility prefilter.  This bench pits the
-kernel's list-schedule path against the frozen pre-refactor loop
-(:mod:`repro.engine.reference`) on two 2000-job, d=4 layered DAGs — a
-deep low-contention shape (short ready queues) and a wide high-contention
-shape (long ready queues, where the prefilter pays) — and asserts
+Three generations of the same Algorithm-2 dispatch are raced on identical
+workloads, asserting identical schedules first (each rewrite is a port,
+not a reimplementation):
 
-* identical schedules (the port is exact),
-* throughput >= 1x the old loop on the contended shape, and no worse
-  than a small regression floor on the uncontended one,
+* **compiled** — the live path: array-native lowering cached on the
+  instance, packed uint64 demands, a fused event loop
+  (:mod:`repro.engine.dispatch`);
+* **pr1 kernel** — the unified-kernel driver as it shipped in PR 1,
+  frozen era-faithfully in :mod:`repro.engine.reference` (dict
+  bookkeeping, ``insort`` queue, per-run topological order and python
+  bottom levels);
+* **legacy** — the pre-kernel python loop.
 
-then exercises the same kernel on an online-arrival variant of the
-workload — the scenario the old loop could not express at all.
+The headline gate: on the wide, contended shape the compiled path must
+sustain **>= 5x the PR-1 kernel's jobs/sec**.  The deep shape guards the
+short-queue regime (no regression vs. PR 1), and an online-arrival
+variant exercises release gating, which only the kernel generations can
+express at all.
+
+Set ``REPRO_BENCH_QUICK=1`` (the CI smoke job) to shrink the workloads
+and skip the throughput gates — correctness asserts still run.
 """
 
+import os
 import time
 
 import numpy as np
@@ -23,15 +31,29 @@ import numpy as np
 from conftest import save_and_print
 from repro.core.list_scheduler import bottom_level_priority, list_schedule
 from repro.dag.generators import layered_random
-from repro.engine.reference import reference_list_schedule
+from repro.engine.reference import (
+    reference_list_schedule,
+    reference_pr1_list_schedule,
+)
 from repro.experiments.report import format_table
 from repro.instance.instance import make_instance, with_poisson_arrivals
 from repro.resources.pool import ResourcePool
 from repro.resources.vector import ResourceVector
 
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
 D = 4
 CAPACITY = 24
-N = 2000
+
+#: The wide workload of the acceptance gate: 10 layers x 200 jobs per level,
+#: n=2000, d=4 — hundreds of queued jobs per pass.  The quick config keeps
+#: the wide (contended) regime by shrinking layers, not width.
+WIDE = (2, 100) if QUICK else (10, 200)
+#: Deep low-contention shape: short ready queues, the legacy loop's best case.
+DEEP = (10, 20) if QUICK else (100, 20)
+
+#: Required compiled-vs-PR1 speedup on the wide shape (see ISSUE 2).
+REQUIRED_WIDE_SPEEDUP = 5.0
 
 
 def build_instance(layers, width, seed=0):
@@ -63,62 +85,74 @@ def best_of(fn, rounds=3):
 
 
 def compare(inst, alloc):
-    t_new, new = best_of(lambda: list_schedule(inst, alloc, bottom_level_priority))
-    t_old, old = best_of(lambda: reference_list_schedule(inst, alloc, bottom_level_priority))
-    # exactness first: the kernel is a port, not a reimplementation
+    """Time all three generations (identical best-of rounds — no sampling
+    bias in the gated ratio); assert they emit the identical schedule."""
+    rounds = 5
+    t_new, new = best_of(lambda: list_schedule(inst, alloc, bottom_level_priority),
+                         rounds=rounds)
+    t_pr1, pr1 = best_of(lambda: reference_pr1_list_schedule(inst, alloc),
+                         rounds=rounds)
+    t_old, old = best_of(lambda: reference_list_schedule(inst, alloc),
+                         rounds=rounds)
+    # exactness first: every generation is a port, not a reimplementation
+    assert new.starts == pr1.starts
     assert new.starts == old.starts
     new.validate()
-    return t_new, t_old, new
+    return t_new, t_pr1, t_old
 
 
-def test_kernel_matches_and_outpaces_legacy_loop(results_dir):
+def test_compiled_engine_outpaces_predecessors(results_dir):
     rows = []
 
+    def add(shape, gen, seconds, n):
+        rows.append({"workload": f"{shape} ({gen})", "seconds": seconds,
+                     "jobs_per_sec": n / seconds})
+
     # deep shape: ~20 ready jobs per pass, the legacy loop's best case
-    deep, deep_alloc = build_instance(100, 20, seed=0)
-    assert deep.n == N
-    t_new_deep, t_old_deep, _ = compare(deep, deep_alloc)
-    rows.append({"workload": "deep 100x20 (kernel)", "seconds": t_new_deep,
-                 "jobs_per_sec": N / t_new_deep})
-    rows.append({"workload": "deep 100x20 (legacy)", "seconds": t_old_deep,
-                 "jobs_per_sec": N / t_old_deep})
+    deep, deep_alloc = build_instance(*DEEP, seed=0)
+    n_deep = deep.n
+    t_new_deep, t_pr1_deep, t_old_deep = compare(deep, deep_alloc)
+    for gen, t in (("compiled", t_new_deep), ("pr1 kernel", t_pr1_deep),
+                   ("legacy", t_old_deep)):
+        add(f"deep {DEEP[0]}x{DEEP[1]}", gen, t, n_deep)
 
-    # wide shape: hundreds of queued jobs per pass, where the vectorized
-    # prefilter replaces the full python rescan
-    wide, wide_alloc = build_instance(10, 200, seed=0)
-    assert wide.n == N
-    t_new_wide, t_old_wide, _ = compare(wide, wide_alloc)
-    rows.append({"workload": "wide 10x200 (kernel)", "seconds": t_new_wide,
-                 "jobs_per_sec": N / t_new_wide})
-    rows.append({"workload": "wide 10x200 (legacy)", "seconds": t_old_wide,
-                 "jobs_per_sec": N / t_old_wide})
+    # wide shape: hundreds of queued jobs per pass — the contended regime
+    # the packed whole-queue prefilter is built for
+    wide, wide_alloc = build_instance(*WIDE, seed=0)
+    n_wide = wide.n
+    t_new_wide, t_pr1_wide, t_old_wide = compare(wide, wide_alloc)
+    for gen, t in (("compiled", t_new_wide), ("pr1 kernel", t_pr1_wide),
+                   ("legacy", t_old_wide)):
+        add(f"wide {WIDE[0]}x{WIDE[1]}", gen, t, n_wide)
 
-    # online arrivals: same deep workload, jobs stream in; only the kernel
-    # path can run this scenario at all
+    # online arrivals: jobs stream in; only the kernel generations can run
+    # this scenario at all
     online = with_poisson_arrivals(deep, rate=200.0, seed=1)
     t_onl, sched_onl = best_of(lambda: list_schedule(online, deep_alloc,
                                                      bottom_level_priority))
     sched_onl.validate()
     rel = online.release_times()
     assert all(sched_onl.placements[j].start >= rel[j] - 1e-9 for j in rel)
-    rows.append({"workload": "deep + Poisson arrivals (kernel)",
-                 "seconds": t_onl, "jobs_per_sec": N / t_onl})
+    add("deep + Poisson arrivals", "compiled", t_onl, n_deep)
 
     save_and_print(
         results_dir,
         "engine",
         format_table(list(rows[0]), [list(r.values()) for r in rows],
                      precision=4,
-                     title=f"Event kernel vs legacy loop (n={N}, d={D})"),
+                     title=f"Compiled engine vs frozen predecessors (d={D})"),
     )
 
-    # the hard bar: >= 1x the legacy loop where queues are contended
-    assert t_new_wide <= t_old_wide, (
-        f"kernel slower than legacy on the contended shape: "
-        f"{N / t_new_wide:.0f} vs {N / t_old_wide:.0f} jobs/s"
+    if QUICK:
+        return
+    # the acceptance gate: >= 5x the PR-1 kernel where queues are contended
+    speedup = t_pr1_wide / t_new_wide
+    assert speedup >= REQUIRED_WIDE_SPEEDUP, (
+        f"compiled engine only {speedup:.2f}x the PR-1 kernel on the wide "
+        f"shape ({n_wide / t_new_wide:.0f} vs {n_wide / t_pr1_wide:.0f} jobs/s)"
     )
-    # regression floor on the legacy loop's best case (short queues)
-    assert t_new_deep <= 1.15 * t_old_deep, (
-        f"kernel lost too much on the uncontended shape: "
-        f"{N / t_new_deep:.0f} vs {N / t_old_deep:.0f} jobs/s"
+    # and no regression in the short-queue regime
+    assert t_new_deep <= t_pr1_deep, (
+        f"compiled engine slower than the PR-1 kernel on the deep shape: "
+        f"{n_deep / t_new_deep:.0f} vs {n_deep / t_pr1_deep:.0f} jobs/s"
     )

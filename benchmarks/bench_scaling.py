@@ -2,19 +2,31 @@
 
 Times the two phases separately on growing instances.  The assertions pin
 the advertised complexity envelope loosely: list scheduling alone must
-handle 1500 jobs well under a second, and the full pipeline must stay
-sub-minute at n = 120 with d = 3.
+handle 1500 jobs well under a second, the compiled dispatch core must
+complete a 100,000-job list schedule (the large-n sweep below), and the
+full pipeline must stay sub-minute at n = 120 with d = 3.
+
+Set ``REPRO_BENCH_QUICK=1`` (the CI smoke job) to cap the large-n sweep
+at 10,000 jobs.
 """
 
+import os
 import time
 
+import numpy as np
+
 from conftest import save_and_print
-from repro.core.list_scheduler import list_schedule
+from repro.core.list_scheduler import bottom_level_priority, list_schedule
 from repro.core.two_phase import MoldableScheduler
+from repro.dag.generators import layered_random
 from repro.experiments.report import format_table
 from repro.experiments.workloads import random_instance
+from repro.instance.instance import make_instance
 from repro.jobs.candidates import geometric_grid
 from repro.resources.pool import ResourcePool
+from repro.resources.vector import ResourceVector
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
 
 
 def bench_full_pipeline():
@@ -48,6 +60,60 @@ def test_full_pipeline_scaling(benchmark, results_dir):
         "scaling",
         format_table(list(rows[0]), [list(r.values()) for r in rows],
                      precision=4, title="Scheduler scaling (Phase 2 only)"),
+    )
+
+
+def build_rigid_instance(layers, width, d=4, capacity=24, seed=0):
+    """Rigid jobs on a layered DAG (no candidate enumeration): the large-n
+    sweep times the compiled dispatch core itself."""
+    rng = np.random.default_rng(seed)
+    # keep the expected in-degree ~8 regardless of width so edge count
+    # grows linearly with n
+    p = min(0.5, 8.0 / width)
+    dag = layered_random(layers, width, p=p, seed=rng)
+    order = dag.topological_order()
+    allocs = {j: ResourceVector(rng.integers(1, 9, size=d)) for j in order}
+    durations = {j: float(rng.uniform(0.5, 4.0)) for j in order}
+    pool = ResourcePool.uniform(d, capacity)
+
+    def factory(j):
+        t = durations[j]
+        return lambda a: t
+
+    inst = make_instance(dag, pool, factory, candidates_factory=lambda j: (allocs[j],))
+    return inst, allocs
+
+
+def test_list_scheduler_large_n(results_dir):
+    """The compiled core end to end: 10^4 .. 10^5 jobs, d=4.
+
+    No throughput gate beyond completion — the point is that a list
+    schedule for n = 100,000 finishes at all (the pre-compiled engine took
+    minutes here), plus a loose sub-minute ceiling so regressions surface.
+    """
+    shapes = [(25, 400)] if QUICK else [(25, 400), (50, 1000), (100, 1000)]
+    rows = []
+    for layers, width in shapes:
+        inst, alloc = build_rigid_instance(layers, width)
+        t0 = time.perf_counter()
+        sched = list_schedule(inst, alloc, bottom_level_priority)
+        dt = time.perf_counter() - t0
+        assert len(sched) == inst.n
+        rows.append({
+            "n": inst.n,
+            "edges": inst.dag.num_edges,
+            "list_schedule_seconds": dt,
+            "jobs_per_sec": inst.n / dt,
+        })
+        if inst.n >= 100_000:
+            sched.validate()
+            assert dt < 60.0, f"n={inst.n} list schedule took {dt:.1f}s"
+    save_and_print(
+        results_dir,
+        "scaling_large",
+        format_table(list(rows[0]), [list(r.values()) for r in rows],
+                     precision=4,
+                     title="Compiled dispatch core at scale (rigid jobs, d=4)"),
     )
 
 

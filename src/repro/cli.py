@@ -59,17 +59,24 @@ def build_parser() -> argparse.ArgumentParser:
     t1 = sub.add_parser("table1", help="approximation-ratio summary (Table 1)")
     t1.add_argument("--d", type=int, nargs="+", default=[1, 2, 3, 4, 8, 22, 50])
 
+    workers_help = (
+        "process-pool size for the sweep cells (default 1 = serial; "
+        "0 = auto, i.e. default_workers(), overridable via REPRO_WORKERS)"
+    )
+
     sa = sub.add_parser("sim-a", help="ratio vs d, ours vs baselines")
     sa.add_argument("--families", nargs="+", default=["layered", "cholesky"],
                     choices=list(WORKLOAD_FAMILIES))
     sa.add_argument("--d", type=int, nargs="+", default=[1, 2, 3])
     sa.add_argument("--n", type=int, default=24)
     sa.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    sa.add_argument("--workers", type=int, default=1, help=workers_help)
 
     sb = sub.add_parser("sim-b", help="independent jobs, ours vs Sun et al. [36]")
     sb.add_argument("--d", type=int, nargs="+", default=[1, 2, 3, 4])
     sb.add_argument("--n", type=int, default=32)
     sb.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2, 3])
+    sb.add_argument("--workers", type=int, default=1, help=workers_help)
 
     ab = sub.add_parser("ablation", help="µ/ρ and priority ablations")
     ab.add_argument("kind", choices=["mu-rho", "priority"])
@@ -166,13 +173,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "sim-a":
         rows = algorithm_comparison(families=args.families, d_values=tuple(args.d),
-                                    n=args.n, seeds=tuple(args.seeds))
+                                    n=args.n, seeds=tuple(args.seeds),
+                                    workers=args.workers or None)
         print(format_table(list(rows[0]), [list(r.values()) for r in rows],
                            title="Sim-A: mean ratio vs LP lower bound"))
         return 0
     if args.command == "sim-b":
         rows = independent_comparison(d_values=tuple(args.d), n=args.n,
-                                      seeds=tuple(args.seeds))
+                                      seeds=tuple(args.seeds),
+                                      workers=args.workers or None)
         print(format_table(list(rows[0]), [list(r.values()) for r in rows],
                            title="Sim-B: independent jobs"))
         return 0

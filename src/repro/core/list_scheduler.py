@@ -43,23 +43,41 @@ __all__ = [
 JobId = Hashable
 
 #: A priority rule maps (instance, allocation, times) to a per-job sort key;
-#: *smaller keys start first*.
+#: *smaller keys start first*.  A rule may additionally carry an
+#: ``as_array`` attribute — ``as_array(instance, allocation, times_vec)``
+#: returning a 1-D key array aligned with the topological order — which the
+#: scheduler uses instead of the dict form: a stable argsort of the array
+#: realizes exactly the ``(key, topological index)`` order of the dict
+#: path, without building ``n`` python key objects per run.
 PriorityRule = Callable[
     [Instance, Mapping[JobId, ResourceVector], Mapping[JobId, float]],
     dict[JobId, object],
 ]
 
 
+def _array_form(fn):
+    """Attach ``fn`` to a rule as its vectorized key form (see PriorityRule)."""
+
+    def attach(rule):
+        rule.as_array = fn
+        return rule
+
+    return attach
+
+
+@_array_form(lambda instance, allocation, times_vec: np.arange(len(times_vec)))
 def fifo_priority(instance: Instance, allocation, times) -> dict[JobId, object]:
     """Queue-insertion order (topological index): the paper's default."""
     return {j: i for i, j in enumerate(instance.dag.topological_order())}
 
 
+@_array_form(lambda instance, allocation, times_vec: -times_vec)
 def lpt_priority(instance: Instance, allocation, times) -> dict[JobId, object]:
     """Longest processing time first (local)."""
     return {j: (-times[j], i) for i, j in enumerate(instance.dag.topological_order())}
 
 
+@_array_form(lambda instance, allocation, times_vec: times_vec)
 def spt_priority(instance: Instance, allocation, times) -> dict[JobId, object]:
     """Shortest processing time first (local)."""
     return {j: (times[j], i) for i, j in enumerate(instance.dag.topological_order())}
@@ -74,9 +92,21 @@ def random_priority(seed: int | np.random.Generator | None = None) -> PriorityRu
         perm = rng.permutation(len(order))
         return {j: int(perm[i]) for i, j in enumerate(order)}
 
+    def rule_array(instance, allocation, times_vec) -> np.ndarray:
+        rng = ensure_rng(seed)
+        return rng.permutation(len(times_vec))
+
+    rule.as_array = rule_array
     return rule
 
 
+def _bottom_level_keys(instance, allocation, times_vec) -> np.ndarray:
+    from repro.instance.compiled import bottom_levels_array, compile_dag
+
+    return -bottom_levels_array(compile_dag(instance.dag), times_vec)
+
+
+@_array_form(_bottom_level_keys)
 def bottom_level_priority(instance: Instance, allocation, times) -> dict[JobId, object]:
     """Critical-path-aware (global): larger bottom level starts first."""
     b = bottom_levels(instance.dag, times)
@@ -106,16 +136,29 @@ def list_schedule(
     lives in :mod:`repro.engine`; this function contributes only the
     priority keys and collects the placements.
     """
-    instance.validate_allocation_map(allocation)
-    times = {j: instance.time(j, allocation[j]) for j in instance.jobs}
-    keys = priority(instance, allocation, times)
+    alloc_mat = instance.validate_allocation_map(allocation)
+    as_array = getattr(priority, "as_array", None)
+    if as_array is not None:
+        ci = instance.compiled()
+        times_vec = np.fromiter(
+            (instance.time(j, allocation[j]) for j in ci.order),
+            dtype=np.float64,
+            count=ci.n,
+        )
+        keys: object = as_array(instance, allocation, times_vec)
+        durations: object = times_vec
+    else:
+        times = {j: instance.time(j, allocation[j]) for j in instance.jobs}
+        keys = priority(instance, allocation, times)
+        durations = times
 
     placements: dict[JobId, ScheduledJob] = {}
 
     def on_start(j: JobId, start: float, duration: float) -> None:
         placements[j] = ScheduledJob(job_id=j, start=start, time=duration, alloc=allocation[j])
 
-    drive_priority_schedule(instance, allocation, keys, times, on_start)
+    drive_priority_schedule(instance, allocation, keys, durations, on_start,
+                            alloc_mat=alloc_mat)
 
     if len(placements) != len(instance.jobs):  # pragma: no cover - invariant
         raise RuntimeError("deadlock: ready jobs cannot fit an empty platform")

@@ -5,11 +5,17 @@ it: depth (hop count of the longest chain), width (peak parallelism of the
 level decomposition), average degree, and the *parallelism profile* (ready
 width per level) — the quantities evaluation sections tabulate when
 describing their workload mix.
+
+The level decomposition comes from the cached array lowering of the DAG
+(:mod:`repro.instance.compiled`): one vectorized Kahn peel over the CSR
+adjacency, shared with the scheduling engine.
 """
 
 from __future__ import annotations
 
 from typing import Hashable
+
+import numpy as np
 
 from repro.dag.graph import DAG
 
@@ -20,11 +26,10 @@ JobId = Hashable
 
 def node_levels(dag: DAG) -> dict[JobId, int]:
     """Precedence level of each node: 0 for sources, else 1 + max over preds."""
-    out: dict[JobId, int] = {}
-    for j in dag.topological_order():
-        preds = dag.predecessors(j)
-        out[j] = 1 + max((out[p] for p in preds), default=-1)
-    return out
+    from repro.instance.compiled import compile_dag
+
+    cd = compile_dag(dag)
+    return dict(zip(cd.order, cd.levels.tolist()))
 
 
 #: Backwards-compatible private alias.
@@ -33,20 +38,20 @@ _levels = node_levels
 
 def depth(dag: DAG) -> int:
     """Number of levels (hop-longest chain length); 0 for an empty graph."""
+    from repro.instance.compiled import compile_dag
+
     if len(dag) == 0:
         return 0
-    return max(_levels(dag).values()) + 1
+    return int(compile_dag(dag).levels.max()) + 1
 
 
 def level_widths(dag: DAG) -> list[int]:
     """Node count per precedence level (the parallelism profile)."""
+    from repro.instance.compiled import compile_dag
+
     if len(dag) == 0:
         return []
-    lv = node_levels(dag)
-    out = [0] * (max(lv.values()) + 1)
-    for l in lv.values():
-        out[l] += 1
-    return out
+    return np.bincount(compile_dag(dag).levels).tolist()
 
 
 def width(dag: DAG) -> int:

@@ -31,6 +31,10 @@ class DAG:
         self._succ: dict[JobId, list[JobId]] = {}
         self._pred: dict[JobId, list[JobId]] = {}
         self._edge_set: set[tuple[JobId, JobId]] = set()
+        # lazily filled structural caches, dropped on any mutation:
+        # the Kahn order and the array-native lowering (repro.instance.compiled)
+        self._topo_cache: list[JobId] | None = None
+        self._compiled = None
         for n in nodes:
             self.add_node(n)
         for u, v in edges:
@@ -39,11 +43,16 @@ class DAG:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    def _invalidate_caches(self) -> None:
+        self._topo_cache = None
+        self._compiled = None
+
     def add_node(self, node: JobId) -> None:
         """Insert ``node`` (idempotent)."""
         if node not in self._succ:
             self._succ[node] = []
             self._pred[node] = []
+            self._invalidate_caches()
 
     def add_edge(self, u: JobId, v: JobId) -> None:
         """Insert precedence ``u -> v`` (idempotent); nodes are auto-created."""
@@ -55,6 +64,7 @@ class DAG:
             self._edge_set.add((u, v))
             self._succ[u].append(v)
             self._pred[v].append(u)
+            self._invalidate_caches()
 
     def copy(self) -> "DAG":
         return DAG(self.nodes(), self.edges())
@@ -113,7 +123,14 @@ class DAG:
     # traversal
     # ------------------------------------------------------------------
     def topological_order(self) -> list[JobId]:
-        """Kahn topological order; raises ``ValueError`` if a cycle exists."""
+        """Kahn topological order; raises ``ValueError`` if a cycle exists.
+
+        The order is cached until the graph mutates (schedulers ask for it
+        repeatedly — priority rules, tie-breaking, the compiled lowering);
+        callers receive a fresh list they may mutate freely.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
         indeg = {n: len(ps) for n, ps in self._pred.items()}
         frontier = [n for n, k in indeg.items() if k == 0]
         order: list[JobId] = []
@@ -126,7 +143,8 @@ class DAG:
                     frontier.append(s)
         if len(order) != len(self._succ):
             raise ValueError("precedence graph contains a cycle")
-        return order
+        self._topo_cache = order
+        return list(order)
 
     def validate(self) -> None:
         """Raise ``ValueError`` on cycles (acyclicity check)."""

@@ -3,12 +3,15 @@
 * :mod:`repro.engine.kernel` — the discrete-event core: virtual time, one
   event heap (completions, releases, failures) and numpy-vector resource
   accounting;
-* :mod:`repro.engine.dispatch` — the two queue disciplines built on it:
-  Algorithm 2's priority scan and dispatch-time allocation policies;
+* :mod:`repro.engine.dispatch` — the two queue disciplines over the
+  compiled-instance lowering (:mod:`repro.instance.compiled`): Algorithm
+  2's priority scan (packed-demand fused loop for ``d <= 4``, matrix
+  fallback above) and dispatch-time allocation policies;
 * :mod:`repro.engine.shelves` — first-fit shelf packing (pack scheduling);
 * :mod:`repro.engine.profile` — future-availability reservations
   (conservative backfilling);
-* :mod:`repro.engine.reference` — the frozen pre-kernel loops, kept only
+* :mod:`repro.engine.reference` — the frozen loops of earlier
+  generations (pre-kernel python and the PR-1 kernel driver), kept only
   for differential tests and benchmarks.
 
 Every scheduler in :mod:`repro.core`, :mod:`repro.baselines`,

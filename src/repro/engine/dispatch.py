@@ -1,4 +1,4 @@
-"""Scheduling drivers on top of :class:`~repro.engine.kernel.EventKernel`.
+"""Scheduling drivers on top of the compiled-instance lowering.
 
 Two queue disciplines cover every event-driven scheduler in the repository:
 
@@ -11,149 +11,386 @@ Two queue disciplines cover every event-driven scheduler in the repository:
   ``(job, allocation)`` pairs to start.  Used by the Tetris and HEFT
   baselines.
 
-Both gate readiness on job release times (online arrivals) via kernel
-release events, and both preserve the historical tie-breaking exactly:
-simultaneous completions are processed as one batch, and newly ready jobs
-enter the queue by ``(priority key, topological index)``.
+Both run on the **compiled instance** (:mod:`repro.instance.compiled`):
+jobs are dense topological indices, adjacency is CSR, and priority keys
+are lowered once into integer *ranks* realizing the ``(key, topological
+index)`` total order.  The ready queue is a sorted int64 array of ranks —
+insertion is a binary-search merge (``O(log n)`` comparisons per entry
+plus one memmove) and the per-pass feasibility test is a single
+whole-queue vector comparison, so dispatch is ``O((n + m) log n)`` array
+work plus ``O(1)`` python per started job.
+
+The priority driver has two bodies behind one contract:
+
+* the **packed path** (``ci.packable``: ``d <= 4``, capacities below
+  ``2**15``) lowers every demand vector into one ``uint64`` whose fields
+  are the per-type amounts (see :class:`~repro.instance.compiled.CompiledInstance`).
+  Resource accounting degenerates to integer adds/subtracts, the scalar
+  admission test to ``((av + mask) - a) & mask == mask``, and the
+  whole-queue prefilter to three 1-D vector ops.  The event loop is fused
+  into a single flat loop (heap, readiness, dispatch) with no per-event
+  callback indirection — this is the hot path the benchmarks measure.
+* the **general path** (higher ``d`` or larger capacities) keeps the
+  ``(n, d)`` allocation matrix and drives the shared
+  :class:`~repro.engine.kernel.EventKernel` with whole-matrix feasibility
+  comparisons.
+
+Both paths gate readiness on job release times (online arrivals) and
+preserve the historical tie-breaking exactly: simultaneous completions are
+processed as one batch, newly ready jobs enter the queue by ``(priority
+key, topological index)``, and events pop in ``(time, submission)`` order.
+The frozen predecessors (:mod:`repro.engine.reference`) pin that behavior
+in the differential tests.
 """
 
 from __future__ import annotations
 
-from bisect import insort
-from operator import le as _le
+import heapq
 from typing import Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
 from repro.engine.kernel import RELEASE, EventKernel
+from repro.instance.compiled import PACK_BITS, compile_instance
 
 __all__ = ["drive_priority_schedule", "drive_policy_schedule"]
 
 JobId = Hashable
 
-#: Ready-queue length beyond which a whole-queue vectorized feasibility
-#: prefilter is cheaper than scanning jobs one by one.
-_VECTOR_SCAN_MIN = 32
+_EMPTY_QUEUE = np.empty(0, dtype=np.int64)
 
 
 def drive_priority_schedule(
     instance,
     allocation: Mapping[JobId, Sequence[int]],
-    keys: Mapping[JobId, object],
-    durations: Mapping[JobId, float],
+    keys: "Mapping[JobId, object] | np.ndarray",
+    durations: "Mapping[JobId, float] | np.ndarray",
     on_start: Callable[[JobId, float, float], None],
     *,
     on_complete: Callable[[JobId, float], float | None] | None = None,
+    alloc_mat: np.ndarray | None = None,
 ) -> EventKernel:
-    """Run Algorithm 2's queue discipline on the kernel.
+    """Run Algorithm 2's queue discipline on the compiled instance.
 
-    The ready queue is kept sorted by ``(key, topological tie-break)``; every
-    scheduling pass scans the whole queue in that order and starts every job
-    whose allocation fits.  Resource accounting is batched into whole-vector
-    kernel operations — one acquire per pass, one release per event batch —
-    and long queues are pruned with a single vectorized feasibility
-    comparison before the scan (exact: availability only shrinks within a
-    pass, so a job failing the prefilter cannot start until the next event).
+    The ready queue is kept sorted by rank (the dense integer image of
+    ``(key, topological tie-break)``); every scheduling pass tests the whole
+    queue with one vectorized feasibility comparison and scans only the
+    passing entries in priority order, starting every job that still fits as
+    availability shrinks (exact: availability only shrinks within a pass, so
+    a job failing the whole-queue test cannot start until the next event).
+
+    ``keys`` and ``durations`` may be mappings over job ids or 1-D arrays
+    aligned with the topological order (the vectorized fast path);
+    ``alloc_mat`` optionally supplies the already-lowered ``(n, d)``
+    allocation matrix (e.g. the one ``validate_allocation_map`` returns)
+    so the allocation is not lowered twice per run.
 
     ``on_start(job, start, duration)`` records each dispatch.  When given,
     ``on_complete(job, now) -> float | None`` intercepts completions: a
     float re-runs the job immediately for that duration *without* releasing
     its resources (failure re-execution); ``None`` completes it normally.
-    Returns the kernel (its clock holds the final virtual time).
+    Returns a kernel whose clock holds the final virtual time.
     """
-    dag = instance.dag
-    order = dag.topological_order()
-    index = {j: i for i, j in enumerate(order)}
-    d = instance.d
-    rng_d = range(d)
-    alloc_mat = np.zeros((len(order), d), dtype=np.int64)
-    for j, i in index.items():
-        alloc_mat[i] = tuple(allocation[j])
-    alloc_tup = [tuple(allocation[j]) for j in order]
-
-    remaining = {j: dag.in_degree(j) for j in order}
+    ci = compile_instance(instance)
     kernel = EventKernel(instance.pool.capacities)
-    for j, r in instance.release_times().items():
-        if r > 0.0:
-            remaining[j] += 1  # the release acts as one extra virtual predecessor
-            kernel.schedule_release(r, j)
+    if ci.n == 0:
+        return kernel
 
-    ready: list[tuple[object, int, JobId]] = []
-    for j in dag.sources():
-        if remaining[j] == 0:
-            insort(ready, (keys[j], index[j], j))
+    if alloc_mat is None:
+        alloc_mat = ci.alloc_matrix(allocation)
+    if isinstance(durations, np.ndarray):
+        dur = durations.tolist()
+    else:
+        order = ci.order
+        dur = [durations[j] for j in order]
+    rank_of, topo_of_rank = ci.rank_permutation(keys)
 
-    # resources freed by the current event batch, flushed as one vector op
-    freed = [0] * d
-    have_freed = False
+    if ci.packable:
+        _drive_priority_packed(
+            ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
+        )
+    else:
+        _drive_priority_general(
+            ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
+        )
+    return kernel
+
+
+def _drive_priority_packed(
+    ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
+) -> None:
+    """The fused packed-demand event loop (see module docstring).
+
+    One flat loop owns the event heap, the readiness vector and the ready
+    queue.  Heap entries are ``(time, seq, code)`` with ``code < n`` a
+    completion of topological index ``code`` and ``code >= n`` the release
+    of index ``code - n``; ``seq`` reproduces the kernel's FIFO order for
+    simultaneous events, so ``on_complete`` sees completions in exactly
+    the order the kernel-based loop delivered them.
+    """
+    cd = ci.cdag
+    n = cd.n
+    order = cd.order
+    succ = cd.succ_lists()
+    remaining = cd.in_degree.tolist()
+
+    pk_by_rank = ci.pack_demands(alloc_mat)[topo_of_rank]
+    pk_rank_l = pk_by_rank.tolist()  # python ints: scalar tests are one int op
+    rank_l = rank_of.tolist()
+    topo_l = topo_of_rank
+
+    H = ci.fit_mask
+    H_u = np.uint64(H)
+    uint64 = np.uint64
+    # availability carried with the headroom bits pre-added: avh = av + H
+    avh = ci.packed_capacities + H
+
+    heap: list[tuple[float, int, int]] = []
+    seq = 0
+    if ci.has_releases:
+        rel = ci.release
+        for i in np.flatnonzero(rel > 0.0).tolist():
+            remaining[i] += 1  # the release acts as one extra virtual predecessor
+            heap.append((float(rel[i]), seq, n + i))
+            seq += 1
+        heapq.heapify(heap)
+
+    # the ready queue: parallel sorted-by-rank buffers of ranks and packed
+    # demands, plus spares for the batched insertion merge
+    qb = np.empty(n, dtype=np.int64)
+    pb = np.empty(n, dtype=np.uint64)
+    sq = np.empty(n, dtype=np.int64)
+    sp = np.empty(n, dtype=np.uint64)
+    r0 = rank_of[np.flatnonzero(np.asarray(remaining) == 0)]
+    r0.sort()
+    L = r0.size
+    qb[:L] = r0
+    pb[:L] = pk_by_rank[r0]
+
+    now = 0.0
+    eps = kernel.time_eps
+    push = heapq.heappush
+    pop = heapq.heappop
+
+    while True:
+        # ------------------------- dispatch pass -------------------------
+        if L:
+            # whole-queue feasibility: one SWAR comparison over uint64s
+            hits = ((((uint64(avh) - pb[:L]) & H_u) == H_u).nonzero())[0]
+            if hits.size:
+                started = None
+                for kpos, r in zip(hits.tolist(), qb[hits].tolist()):
+                    a = pk_rank_l[r]
+                    if (avh - a) & H == H:  # still fits as availability shrinks
+                        avh -= a
+                        i = topo_l[r]
+                        t = dur[i]
+                        push(heap, (now + t, seq, i))
+                        seq += 1
+                        on_start(order[i], now, t)
+                        if started is None:
+                            started = [kpos]
+                        else:
+                            started.append(kpos)
+                if started is not None:
+                    if len(started) == L:
+                        L = 0
+                    else:
+                        for p in reversed(started):
+                            qb[p:L - 1] = qb[p + 1:L]
+                            pb[p:L - 1] = pb[p + 1:L]
+                            L -= 1
+        if not heap:
+            break
+        # -------------------------- event batch --------------------------
+        t0, _, c = pop(heap)
+        now = t0
+        horizon = t0 + eps
+        if heap and heap[0][0] <= horizon:
+            batch = [c]
+            while heap and heap[0][0] <= horizon:
+                batch.append(pop(heap)[2])
+        else:
+            batch = (c,)
+        newly = None
+        for c in batch:
+            if c >= n:  # release event: one virtual predecessor satisfied
+                i = c - n
+                m = remaining[i] - 1
+                remaining[i] = m
+                if not m:
+                    if newly is None:
+                        newly = [rank_l[i]]
+                    else:
+                        newly.append(rank_l[i])
+                continue
+            i = c
+            if on_complete is not None:
+                retry = on_complete(order[i], now)
+                if retry is not None:
+                    # re-run on the held allocation; nothing is released
+                    push(heap, (now + retry, seq, i))
+                    seq += 1
+                    continue
+            avh += pk_rank_l[rank_l[i]]
+            for s in succ[i]:
+                m = remaining[s] - 1
+                remaining[s] = m
+                if not m:
+                    if newly is None:
+                        newly = [rank_l[s]]
+                    else:
+                        newly.append(rank_l[s])
+        if newly is not None:
+            k = len(newly)
+            if k == 1:
+                r = newly[0]
+                p = qb[:L].searchsorted(r)
+                qb[p + 1:L + 1] = qb[p:L]
+                qb[p] = r
+                pb[p + 1:L + 1] = pb[p:L]
+                pb[p] = pk_rank_l[r]
+                L += 1
+            else:
+                nr = np.array(newly, dtype=np.int64)
+                nr.sort()
+                idx = qb[:L].searchsorted(nr) + np.arange(k)
+                mask = np.ones(L + k, dtype=bool)
+                mask[idx] = False
+                oq = sq[:L + k]
+                op = sp[:L + k]
+                oq[idx] = nr
+                op[idx] = pk_by_rank[nr]
+                oq[mask] = qb[:L]
+                op[mask] = pb[:L]
+                qb, sq = sq, qb
+                pb, sp = sp, pb
+                L += k
+
+    # leave the kernel facade consistent: final clock and availability
+    kernel.now = now
+    av = avh - H
+    field = (1 << PACK_BITS) - 1
+    kernel._avail[:] = [(av >> (PACK_BITS * r)) & field for r in range(ci.d)]
+
+
+def _drive_priority_general(
+    ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
+) -> None:
+    """Matrix fallback for instances the packed lowering cannot carry
+    (``d > 4`` or capacities ``>= 2**15``): same discipline over the
+    ``(n, d)`` allocation matrix on the shared :class:`EventKernel`."""
+    cd = ci.cdag
+    order = cd.order
+    succ_indptr = cd.succ_indptr
+    succ_indices = cd.succ_indices
+    d = ci.d
+    rng_d = range(d)
+
+    alloc_rows = alloc_mat.tolist()  # python ints for the shrinking-scan
+    alloc_by_rank = alloc_mat[topo_of_rank]
+
+    remaining = cd.in_degree.copy()
+    if ci.has_releases:
+        rel = ci.release
+        for i in np.flatnonzero(rel > 0.0).tolist():
+            remaining[i] += 1  # the release acts as one extra virtual predecessor
+            kernel.schedule_release(float(rel[i]), i)
+
+    # the ready queue: a sorted int64 array of ranks
+    q = np.sort(rank_of[np.flatnonzero(remaining == 0)])
+
+    # events of the current batch, drained as whole-vector updates at the
+    # next dispatch pass (the batch boundary the loops have always used)
+    done: list[int] = []
+    released: list[int] = []
 
     def dispatch(k: EventKernel) -> None:
-        nonlocal have_freed
-        if have_freed:
-            k.release(freed)
-            for r in rng_d:
-                freed[r] = 0
-            have_freed = False
-        if not ready:
+        nonlocal q
+        zeroed = None
+        if done:
+            k.release(alloc_mat[done].sum(axis=0))
+            if len(done) == 1:
+                i = done[0]
+                targets = succ_indices[succ_indptr[i]:succ_indptr[i + 1]]
+                if targets.size:
+                    remaining[targets] -= 1  # successors of one job are unique
+            else:
+                targets = np.concatenate(
+                    [succ_indices[succ_indptr[i]:succ_indptr[i + 1]] for i in done]
+                )
+                if targets.size:
+                    np.subtract.at(remaining, targets, 1)
+            done.clear()
+            if targets.size:
+                zeroed = targets[remaining[targets] == 0]
+        newly: list[int] = []
+        if released:
+            for i in released:
+                remaining[i] -= 1
+                if remaining[i] == 0:
+                    newly.append(i)
+            released.clear()
+        if zeroed is not None and zeroed.size:
+            new_ranks = rank_of[np.unique(zeroed)]
+            if newly:
+                new_ranks = np.concatenate([new_ranks, rank_of[newly]])
+        elif newly:
+            new_ranks = rank_of[newly]
+        else:
+            new_ranks = None
+        if new_ranks is not None and new_ranks.size:
+            new_ranks.sort()
+            q = np.insert(q, np.searchsorted(q, new_ranks), new_ranks)
+
+        if not q.size:
             return
-        m = len(ready)
-        fit = None
-        if m > _VECTOR_SCAN_MIN:
-            idxs = np.fromiter((e[1] for e in ready), dtype=np.int64, count=m)
-            fit = (alloc_mat[idxs] <= k.available).all(axis=1).tolist()
-            if True not in fit:
-                return
+        # whole-queue feasibility in one vector comparison
+        fit = (alloc_by_rank[q] <= k.available).all(axis=1)
+        if not fit.any():
+            return
         av = k.available.tolist()
         acq: list[int] | None = None
-        keep: list[tuple[object, int, JobId]] = []
-        for pos in range(m):
-            entry = ready[pos]
-            if fit is None or fit[pos]:
-                a = alloc_tup[entry[1]]
-                if all(map(_le, a, av)):
-                    j = entry[2]
-                    dur = durations[j]
-                    k.hold(entry[1], dur)
-                    if acq is None:
-                        acq = list(a)
-                    else:
-                        for r in rng_d:
-                            acq[r] += a[r]
+        started: list[int] | None = None
+        cand = np.flatnonzero(fit)
+        for pos, rnk in zip(cand.tolist(), q[cand].tolist()):
+            i = topo_of_rank[rnk]
+            a = alloc_rows[i]
+            if all(x <= y for x, y in zip(a, av)):
+                t = dur[i]
+                k.hold(i, t)
+                if acq is None:
+                    acq = list(a)
+                    started = [pos]
+                else:
                     for r in rng_d:
-                        av[r] -= a[r]
-                    on_start(j, k.now, dur)
-                    continue
-            keep.append(entry)
-        if acq is not None:
+                        acq[r] += a[r]
+                    started.append(pos)
+                for r in rng_d:
+                    av[r] -= a[r]
+                on_start(order[i], k.now, t)
+        if started is not None:
             k.acquire(acq)
-            ready[:] = keep
+            if len(started) == q.size:
+                q = _EMPTY_QUEUE
+            else:
+                keep = np.ones(q.size, dtype=bool)
+                keep[started] = False
+                q = q[keep]
 
     def handle(k: EventKernel, kind: str, payload) -> None:
-        nonlocal have_freed
         if kind == RELEASE:
-            j = payload
-            remaining[j] -= 1
-            if remaining[j] == 0:
-                insort(ready, (keys[j], index[j], j))
+            released.append(payload)
             return
         i = payload
-        j = order[i]
         if on_complete is not None:
-            retry = on_complete(j, k.now)
+            retry = on_complete(order[i], k.now)
             if retry is not None:
                 k.hold(i, retry)
                 return
-        a = alloc_tup[i]
-        for r in rng_d:
-            freed[r] += a[r]
-        have_freed = True
-        for s in dag.successors(j):
-            remaining[s] -= 1
-            if remaining[s] == 0:
-                insort(ready, (keys[s], index[s], s))
+        done.append(i)
 
     kernel.run(dispatch, handle)
-    return kernel
 
 
 #: Policy: (instance, ready job ids, available amounts) -> jobs to start now,
@@ -171,19 +408,28 @@ def drive_policy_schedule(
     ``policy(instance, ready, available)`` must only return jobs from the
     ready list with allocations that fit the available vector (validated
     here); returning ``[]`` yields until the next event.  ``on_start(job,
-    start, duration, alloc)`` records each dispatch.
+    start, duration, alloc)`` records each dispatch.  Readiness bookkeeping
+    runs on the compiled instance: an in-degree vector decremented over CSR
+    successor slices; the policy still sees plain job ids, in the same
+    order the dict-based driver produced them.
     """
-    dag = instance.dag
-    remaining = {j: dag.in_degree(j) for j in instance.jobs}
-    kernel = EventKernel(instance.pool.capacities)
-    for j, r in instance.release_times().items():
-        if r > 0.0:
-            remaining[j] += 1
-            kernel.schedule_release(r, j)
+    ci = compile_instance(instance)
+    cd = ci.cdag
+    order = cd.order
+    index = cd.index
+    succ_indptr = cd.succ_indptr
+    succ_indices = cd.succ_indices
 
-    ready: list[JobId] = [j for j in dag.sources() if remaining[j] == 0]
-    held: dict[JobId, np.ndarray] = {}
-    d = instance.d
+    remaining = cd.in_degree.copy()
+    kernel = EventKernel(instance.pool.capacities)
+    if ci.has_releases:
+        rel = ci.release
+        for i in np.flatnonzero(rel > 0.0).tolist():
+            remaining[i] += 1
+            kernel.schedule_release(float(rel[i]), i)
+
+    ready: list[JobId] = [j for j in instance.dag.sources() if remaining[index[j]] == 0]
+    held: dict[int, np.ndarray] = {}
 
     def dispatch(k: EventKernel) -> None:
         while True:
@@ -201,23 +447,25 @@ def drive_policy_schedule(
                         f"{tuple(int(a) for a in k.available)}"
                     )
                 t = instance.time(j, alloc)
-                k.start(j, row, t)
-                held[j] = row
+                i = index[j]
+                k.start(i, row, t)
+                held[i] = row
                 on_start(j, k.now, t, alloc)
                 ready.remove(j)
 
     def handle(k: EventKernel, kind: str, payload) -> None:
+        i = payload
         if kind == RELEASE:
-            remaining[payload] -= 1
-            if remaining[payload] == 0:
-                ready.append(payload)
+            remaining[i] -= 1
+            if remaining[i] == 0:
+                ready.append(order[i])
             return
-        j = payload
-        k.release(held.pop(j))
-        for s in dag.successors(j):
-            remaining[s] -= 1
-            if remaining[s] == 0:
-                ready.append(s)
+        k.release(held.pop(i))
+        sl = succ_indices[succ_indptr[i]:succ_indptr[i + 1]]
+        if sl.size:
+            remaining[sl] -= 1  # successors of one job are unique
+            for t_idx in sl[remaining[sl] == 0].tolist():
+                ready.append(order[t_idx])
 
     kernel.run(dispatch, handle)
     return kernel

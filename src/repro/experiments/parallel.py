@@ -11,6 +11,7 @@ the standard multiprocessing constraint).
 from __future__ import annotations
 
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -19,9 +20,35 @@ __all__ = ["map_parallel", "default_workers"]
 T = TypeVar("T")
 R = TypeVar("R")
 
+def _picklable(obj) -> bool:
+    """True when ``obj`` can cross a process boundary.
+
+    Closures and lambdas surface as PicklingError, AttributeError ("Can't
+    pickle local object") or TypeError ("cannot pickle ... object")
+    depending on the object being serialized; probing up front keeps those
+    exception types distinct from the same types raised *by* a task.
+    """
+    try:
+        pickle.dumps(obj)
+        return True
+    except (pickle.PicklingError, AttributeError, TypeError):
+        return False
+
 
 def default_workers() -> int:
-    """Half the visible CPUs (leave room for the solver's own threads)."""
+    """Half the visible CPUs (leave room for the solver's own threads).
+
+    The ``REPRO_WORKERS`` environment variable overrides the heuristic —
+    the knob CI and batch sweeps use without touching call sites.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError as exc:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from exc
     return max(1, (os.cpu_count() or 2) // 2)
 
 
@@ -35,12 +62,19 @@ def map_parallel(
     """``[fn(x) for x in items]`` over a process pool, order-preserving.
 
     ``workers=None`` uses :func:`default_workers`; ``workers<=1`` runs
-    serially (also the fallback if the pool cannot start, e.g. in
-    restricted sandboxes).
+    serially — also the fallback when the pool cannot start (restricted
+    sandboxes) or when ``fn``/``items`` cannot be pickled (closures,
+    lambdas, open handles).  Picklability is probed *before* the pool
+    starts, so an AttributeError/TypeError raised by a task itself still
+    propagates instead of silently re-running the sweep serially.  The
+    serial fallback recomputes from scratch, so ``fn`` should be
+    side-effect free, as sweep cells are.
     """
     items = list(items)
     n = default_workers() if workers is None else workers
     if n <= 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    if not (_picklable(fn) and all(_picklable(x) for x in items)):
         return [fn(x) for x in items]
     try:
         with ProcessPoolExecutor(max_workers=min(n, len(items))) as pool:

@@ -3,6 +3,13 @@
 Every function returns plain ``list[dict]`` rows ready for
 :func:`repro.experiments.report.format_table`, and is deterministic for
 fixed seeds.  The benchmark harness wraps each sweep in one bench target.
+
+The per-seed cells of Sim-A and Sim-B are independent; both sweeps accept
+``workers`` and fan the cells out over
+:func:`repro.experiments.parallel.map_parallel` (``workers=1`` — the
+default — runs serially; ``None`` uses ``default_workers()``, overridable
+via ``REPRO_WORKERS``).  Results are bit-identical regardless of worker
+count: cells are seeded independently and reassembled in order.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.experiments.lb_instance import (
     lower_bound_instance,
     theoretical_makespans,
 )
+from repro.experiments.parallel import map_parallel
 from repro.experiments.workloads import random_instance
 from repro.registry import available_schedulers, get_scheduler
 from repro.resources.pool import ResourcePool
@@ -39,6 +47,27 @@ __all__ = [
 ]
 
 
+def _sim_a_cell(cell: tuple) -> dict[str, float]:
+    """One Sim-A (family, d, seed) cell: ratio per scheduler.
+
+    Module-level so the cell can cross a process boundary (see
+    :mod:`repro.experiments.parallel`).
+    """
+    family, d, n, capacity, seed, schedulers = cell
+    pool = ResourcePool.uniform(d, capacity)
+    wl = random_instance(family, n, pool, seed=seed)
+    inst = wl.instance
+    lb = lp_lower_bound(inst)
+    res = get_scheduler("ours").schedule(inst, allocator="lp")
+    res.schedule.validate()
+    out = {"ours": res.makespan / lb}
+    for name in schedulers:
+        b = get_scheduler(name).schedule(inst)
+        b.schedule.validate()
+        out[name] = b.makespan / lb
+    return out
+
+
 def algorithm_comparison(
     families: Sequence[str] = ("layered", "cholesky", "forkjoin", "outtree"),
     d_values: Sequence[int] = (1, 2, 3, 4),
@@ -47,6 +76,7 @@ def algorithm_comparison(
     capacity: int = 16,
     seeds: Sequence[int] = (0, 1, 2),
     schedulers: Sequence[str] | None = None,
+    workers: int | None = 1,
 ) -> list[dict]:
     """Sim-A: mean makespan / LP-lower-bound ratio, ours vs. baselines.
 
@@ -54,31 +84,44 @@ def algorithm_comparison(
     seeds, plus the proven bound for reference.  ``schedulers`` defaults to
     every registered DAG-capable baseline (see :mod:`repro.registry`), so
     newly registered schedulers join the comparison automatically.
+    ``workers`` fans the (family, d, seed) cells over a process pool.
     """
     if schedulers is None:
         schedulers = available_schedulers(kind="baseline", graphs="any")
-    specs = {name: get_scheduler(name) for name in schedulers}
-    ours = get_scheduler("ours")
+    schedulers = tuple(schedulers)
+    grid = [(family, d) for family in families for d in d_values]
+    cells = [
+        (family, d, n, capacity, seed, schedulers)
+        for family, d in grid
+        for seed in seeds
+    ]
+    results = map_parallel(_sim_a_cell, cells, workers=workers)
     rows: list[dict] = []
-    for family in families:
-        for d in d_values:
-            pool = ResourcePool.uniform(d, capacity)
-            ratios: dict[str, list[float]] = {name: [] for name in ("ours", *specs)}
-            for seed in seeds:
-                wl = random_instance(family, n, pool, seed=seed)
-                inst = wl.instance
-                lb = lp_lower_bound(inst)
-                res = ours.schedule(inst, allocator="lp")
-                res.schedule.validate()
-                ratios["ours"].append(res.makespan / lb)
-                for name, spec in specs.items():
-                    b = spec.schedule(inst)
-                    b.schedule.validate()
-                    ratios[name].append(b.makespan / lb)
-            row = {"family": family, "d": d, "proven": theory.theorem1_ratio(d)}
-            row.update({name: mean(v) for name, v in ratios.items()})
-            rows.append(row)
+    per_cell = len(seeds)
+    for g, (family, d) in enumerate(grid):
+        chunk = results[g * per_cell:(g + 1) * per_cell]
+        row = {"family": family, "d": d, "proven": theory.theorem1_ratio(d)}
+        row.update({
+            name: mean(c[name] for c in chunk) for name in ("ours", *schedulers)
+        })
+        rows.append(row)
     return rows
+
+
+def _sim_b_cell(cell: tuple) -> tuple[float, float, float]:
+    """One Sim-B (d, seed) cell: (ours, sun_list, sun_shelf) ratios."""
+    d, n, capacity, seed = cell
+    pool = ResourcePool.uniform(d, capacity)
+    wl = random_instance("independent", n, pool, seed=seed)
+    inst = wl.instance
+    res = get_scheduler("ours").schedule(inst, allocator="independent")
+    res.schedule.validate()
+    lb = res.lower_bound
+    bl = get_scheduler("sun_list").schedule(inst)
+    bl.schedule.validate()
+    bs = get_scheduler("sun_shelf").schedule(inst)
+    bs.schedule.validate()
+    return res.makespan / lb, bl.makespan / lb, bs.makespan / lb
 
 
 def independent_comparison(
@@ -87,32 +130,23 @@ def independent_comparison(
     n: int = 40,
     capacity: int = 16,
     seeds: Sequence[int] = (0, 1, 2, 3),
+    workers: int | None = 1,
 ) -> list[dict]:
     """Sim-B: independent jobs — ours (Theorem 5) vs. Sun et al. [36].
 
     Ratios are against the *exact* ``L_min`` (Lemma 8), so they are true
-    upper bounds on the approximation factor achieved.
+    upper bounds on the approximation factor achieved.  ``workers`` fans
+    the (d, seed) cells over a process pool.
     """
-    ours_spec = get_scheduler("ours")
-    sun_list_spec = get_scheduler("sun_list")
-    sun_shelf_spec = get_scheduler("sun_shelf")
+    cells = [(d, n, capacity, seed) for d in d_values for seed in seeds]
+    results = map_parallel(_sim_b_cell, cells, workers=workers)
     rows: list[dict] = []
-    for d in d_values:
-        pool = ResourcePool.uniform(d, capacity)
-        ours, sun_list, sun_shelf = [], [], []
-        for seed in seeds:
-            wl = random_instance("independent", n, pool, seed=seed)
-            inst = wl.instance
-            res = ours_spec.schedule(inst, allocator="independent")
-            res.schedule.validate()
-            lb = res.lower_bound
-            ours.append(res.makespan / lb)
-            bl = sun_list_spec.schedule(inst)
-            bl.schedule.validate()
-            sun_list.append(bl.makespan / lb)
-            bs = sun_shelf_spec.schedule(inst)
-            bs.schedule.validate()
-            sun_shelf.append(bs.makespan / lb)
+    per_cell = len(seeds)
+    for g, d in enumerate(d_values):
+        chunk = results[g * per_cell:(g + 1) * per_cell]
+        ours = [c[0] for c in chunk]
+        sun_list = [c[1] for c in chunk]
+        sun_shelf = [c[2] for c in chunk]
         rows.append(
             {
                 "d": d,

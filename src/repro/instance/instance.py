@@ -57,6 +57,9 @@ class Instance:
     _candidate_cache: dict[int, dict[JobId, list[ProfileEntry]]] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: array-native lowering (see :mod:`repro.instance.compiled`); built on
+    #: first use by :func:`~repro.instance.compiled.compile_instance`.
+    _compiled: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         dag_nodes = set(self.dag.nodes())
@@ -84,6 +87,16 @@ class Instance:
     def time(self, job_id: JobId, alloc: ResourceVector) -> float:
         """``t_j(p_j)``."""
         return self.jobs[job_id].time(alloc)
+
+    def compiled(self):
+        """The cached array-native lowering of this instance.
+
+        See :mod:`repro.instance.compiled`; equivalent to
+        ``compile_instance(self)``.
+        """
+        from repro.instance.compiled import compile_instance
+
+        return compile_instance(self)
 
     # ------------------------------------------------------------------
     # release times (online-arrival scenarios)
@@ -178,12 +191,40 @@ class Instance:
         self._candidate_cache[key] = table
         return table
 
-    def validate_allocation_map(self, allocation: AllocationMap) -> None:
-        """Check that ``allocation`` covers every job and fits the pool."""
+    def validate_allocation_map(self, allocation: AllocationMap):
+        """Check that ``allocation`` covers every job and fits the pool.
+
+        The check is one whole-matrix comparison over the compiled order;
+        any failure re-runs the per-job loop so error messages (missing
+        job, dimension mismatch, over-capacity, zero allocation) stay
+        exactly as before.
+
+        Returns the validated ``(n, d)`` allocation matrix in topological
+        order when the vectorized path ran (``None`` after the fallback
+        loop) — the dispatch drivers reuse it instead of lowering the
+        allocation a second time.
+        """
+        import numpy as np
+
+        try:
+            ci = self.compiled()
+            lens = np.fromiter(
+                (len(allocation[j]) for j in ci.order), dtype=np.int64, count=ci.n
+            )
+            if (lens == self.d).all():
+                m = ci.alloc_matrix(allocation)
+                if bool(
+                    ((0 <= m) & (m <= ci.capacities)).all()
+                    and (m.sum(axis=1) > 0).all()
+                ):
+                    return m
+        except (KeyError, TypeError, ValueError):
+            pass
         for j in self.jobs:
             if j not in allocation:
                 raise ValueError(f"allocation missing job {j!r}")
             self.pool.validate_allocation(allocation[j])
+        return None
 
 
 def make_instance(

@@ -80,25 +80,49 @@ class MalleableResult:
 
 
 def malleable_list_schedule(instance: MalleableInstance) -> MalleableSchedule:
-    """Greedy unit-step list scheduling ((d+1)-approximation, [21])."""
+    """Greedy unit-step list scheduling ((d+1)-approximation, [21]).
+
+    Readiness bookkeeping runs on the compiled (array) form: the outer DAG
+    is lowered once via :func:`~repro.instance.compiled.compile_dag` and
+    each job's intra-task DAG into index lists, so the per-step work is
+    list/int operations instead of nested dict lookups.  Queue orders are
+    identical to the dict-based original (outer jobs open in topological
+    order, tasks enter in ``tasks.nodes()`` order).
+    """
+    from repro.instance.compiled import compile_dag
+
     inst = instance
     d = inst.d
-    # outer-DAG gating: a job's tasks become available once all predecessors'
-    # tasks completed
-    outer_remaining = {j: inst.dag.in_degree(j) for j in inst.jobs}
-    job_tasks_left = {j: inst.jobs[j].n_tasks for j in inst.jobs}
-    open_jobs = [j for j in inst.dag.topological_order() if outer_remaining[j] == 0]
+    # outer-DAG gating, on the compiled lowering: a job's tasks become
+    # available once all predecessors' tasks completed
+    outer = compile_dag(inst.dag)
+    outer_order = outer.order
+    outer_index = outer.index
+    outer_succ = outer.succ_lists()
+    outer_remaining = outer.in_degree.tolist()
+    job_tasks_left = [inst.jobs[j].n_tasks for j in outer_order]
+    open_jobs = [j for oi, j in enumerate(outer_order) if outer_remaining[oi] == 0]
 
-    # per-job intra readiness
-    intra_remaining = {
-        j: {t: inst.jobs[j].tasks.in_degree(t) for t in inst.jobs[j].tasks.nodes()}
-        for j in inst.jobs
-    }
+    # per-job intra readiness as index lists over tasks.nodes() order
+    task_nodes: dict[JobId, list[TaskId]] = {}
+    task_index: dict[JobId, dict[TaskId, int]] = {}
+    intra_remaining: dict[JobId, list[int]] = {}
+    intra_succ: dict[JobId, list[list[int]]] = {}
+    rtype_of: dict[JobId, list[int]] = {}
+    for j, job in inst.jobs.items():
+        nodes = list(job.tasks.nodes())
+        idx = {t: k for k, t in enumerate(nodes)}
+        task_nodes[j] = nodes
+        task_index[j] = idx
+        intra_remaining[j] = [job.tasks.in_degree(t) for t in nodes]
+        intra_succ[j] = [[idx[s] for s in job.tasks.successors(t)] for t in nodes]
+        rtype_of[j] = [job.rtype[t] for t in nodes]
+
     ready: list[tuple[JobId, TaskId]] = [
         (j, t)
         for j in open_jobs
-        for t, k in intra_remaining[j].items()
-        if k == 0
+        for k, t in enumerate(task_nodes[j])
+        if intra_remaining[j][k] == 0
     ]
     task_start: dict[tuple[JobId, TaskId], int] = {}
     unit_rows = np.eye(d, dtype=np.int64)  # one unit of a single type
@@ -110,8 +134,9 @@ def malleable_list_schedule(instance: MalleableInstance) -> MalleableSchedule:
 
     def dispatch(k: EventKernel) -> None:
         for j in newly_open:
-            for t, left in intra_remaining[j].items():
-                if left == 0:
+            left = intra_remaining[j]
+            for ti, t in enumerate(task_nodes[j]):
+                if left[ti] == 0:
                     ready.append((j, t))
         newly_open.clear()
         if not ready:
@@ -119,7 +144,7 @@ def malleable_list_schedule(instance: MalleableInstance) -> MalleableSchedule:
         avail = k.available
         leftover: list[tuple[JobId, TaskId]] = []
         for j, t in ready:
-            r = inst.jobs[j].rtype[t]
+            r = rtype_of[j][task_index[j][t]]
             if avail[r] > 0:
                 k.start((j, t), unit_rows[r], 1.0)
                 task_start[(j, t)] = int(round(k.now))
@@ -129,17 +154,21 @@ def malleable_list_schedule(instance: MalleableInstance) -> MalleableSchedule:
 
     def handle(k: EventKernel, kind: str, payload) -> None:
         j, t = payload
-        k.release(unit_rows[inst.jobs[j].rtype[t]])
-        job_tasks_left[j] -= 1
-        for s in inst.jobs[j].tasks.successors(t):
-            intra_remaining[j][s] -= 1
-            if intra_remaining[j][s] == 0:
-                ready.append((j, s))
-        if job_tasks_left[j] == 0:
-            for nxt in inst.dag.successors(j):
-                outer_remaining[nxt] -= 1
-                if outer_remaining[nxt] == 0:
-                    newly_open.append(nxt)
+        ti = task_index[j][t]
+        k.release(unit_rows[rtype_of[j][ti]])
+        oi = outer_index[j]
+        job_tasks_left[oi] -= 1
+        left = intra_remaining[j]
+        nodes = task_nodes[j]
+        for si in intra_succ[j][ti]:
+            left[si] -= 1
+            if left[si] == 0:
+                ready.append((j, nodes[si]))
+        if job_tasks_left[oi] == 0:
+            for ni in outer_succ[oi]:
+                outer_remaining[ni] -= 1
+                if outer_remaining[ni] == 0:
+                    newly_open.append(outer_order[ni])
 
     kernel.run(dispatch, handle)
 

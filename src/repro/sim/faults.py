@@ -121,7 +121,7 @@ def execute_with_faults(
         raise ValueError("failure_prob must be in [0, 1)")
     if max_retries < 0:
         raise ValueError("max_retries must be >= 0")
-    instance.validate_allocation_map(allocation)
+    alloc_mat = instance.validate_allocation_map(allocation)
     rng = ensure_rng(seed)
 
     base_times = {j: instance.time(j, allocation[j]) for j in instance.jobs}
@@ -132,7 +132,15 @@ def execute_with_faults(
     times = {
         j: base_times[j] * (straggler_factor if is_straggler[j] else 1.0) for j in order
     }
-    keys = priority(instance, allocation, base_times)
+    # priority keys on the compiled form when the rule carries a vector
+    # form: identical (key, topological index) order, no per-job python
+    # key objects (see PriorityRule in repro.core.list_scheduler)
+    as_array = getattr(priority, "as_array", None)
+    if as_array is not None:
+        ci = instance.compiled()
+        keys = as_array(instance, allocation, ci.duration_vector(base_times))
+    else:
+        keys = priority(instance, allocation, base_times)
 
     retries_used = {j: 0 for j in instance.jobs}
     execution = FaultyExecution(instance=instance)
@@ -163,7 +171,8 @@ def execute_with_faults(
         return None
 
     drive_priority_schedule(
-        instance, allocation, keys, times, on_start, on_complete=on_complete
+        instance, allocation, keys, times, on_start, on_complete=on_complete,
+        alloc_mat=alloc_mat,
     )
 
     if len(execution.completion) != len(instance.jobs):  # pragma: no cover

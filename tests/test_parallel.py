@@ -1,0 +1,72 @@
+"""Tests for :mod:`repro.experiments.parallel` — the sweep fan-out helper."""
+
+import pytest
+
+from repro.experiments.parallel import default_workers, map_parallel
+from repro.experiments.sweeps import independent_comparison
+
+
+def _square(x):
+    return x * x
+
+
+class TestMapParallel:
+    def test_serial(self):
+        assert map_parallel(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_pool_preserves_order(self):
+        items = list(range(20))
+        assert map_parallel(_square, items, workers=2) == [x * x for x in items]
+
+    def test_closure_falls_back_to_serial(self):
+        # a closure cannot cross a process boundary; the documented contract
+        # is a silent serial fallback, not a PicklingError
+        offset = 10
+
+        def task(x):
+            return x + offset
+
+        assert map_parallel(task, [1, 2, 3], workers=4) == [11, 12, 13]
+
+    def test_lambda_falls_back_to_serial(self):
+        assert map_parallel(lambda x: -x, [1, 2], workers=4) == [-1, -2]
+
+    def test_unpicklable_item_falls_back_to_serial(self):
+        import threading
+
+        lock = threading.Lock()  # cannot pickle '_thread.lock'
+        out = map_parallel(lambda pair: pair[0], [(1, lock), (2, lock)], workers=4)
+        assert out == [1, 2]
+
+    def test_task_errors_propagate_not_swallowed(self):
+        # a TypeError raised *by* the task must not be mistaken for a
+        # pickling failure (which would silently re-run the sweep serially)
+        with pytest.raises(TypeError):
+            map_parallel(_raise_type_error, [1, 2, 3], workers=2)
+
+
+def _raise_type_error(x):
+    raise TypeError(f"task bug on {x}")
+
+
+class TestDefaultWorkers:
+    def test_positive(self):
+        assert default_workers() >= 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert default_workers() == 1  # clamped to at least one worker
+
+    def test_env_override_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            default_workers()
+
+
+class TestSweepsUseWorkers:
+    def test_sim_b_rows_identical_serial_vs_pool(self):
+        kw = dict(d_values=(1,), n=6, seeds=(0, 1))
+        assert independent_comparison(workers=1, **kw) == \
+            independent_comparison(workers=2, **kw)
