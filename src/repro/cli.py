@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro sim-a --families layered cholesky --d 1 2 3
     python -m repro sim-b
     python -m repro schedulers
+    python -m repro fuzz --quick
     python -m repro schedule --family cholesky --n 40 --d 3 --gantt
     python -m repro schedule --family independent --scheduler sun_shelf
     python -m repro schedule --scheduler tetris --arrival-rate 2.0
@@ -85,6 +86,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("schedulers", help="list the registered schedulers")
 
+    fz = sub.add_parser(
+        "fuzz",
+        help="conformance sweep: strict validation + differential checks "
+             "over every registered scheduler",
+    )
+    fz.add_argument("--quick", action="store_true",
+                    help="reduced matrix (~500 cases; also via REPRO_FUZZ_QUICK=1)")
+    fz.add_argument("--n", type=int, default=10, help="jobs per instance")
+    fz.add_argument("--seed", type=int, default=0, help="base seed")
+    fz.add_argument("--schedulers", nargs="+", default=None, metavar="NAME",
+                    help="restrict to these registered schedulers")
+    fz.add_argument("--families", nargs="+", default=None,
+                    choices=list(WORKLOAD_FAMILIES),
+                    help="restrict to these workload families")
+    fz.add_argument("--max-cases", type=int, default=None, metavar="K",
+                    help="truncate the matrix to its first K cases")
+    fz.add_argument("--failures", metavar="FILE",
+                    help="write failing cases (seeded reproducers) as JSON")
+
     sc = sub.add_parser("schedule", help="schedule one workload and report")
     sc.add_argument("--family", default="layered", choices=list(WORKLOAD_FAMILIES))
     sc.add_argument("--n", type=int, default=24)
@@ -101,6 +121,39 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--trace", metavar="FILE", help="write a JSON trace")
 
     return p
+
+
+def _cmd_fuzz(args) -> int:
+    import json
+    import os
+
+    from repro.conformance.fuzz import default_matrix, run_fuzz
+
+    quick = args.quick or os.environ.get("REPRO_FUZZ_QUICK") == "1"
+    try:
+        cases = default_matrix(
+            quick=quick, n=args.n, seed=args.seed,
+            schedulers=args.schedulers, families=args.families,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.max_cases is not None:
+        cases = cases[: args.max_cases]
+    label = "quick" if quick else "full"
+    print(f"fuzz: sweeping {len(cases)} cases ({label} matrix)", flush=True)
+
+    def progress(i, total, case):
+        if i and i % 250 == 0:
+            print(f"  ... {i}/{total}", flush=True)
+
+    report = run_fuzz(cases, progress=progress)
+    print(report.summary())
+    if args.failures:
+        with open(args.failures, "w") as fh:
+            json.dump(report.to_json(), fh, indent=2)
+        print(f"failure report written to {args.failures}")
+    return 0 if report.ok else 1
 
 
 def _cmd_schedulers() -> int:
@@ -195,6 +248,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "schedulers":
         return _cmd_schedulers()
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "schedule":
         return _cmd_schedule(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

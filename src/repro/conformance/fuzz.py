@@ -1,0 +1,521 @@
+"""Seeded differential fuzzing of every registered scheduler.
+
+PR 2 proved differential testing works (the compiled dispatch path against
+two frozen reference generations); this module turns that ad-hoc pattern
+into a subsystem.  A *fuzz case* is one fully-specified configuration —
+``(scheduler, workload family, n, d, capacity, seed, scenario)`` — and
+running it performs every conformance check that applies:
+
+1. **strict validation** — the schedule passes
+   :func:`repro.conformance.invariants.validate_schedule` (capacity at
+   every event point, strict precedence, release gating, candidate
+   membership with the result's µ when it carries one, duration
+   consistency, job-set equality);
+2. **differential dispatch** — when the result carries a fixed allocation,
+   the live compiled engine (:func:`repro.core.list_scheduler.list_schedule`)
+   is raced event-for-event against the frozen PR-1 kernel driver
+   (:func:`repro.engine.reference.reference_pr1_list_schedule`) and — in
+   offline scenarios — the original pre-kernel loop
+   (:func:`repro.engine.reference.reference_list_schedule`);
+3. **serialize round-trip identity** — the scheduler re-runs on
+   ``instance_from_json(instance_to_json(inst))`` and must reproduce the
+   schedule event-for-event through the ``repr`` id mapping;
+4. **trace round-trip identity** — ``schedule_from_trace(inst,
+   schedule_to_trace(s))`` must equal ``s`` placement-for-placement;
+5. **fault replay** (``scenario="faults"``) — the kernel fault simulator
+   (:func:`repro.sim.faults.execute_with_faults`) is raced attempt-for-
+   attempt against the frozen pre-kernel loop under the same seed.
+
+The default matrix sweeps all registered schedulers × the 11 workload
+families × ``d ∈ {1..6}`` × capacity regimes (including the degenerate
+``cap=1`` platform and the packed/unpacked engine boundary at ``d=4/5``
+and ``cap >= 2**15``) × offline / Poisson-arrival / fault-replay
+scenarios.  Offline-only planners (backfill, the shelf packers, the
+malleable relaxation) are swept offline; a scheduler that *rejects* a
+scenario with ``ValueError`` is recorded as a skip, never a failure.
+
+Everything is deterministic in the case seed, so a failing case is its own
+reproducer: ``python -m repro fuzz`` prints (and can dump as JSON) the
+exact ``FuzzCase`` tuples that failed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+from typing import Sequence
+
+from repro.conformance.invariants import validate_schedule
+from repro.core.list_scheduler import bottom_level_priority, fifo_priority, list_schedule
+from repro.engine.reference import (
+    reference_execute_with_faults,
+    reference_list_schedule,
+    reference_pr1_list_schedule,
+)
+from repro.experiments.workloads import WORKLOAD_FAMILIES, random_instance
+from repro.instance.instance import Instance, with_poisson_arrivals
+from repro.instance.serialize import instance_from_json, instance_to_json
+from repro.jobs.candidates import make_candidates
+from repro.registry import get_scheduler, scheduler_specs
+from repro.resources.pool import ResourcePool
+from repro.sim.faults import execute_with_faults
+from repro.sim.schedule import Schedule
+from repro.sim.trace import schedule_from_trace, schedule_to_trace
+
+__all__ = [
+    "SCENARIOS",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "default_matrix",
+    "run_case",
+    "run_fuzz",
+]
+
+SCENARIOS = ("offline", "poisson", "faults")
+
+#: Schedulers that plan offline and reject release times by contract.
+_OFFLINE_ONLY = frozenset({"backfill", "level_shelf", "sun_shelf", "malleable"})
+
+#: Resource dimensions swept (d <= 4 exercises the packed engine path,
+#: d = 5, 6 the general matrix path).
+_D_VALUES = (1, 2, 3, 4, 5, 6)
+
+#: Capacity past the packed field range (2**15): with d <= 4 this forces
+#: the general engine path on an otherwise packable dimension — the
+#: packed/unpacked boundary the compiled engine must agree across.
+_UNPACKED_CAP = 1 << 15
+
+#: O(levels) candidates regardless of d — keeps huge-capacity and d=6
+#: grids tractable (the Cartesian strategies are exponential in d).
+_DIAGONAL = make_candidates("diagonal", levels=6)
+
+#: Fault-replay perturbation parameters (fixed; the case seed drives the
+#: randomness).
+_FAULT_KW = dict(
+    straggler_fraction=0.3,
+    straggler_factor=2.0,
+    failure_prob=0.15,
+    max_retries=2,
+)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fully-specified fuzz configuration (its own reproducer)."""
+
+    scheduler: str
+    family: str
+    n: int
+    d: int
+    capacity: int
+    seed: int
+    scenario: str = "offline"
+    arrival_rate: float = 2.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.scheduler} × {self.family} n={self.n} d={self.d} "
+            f"cap={self.capacity} seed={self.seed} [{self.scenario}]"
+        )
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One broken check: the case, which check broke, and why."""
+
+    case: FuzzCase
+    check: str  #: "crash" | "validator" | "differential" | "serialize" | "trace" | "faults"
+    detail: str
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a sweep."""
+
+    cases_run: int = 0
+    cases_skipped: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    by_scenario: Counter = field(default_factory=Counter)
+    by_scheduler: Counter = field(default_factory=Counter)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {self.cases_run} cases run, {self.cases_skipped} skipped "
+            f"(unsupported scenario), {len(self.failures)} failure(s)",
+            "  by scenario: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.by_scenario.items())),
+            "  by scheduler: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.by_scheduler.items())),
+        ]
+        for f in self.failures:
+            lines.append(f"  FAIL [{f.check}] {f.case.describe()}: {f.detail}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "cases_run": self.cases_run,
+            "cases_skipped": self.cases_skipped,
+            "by_scenario": dict(self.by_scenario),
+            "by_scheduler": dict(self.by_scheduler),
+            "failures": [
+                {"case": asdict(f.case), "check": f.check, "detail": f.detail}
+                for f in self.failures
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# matrix generation
+# ----------------------------------------------------------------------
+def _capacities_for(d: int) -> tuple[int, ...]:
+    """Capacity regimes per dimension: the degenerate single-unit platform,
+    a small contended pool, a comfortable pool, and — where the packed
+    lowering would otherwise apply (d <= 4) — a capacity past the packed
+    field range, pinning the packed/unpacked boundary."""
+    regimes = [1, 4, 16]
+    if d <= 4:
+        regimes.append(_UNPACKED_CAP)
+    return tuple(regimes)
+
+
+def default_matrix(
+    *,
+    quick: bool = False,
+    n: int = 10,
+    seed: int = 0,
+    schedulers: Sequence[str] | None = None,
+    families: Sequence[str] | None = None,
+) -> list[FuzzCase]:
+    """The deterministic sweep matrix.
+
+    Every valid (scheduler, family) pair is crossed with a rotating
+    selection of ``(d, capacity, scenario, seed)`` variants — 5 per pair in
+    ``--quick`` mode (≈500 cases over the full registry), 24 otherwise.
+    The rotation covers every d, every capacity regime and every scenario
+    across the matrix while keeping each pair's case count bounded.
+    """
+    variants = 5 if quick else 24
+    cases: list[FuzzCase] = []
+    specs = list(scheduler_specs())
+    if schedulers is not None:
+        wanted = set(schedulers)
+        unknown = wanted - {s.name for s in specs}
+        if unknown:
+            raise KeyError(f"unknown scheduler(s): {sorted(unknown)}")
+        specs = [s for s in specs if s.name in wanted]
+    wanted_families = tuple(families) if families is not None else WORKLOAD_FAMILIES
+    for s_idx, spec in enumerate(specs):
+        if spec.graphs == "independent":
+            # honor the family filter: these schedulers only ever run the
+            # independent family, so excluding it excludes them
+            fams: Sequence[str] = tuple(
+                f for f in ("independent",) if f in wanted_families
+            )
+        else:
+            fams = wanted_families
+        for f_idx, family in enumerate(fams):
+            for k in range(variants):
+                d = _D_VALUES[(s_idx + f_idx + k) % len(_D_VALUES)]
+                caps = _capacities_for(d)
+                capacity = caps[(s_idx + f_idx * 2 + k) % len(caps)]
+                # the scenario stride is decorrelated from d's (2k vs k, so
+                # d advances by 1 while scenario advances by 2 per variant):
+                # every (d, scenario) combination occurs across the matrix
+                scenario = SCENARIOS[(s_idx + 2 * f_idx + 2 * k) % len(SCENARIOS)]
+                if spec.name in _OFFLINE_ONLY and scenario == "poisson":
+                    scenario = "offline"
+                if spec.name == "malleable":
+                    # the relaxation keeps no allocation to replay, and its
+                    # unit-task model needs a real multi-unit pool
+                    scenario = "offline"
+                    capacity = min(max(capacity, 4), 64)
+                cases.append(
+                    FuzzCase(
+                        scheduler=spec.name,
+                        family=family,
+                        n=n,
+                        d=d,
+                        capacity=capacity,
+                        seed=seed + k,
+                        scenario=scenario,
+                    )
+                )
+    return cases
+
+
+# ----------------------------------------------------------------------
+# case execution
+# ----------------------------------------------------------------------
+def _strategy_for(case: FuzzCase):
+    """Diagonal candidates where Cartesian grids would blow up (huge
+    capacities or d >= 5); the default geometric grid otherwise."""
+    if case.capacity > 64 or case.d >= 5:
+        return _DIAGONAL
+    return None
+
+
+def _run_scheduler(spec, instance: Instance, strategy):
+    if spec.name == "ours":
+        if strategy is not None:
+            return spec.schedule(instance, candidate_strategy=strategy)
+        return spec.schedule(instance)
+    if spec.name == "malleable":
+        return spec.schedule(instance)
+    if strategy is not None:
+        return spec.schedule(instance, strategy=strategy)
+    return spec.schedule(instance)
+
+
+def _portable_events(schedule: Schedule, *, reprify: bool) -> list[tuple]:
+    """Canonical event list under the serialize module's id mapping: pass
+    ``reprify=True`` for the original instance (ids map to their ``repr``)
+    and ``False`` for a round-tripped one (ids already *are* the reprs)."""
+    return sorted(
+        (
+            p.start,
+            p.time,
+            tuple(p.alloc),
+            repr(j) if reprify else j,
+        )
+        for j, p in schedule.placements.items()
+    )
+
+
+def _events_by_id(schedule: Schedule) -> dict:
+    return {
+        j: (p.start, p.time, tuple(p.alloc)) for j, p in schedule.placements.items()
+    }
+
+
+def build_case_instance(case: FuzzCase) -> Instance:
+    """The (deterministic) instance a case runs on."""
+    pool = ResourcePool.uniform(case.d, case.capacity)
+    inst = random_instance(case.family, case.n, pool, seed=case.seed).instance
+    if case.scenario == "poisson":
+        inst = with_poisson_arrivals(inst, case.arrival_rate, seed=case.seed)
+    return inst
+
+
+def _is_contractual_rejection(case: FuzzCase, spec) -> bool:
+    """The only combinations a scheduler may reject by contract: an
+    offline planner given release times, or an independent-jobs algorithm
+    given a precedence-constrained family.  Everything else that raises —
+    ``ValueError`` included (the codebase's universal error type) — is a
+    failure; treating every ``ValueError`` as a skip would let a scheduler
+    regression silently drain the sweep into ``cases_skipped``."""
+    if case.scenario == "poisson" and spec.name in _OFFLINE_ONLY:
+        return True
+    if spec.graphs == "independent" and case.family != "independent":
+        return True
+    return False
+
+
+def run_case(case: FuzzCase) -> tuple[list[FuzzFailure], bool]:
+    """Run one case; returns ``(failures, skipped)``.
+
+    ``skipped`` is True when the scheduler rejected the scenario by
+    contract (see :func:`_is_contractual_rejection`) — that is conformant
+    behavior, not a failure.
+    """
+    failures: list[FuzzFailure] = []
+    try:
+        inst = build_case_instance(case)
+        spec = get_scheduler(case.scheduler)
+    except Exception as exc:
+        # a bad family name, an unknown scheduler or a workload-generator
+        # corner must be a recorded crash, not a sweep-aborting traceback
+        return [FuzzFailure(case, "crash", f"{type(exc).__name__}: {exc}")], False
+    strategy = _strategy_for(case)
+
+    try:
+        result = _run_scheduler(spec, inst, strategy)
+    except ValueError as exc:
+        if _is_contractual_rejection(case, spec):
+            return [], True
+        return [
+            FuzzFailure(case, "crash", f"{type(exc).__name__}: {exc}")
+        ], False
+    except Exception as exc:
+        return [
+            FuzzFailure(case, "crash", f"{type(exc).__name__}: {exc}")
+        ], False
+
+    schedule = getattr(result, "schedule", None)
+    if schedule is None:
+        return [
+            FuzzFailure(
+                case, "crash",
+                "result carries no schedule (registry protocol broken)",
+            )
+        ], False
+    if not isinstance(schedule, Schedule):
+        # the malleable relaxation's timeline has its own validity oracle
+        try:
+            schedule.validate()
+        except Exception as exc:
+            failures.append(FuzzFailure(case, "validator", str(exc)))
+        return failures, False
+
+    # 1 — strict validation
+    report = validate_schedule(schedule, mu=getattr(result, "mu", None))
+    for v in report.violations:
+        failures.append(FuzzFailure(case, "validator", f"[{v.kind}] {v.detail}"))
+
+    allocation = getattr(result, "allocation", None)
+
+    # 2 — differential dispatch across engine generations
+    if allocation is not None:
+        failures.extend(_check_differential(case, inst, allocation))
+
+    # 3 — serialize round-trip schedule identity
+    failures.extend(_check_serialize_roundtrip(case, spec, inst, strategy, schedule))
+
+    # 4 — trace round-trip identity
+    failures.extend(_check_trace_roundtrip(case, inst, schedule))
+
+    # 5 — fault replay differential
+    if case.scenario == "faults" and allocation is not None:
+        failures.extend(_check_fault_replay(case, inst, allocation))
+
+    return failures, False
+
+
+def _check_differential(case, inst, allocation) -> list[FuzzFailure]:
+    try:
+        live = list_schedule(inst, allocation, bottom_level_priority)
+        pr1 = reference_pr1_list_schedule(inst, allocation, None)
+    except Exception as exc:
+        return [FuzzFailure(case, "differential", f"{type(exc).__name__}: {exc}")]
+    out: list[FuzzFailure] = []
+    if _events_by_id(live) != _events_by_id(pr1):
+        out.append(
+            FuzzFailure(
+                case,
+                "differential",
+                "compiled dispatch diverges from the frozen PR-1 kernel driver",
+            )
+        )
+    if case.scenario != "poisson":  # the pre-kernel loop predates releases
+        try:
+            old = reference_list_schedule(inst, allocation, None)
+        except Exception as exc:
+            return out + [
+                FuzzFailure(case, "differential", f"{type(exc).__name__}: {exc}")
+            ]
+        if _events_by_id(live) != _events_by_id(old):
+            out.append(
+                FuzzFailure(
+                    case,
+                    "differential",
+                    "compiled dispatch diverges from the pre-kernel loop",
+                )
+            )
+    return out
+
+
+def _check_serialize_roundtrip(case, spec, inst, strategy, schedule) -> list[FuzzFailure]:
+    from repro.jobs.candidates import geometric_grid
+
+    try:
+        back = instance_from_json(
+            instance_to_json(inst, strategy if strategy is not None else geometric_grid)
+        )
+        result2 = _run_scheduler(spec, back, strategy)
+    except Exception as exc:
+        return [FuzzFailure(case, "serialize", f"{type(exc).__name__}: {exc}")]
+    schedule2 = getattr(result2, "schedule", None)
+    if not isinstance(schedule2, Schedule):
+        return [FuzzFailure(case, "serialize", "round-trip lost the timeline")]
+    if _portable_events(schedule2, reprify=False) != _portable_events(
+        schedule, reprify=True
+    ):
+        return [
+            FuzzFailure(
+                case,
+                "serialize",
+                "round-tripped instance schedules differently "
+                "(order-preserving serialization contract broken)",
+            )
+        ]
+    return []
+
+
+def _check_trace_roundtrip(case, inst, schedule) -> list[FuzzFailure]:
+    try:
+        back = schedule_from_trace(inst, schedule_to_trace(schedule))
+    except Exception as exc:
+        return [FuzzFailure(case, "trace", f"{type(exc).__name__}: {exc}")]
+    if back.placements != schedule.placements:
+        return [FuzzFailure(case, "trace", "trace round-trip changed the schedule")]
+    return []
+
+
+def _check_fault_replay(case, inst, allocation) -> list[FuzzFailure]:
+    try:
+        live = execute_with_faults(
+            inst, allocation, priority=fifo_priority, seed=case.seed, **_FAULT_KW
+        )
+        live.validate()
+        ref_attempts, ref_completion = reference_execute_with_faults(
+            inst, allocation, priority=fifo_priority, seed=case.seed, **_FAULT_KW
+        )
+    except Exception as exc:
+        return [FuzzFailure(case, "faults", f"{type(exc).__name__}: {exc}")]
+    live_attempts = [
+        (a.job_id, a.start, a.duration, tuple(a.alloc), a.failed)
+        for a in live.attempts
+    ]
+    ref_attempts = [(j, s, t, tuple(a), f) for j, s, t, a, f in ref_attempts]
+    out: list[FuzzFailure] = []
+    if live_attempts != ref_attempts:
+        out.append(
+            FuzzFailure(
+                case,
+                "faults",
+                "fault replay diverges from the frozen pre-kernel loop "
+                "(attempt streams differ)",
+            )
+        )
+    if live.completion != ref_completion:
+        out.append(
+            FuzzFailure(case, "faults", "fault replay completion times diverge")
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# sweep driver
+# ----------------------------------------------------------------------
+def run_fuzz(
+    cases: Sequence[FuzzCase],
+    *,
+    progress=None,
+    max_failures: int | None = None,
+) -> FuzzReport:
+    """Run a case list; returns the aggregate report.
+
+    ``progress(i, total, case)`` is called before each case (the CLI's
+    ticker); ``max_failures`` stops the sweep early once that many cases
+    have failed (every failure is still a seeded reproducer).
+    """
+    report = FuzzReport()
+    total = len(cases)
+    for i, case in enumerate(cases):
+        if progress is not None:
+            progress(i, total, case)
+        failures, skipped = run_case(case)
+        if skipped:
+            report.cases_skipped += 1
+            continue
+        report.cases_run += 1
+        report.by_scenario[case.scenario] += 1
+        report.by_scheduler[case.scheduler] += 1
+        report.failures.extend(failures)
+        if max_failures is not None and len(report.failures) >= max_failures:
+            break
+    return report

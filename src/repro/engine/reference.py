@@ -14,9 +14,12 @@ preserves those original loops *verbatim in behavior* so that
 The module holds two generations of frozen loops: the original pre-kernel
 python loops (``reference_*``) and the PR-1 kernel driver
 (:func:`reference_pr1_list_schedule`) — the ``insort``-queue, dict-bookkeeping
-dispatch that the compiled-instance engine replaced.  Nothing in the package
-imports this module at runtime; do not use it for scheduling — it exists
-only as an executable specification of the old behavior.
+dispatch that the compiled-instance engine replaced.  Do not use this
+module for scheduling — it exists only as an executable specification of
+the old behavior.  Its consumers are the equivalence tests, the benchmark
+harness and the conformance fuzzer (:mod:`repro.conformance.fuzz`), which
+races the live engine against these loops event-for-event on every case
+it sweeps.
 """
 
 from __future__ import annotations

@@ -24,7 +24,6 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from repro.core.allocation import Phase1Result
-from repro.dag.paths import top_levels
 from repro.sim.intervals import classify_intervals
 from repro.sim.schedule import Schedule
 
@@ -88,13 +87,33 @@ def verify_lemma_bounds(schedule: Schedule, phase1: Phase1Result, *, rtol: float
 
 
 def waiting_times(schedule: Schedule) -> dict[JobId, float]:
-    """Per-job wait beyond its precedence-earliest start: ``s_j − top(j)``
-    with the *scheduled* execution times (0 = started as early as the graph
-    allows)."""
+    """Per-job wait beyond its earliest feasible start ``earliest(j)``,
+    the release-aware top-level recursion ``earliest(j) = max(r_j,
+    max_u(earliest(u) + t_u))`` over predecessors ``u`` with the
+    *scheduled* execution times (0 = started as early as the graph and
+    the arrival stream allow).
+
+    Under online arrivals neither a job's own pre-release span nor delay
+    inherited from a late-released predecessor is charged as waiting; for
+    release-free instances the recursion reduces exactly to the top
+    level ``top(j)``."""
     inst = schedule.instance
     times = {j: p.time for j, p in schedule.placements.items()}
-    earliest = top_levels(inst.dag, times)
+    earliest = _release_aware_top_levels(inst, times)
     return {j: schedule.placements[j].start - earliest[j] for j in inst.jobs}
+
+
+def _release_aware_top_levels(inst, times: dict[JobId, float]) -> dict[JobId, float]:
+    """Earliest unlimited-resource start per job: the top-level recursion
+    with every job floored at its release time."""
+    earliest: dict[JobId, float] = {}
+    for j in inst.dag.topological_order():
+        ready = max(
+            (earliest[u] + times[u] for u in inst.dag.predecessors(j)),
+            default=0.0,
+        )
+        earliest[j] = max(inst.jobs[j].release, ready)
+    return earliest
 
 
 def fragmentation(schedule: Schedule) -> list[float]:
@@ -109,12 +128,16 @@ def fragmentation(schedule: Schedule) -> list[float]:
     d = inst.d
     total_frag = [0.0] * d
     total_time = 0.0
-    # waiting intervals per job: [ready time, start)
-    times = {j: p.time for j, p in schedule.placements.items()}
+    # waiting intervals per job: [ready time, start) — a job is ready only
+    # once its predecessors finished *and* it has been released, so under
+    # online arrivals the pre-release span is not counted as packing loss
     ready_at = {
         j: max(
-            (schedule.placements[p].finish for p in inst.dag.predecessors(j)),
-            default=0.0,
+            inst.jobs[j].release,
+            max(
+                (schedule.placements[p].finish for p in inst.dag.predecessors(j)),
+                default=0.0,
+            ),
         )
         for j in inst.jobs
     }

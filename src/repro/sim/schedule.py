@@ -13,15 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Iterator, Mapping, NamedTuple
 
+from repro.conformance.invariants import TIME_RTOL, validate_schedule
 from repro.instance.instance import Instance
 from repro.resources.vector import ResourceVector
 
-__all__ = ["ScheduledJob", "Schedule"]
+__all__ = ["ScheduledJob", "Schedule", "TIME_RTOL"]
 
 JobId = Hashable
-
-#: Relative tolerance for floating-point time comparisons in validation.
-TIME_RTOL = 1e-9
 
 
 class ScheduledJob(NamedTuple):
@@ -101,58 +99,19 @@ class Schedule:
     # validation (independent oracle)
     # ------------------------------------------------------------------
     def validate(self) -> None:
-        """Raise ``ValueError`` on any capacity or precedence violation."""
-        inst = self.instance
-        if set(self.placements) != set(inst.jobs):
-            raise ValueError("schedule must place exactly the instance's jobs")
-        tol = TIME_RTOL * max(1.0, self.makespan)
+        """Raise ``ValueError`` on any capacity, precedence, release or
+        job-set violation.
 
-        # release times (online arrivals)
-        for j, p in self.placements.items():
-            r = inst.jobs[j].release
-            if r > 0.0 and p.start < r - tol:
-                raise ValueError(
-                    f"job {j!r} starts at {p.start} before its release at {r}"
-                )
-
-        # precedence
-        for u, v in inst.dag.edges():
-            if self.placements[v].start < self.placements[u].finish - tol:
-                raise ValueError(
-                    f"precedence violated: {v!r} starts at {self.placements[v].start} "
-                    f"before {u!r} finishes at {self.placements[u].finish}"
-                )
-
-        # capacity, via an event sweep per resource type done jointly
-        d = inst.d
-        caps = inst.pool.capacities
-        events: list[tuple[float, int, tuple[int, ...]]] = []
-        for p in self.placements.values():
-            if p.start < -tol:
-                raise ValueError(f"job {p.job_id!r} starts before time 0")
-            # release (-1) sorts before acquire (+1) at equal times so that
-            # back-to-back jobs may reuse resources at the same instant
-            events.append((p.start, +1, tuple(p.alloc)))
-            events.append((p.finish, -1, tuple(p.alloc)))
-        events.sort(key=lambda e: (e[0], e[1]))
-        usage = [0] * d
-        i = 0
-        while i < len(events):
-            t = events[i][0]
-            # apply all releases at (approximately) time t first
-            while i < len(events) and abs(events[i][0] - t) <= tol and events[i][1] == -1:
-                for r in range(d):
-                    usage[r] -= events[i][2][r]
-                i += 1
-            while i < len(events) and abs(events[i][0] - t) <= tol and events[i][1] == +1:
-                for r in range(d):
-                    usage[r] += events[i][2][r]
-                i += 1
-            for r in range(d):
-                if usage[r] > caps[r]:
-                    raise ValueError(
-                        f"capacity violated at t={t}: type {r} uses {usage[r]} > {caps[r]}"
-                    )
+        Delegates to the strict standalone validator
+        (:func:`repro.conformance.invariants.validate_schedule`) with the
+        baseline invariant groups — the strict extras (candidate
+        membership, duration consistency) are opt-in there because valid
+        derived timelines (straggler replays, perturbed what-ifs) break
+        them by design.  The raised error is a
+        :class:`~repro.conformance.invariants.ScheduleConformanceError`
+        (a ``ValueError``) listing *every* violation, not just the first.
+        """
+        validate_schedule(self, strict=False, rtol=TIME_RTOL).raise_if_failed()
 
     # ------------------------------------------------------------------
     # analysis helpers

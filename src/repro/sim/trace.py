@@ -1,8 +1,9 @@
 """Schedule (de)serialization: JSON traces for external analysis/plotting.
 
 The trace format is deliberately plain — one record per job with start,
-duration and per-type allocation, plus the platform description — so it can
-be loaded by pandas / a plotting notebook without importing this library.
+duration, per-type allocation and (under online arrivals) release time,
+plus the platform description — so it can be loaded by pandas / a plotting
+notebook without importing this library.
 """
 
 from __future__ import annotations
@@ -18,13 +19,31 @@ __all__ = ["schedule_to_trace", "trace_to_json", "schedule_from_trace"]
 
 JobId = Hashable
 
-#: Trace format version (bump on schema change).
-TRACE_VERSION = 1
+#: Trace format version (bump on schema change).  Version 2 added the
+#: per-job ``release`` field (online-arrival scenarios); version-1 traces
+#: still load (they carry no releases).
+TRACE_VERSION = 2
+
+_KNOWN_VERSIONS = (1, 2)
 
 
 def schedule_to_trace(schedule: Schedule) -> dict:
     """A JSON-ready dict describing the schedule and its platform."""
     inst = schedule.instance
+    jobs = []
+    for p in sorted(
+        schedule.placements.values(), key=lambda q: (q.start, repr(q.job_id))
+    ):
+        rec = {
+            "id": repr(p.job_id),
+            "start": p.start,
+            "time": p.time,
+            "alloc": list(p.alloc),
+        }
+        release = inst.jobs[p.job_id].release
+        if release > 0.0:
+            rec["release"] = release
+        jobs.append(rec)
     return {
         "version": TRACE_VERSION,
         "platform": {
@@ -32,17 +51,7 @@ def schedule_to_trace(schedule: Schedule) -> dict:
             "names": list(inst.pool.names),
         },
         "makespan": schedule.makespan,
-        "jobs": [
-            {
-                "id": repr(p.job_id),
-                "start": p.start,
-                "time": p.time,
-                "alloc": list(p.alloc),
-            }
-            for p in sorted(
-                schedule.placements.values(), key=lambda q: (q.start, repr(q.job_id))
-            )
-        ],
+        "jobs": jobs,
         "edges": [[repr(u), repr(v)] for u, v in inst.dag.edges()],
     }
 
@@ -56,10 +65,11 @@ def schedule_from_trace(instance: Instance, trace: dict | str) -> Schedule:
     """Rebuild a :class:`Schedule` for ``instance`` from a trace.
 
     Job ids are matched by ``repr`` (the trace's portable key); raises
-    ``ValueError`` when the trace does not cover the instance's jobs.
+    ``ValueError`` when the trace does not cover the instance's jobs or a
+    traced release disagrees with the instance's.
     """
     data = json.loads(trace) if isinstance(trace, str) else trace
-    if data.get("version") != TRACE_VERSION:
+    if data.get("version") not in _KNOWN_VERSIONS:
         raise ValueError(f"unsupported trace version {data.get('version')!r}")
     by_repr = {repr(j): j for j in instance.jobs}
     placements: dict[JobId, ScheduledJob] = {}
@@ -67,6 +77,13 @@ def schedule_from_trace(instance: Instance, trace: dict | str) -> Schedule:
         jid = by_repr.get(rec["id"])
         if jid is None:
             raise ValueError(f"trace job {rec['id']} not in instance")
+        if data["version"] >= 2:  # version-1 traces never carried releases
+            release = float(rec.get("release", 0.0))
+            if release != instance.jobs[jid].release:
+                raise ValueError(
+                    f"trace release {release} for job {rec['id']} disagrees "
+                    f"with the instance's {instance.jobs[jid].release}"
+                )
         placements[jid] = ScheduledJob(
             job_id=jid,
             start=float(rec["start"]),

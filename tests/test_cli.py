@@ -74,7 +74,7 @@ class TestCommands:
         assert main(["schedule", "--family", "chain", "--n", "5",
                      "--trace", str(trace_file)]) == 0
         data = json.loads(trace_file.read_text())
-        assert data["version"] == 1
+        assert data["version"] == 2
         assert len(data["jobs"]) == 5
 
     def test_schedule_sp_family_uses_fptas(self, capsys):
@@ -93,3 +93,28 @@ class TestCommands:
             assert main(["schedule", "--family", "layered", "--n", "8",
                          "--algorithm", algo]) == 0
             assert algo in capsys.readouterr().out
+
+    def test_fuzz_parses(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--quick", "--n", "8", "--max-cases", "10"]
+        )
+        assert args.command == "fuzz" and args.quick and args.max_cases == 10
+
+    def test_fuzz_small_sweep(self, tmp_path, capsys):
+        out_file = tmp_path / "failures.json"
+        assert main(["fuzz", "--quick", "--n", "8", "--max-cases", "25",
+                     "--failures", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "cases run" in out and "0 failure(s)" in out
+        data = json.loads(out_file.read_text())
+        assert data["failures"] == []
+        assert data["cases_run"] + data["cases_skipped"] == 25
+
+    def test_fuzz_scheduler_filter(self, capsys):
+        assert main(["fuzz", "--quick", "--n", "6", "--schedulers", "min_area",
+                     "--families", "chain", "--max-cases", "5"]) == 0
+        assert "0 failure(s)" in capsys.readouterr().out
+
+    def test_fuzz_unknown_scheduler(self, capsys):
+        assert main(["fuzz", "--schedulers", "nope"]) == 2
+        assert "unknown" in capsys.readouterr().err

@@ -6,8 +6,14 @@ import pytest
 
 from helpers import tiny_instance
 from repro.core.list_scheduler import list_schedule
+from repro.instance.instance import with_poisson_arrivals
 from repro.jobs.candidates import full_grid
-from repro.sim.trace import schedule_from_trace, schedule_to_trace, trace_to_json
+from repro.sim.trace import (
+    TRACE_VERSION,
+    schedule_from_trace,
+    schedule_to_trace,
+    trace_to_json,
+)
 
 
 def make_schedule(seed=0):
@@ -32,8 +38,35 @@ class TestTrace:
         inst, sched = make_schedule(1)
         s = trace_to_json(sched)
         data = json.loads(s)
-        assert data["version"] == 1
+        assert data["version"] == TRACE_VERSION == 2
         rebuilt = schedule_from_trace(inst, s)
+        assert rebuilt.makespan == pytest.approx(sched.makespan)
+
+    def test_release_carried_and_checked(self):
+        """Online-arrival traces carry per-job releases and the loader
+        rejects a trace whose releases disagree with the instance."""
+        inst, _ = make_schedule(3)
+        online = with_poisson_arrivals(inst, 2.0, seed=3)
+        table = online.candidate_table(full_grid)
+        alloc = {j: es[len(es) // 2].alloc for j, es in table.items()}
+        sched = list_schedule(online, alloc)
+        trace = schedule_to_trace(sched)
+        released = [r for r in trace["jobs"] if "release" in r]
+        assert released, "online trace must carry release times"
+        rebuilt = schedule_from_trace(online, trace)
+        assert rebuilt.placements == sched.placements
+
+        trace["jobs"][0]["release"] = 1e9
+        with pytest.raises(ValueError, match="release"):
+            schedule_from_trace(online, trace)
+
+    def test_version1_trace_loads_without_release_check(self):
+        inst, sched = make_schedule(4)
+        trace = schedule_to_trace(sched)
+        trace["version"] = 1
+        for rec in trace["jobs"]:
+            rec.pop("release", None)
+        rebuilt = schedule_from_trace(inst, trace)
         assert rebuilt.makespan == pytest.approx(sched.makespan)
 
     def test_trace_contents(self):
