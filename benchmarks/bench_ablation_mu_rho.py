@@ -1,46 +1,11 @@
 """Ablation-µ/ρ — sensitivity of the measured ratio to the two parameters.
 
-DESIGN.md calls out the theorem-optimal (µ*, ρ*) choice as the key design
-decision of Phase 1; this sweep maps the practical landscape around it and
-asserts the theorem point is never pathological (within 50% of the best
-swept configuration).
+Thin wrapper over the registered ``ablation_mu_rho`` benchmark
+(:mod:`repro.bench.suites.ablations`).
 """
 
-from conftest import save_and_print
-from repro.core import theory
-from repro.experiments.report import format_table
-from repro.experiments.sweeps import mu_rho_ablation
-
-D = 3
-MUS = (0.15, 0.25, round(theory.MU_A, 3), 0.45)
-RHOS = (0.2, round(theory.theorem1_rho(D), 3), 0.5, 0.7)
+from conftest import run_registered
 
 
-def run():
-    return mu_rho_ablation(d=D, n=24, mus=MUS, rhos=RHOS, seeds=(0, 1, 2))
-
-
-def test_ablation_mu_rho(benchmark, results_dir):
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert len(rows) == len(MUS) * len(RHOS)
-    best = min(r["mean_ratio"] for r in rows)
-    theorem_row = next(
-        r for r in rows if r["mu"] == round(theory.MU_A, 3) and r["rho"] == round(theory.theorem1_rho(D), 3)
-    )
-    assert theorem_row["mean_ratio"] <= best * 1.5
-    for r in rows:
-        assert r["mean_ratio"] >= 1.0 - 1e-9
-        # every configuration still respects its own proven factor
-        assert r["max_ratio"] <= max(
-            theory.f_bound(D, r["mu"], r["rho"]) if r["mu"] >= theory.MU_A - 1e-9 else float("inf"),
-            theory.g_bound(D, r["mu"], r["rho"]) if r["mu"] <= theory.MU_A + 1e-9 else float("inf"),
-        ) + 1e-9
-    save_and_print(
-        results_dir,
-        "ablation_mu_rho",
-        format_table(
-            list(rows[0]),
-            [list(r.values()) for r in rows],
-            title=f"Ablation: µ/ρ sensitivity at d={D} (theorem point µ={MUS[2]}, ρ={RHOS[1]})",
-        ),
-    )
+def test_ablation_mu_rho(results_dir):
+    run_registered("ablation_mu_rho", results_dir)

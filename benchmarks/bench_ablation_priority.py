@@ -1,39 +1,11 @@
 """Ablation-priority — Phase 2 queue orders, local vs. global.
 
-Section 4.2.1 notes that any queue order preserves the approximation ratio
-but informed priorities help in practice; Theorem 6 shows local priorities
-are fundamentally weaker.  This sweep quantifies both: on random workloads
-the gap is modest, while on the Theorem 6 family it is the full factor d.
+Thin wrapper over the registered ``ablation_priority`` benchmark
+(:mod:`repro.bench.suites.ablations`).
 """
 
-from conftest import save_and_print
-from repro.experiments.report import format_table
-from repro.experiments.sweeps import priority_ablation, theorem6_sweep
+from conftest import run_registered
 
 
-def run():
-    return priority_ablation(d=3, n=30, seeds=(0, 1, 2), families=("layered", "cholesky"))
-
-
-def test_ablation_priority(benchmark, results_dir):
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    rules = ("fifo", "lpt", "spt", "random", "bottom_level")
-    for r in rows:
-        for rule in rules:
-            assert r[rule] >= 1.0 - 1e-9
-        # informed (global) priority is competitive with the best local rule
-        best_local = min(r[k] for k in ("fifo", "lpt", "spt", "random"))
-        assert r["bottom_level"] <= best_local * 1.15
-    # the adversarial family shows the *unbounded* local/global gap
-    t6 = theorem6_sweep(d_values=(4,), m_values=(48,))[0]
-    assert t6["T_adversarial"] / t6["T_informed"] > 3.5
-    text = format_table(
-        list(rows[0]),
-        [list(r.values()) for r in rows],
-        title="Ablation: Phase 2 priority rules (mean ratio vs LP bound)",
-    )
-    text += (
-        f"\n\nTheorem 6 family (d=4, M=48): adversarial local order {t6['T_adversarial']:g}"
-        f" vs informed {t6['T_informed']:g} -> gap {t6['measured_ratio']:.3f}"
-    )
-    save_and_print(results_dir, "ablation_priority", text)
+def test_ablation_priority(results_dir):
+    run_registered("ablation_priority", results_dir)

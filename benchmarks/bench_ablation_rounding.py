@@ -1,62 +1,15 @@
-"""Ablation — DTCT rounding strategies (quantile vs randomized vs swept ρ).
+"""Ablation — DTCT rounding strategies, plus the robustness sweep.
 
-Compares the ``L(p')`` achieved by the paper's deterministic ρ-quantile
-rounding against randomized rounding and a ρ-swept quantile, on the same
-fractional solutions.  Shape: all sit above the LP bound; the swept
-quantile is never worse than the single theorem ρ.
+Thin wrappers over the registered ``ablation_rounding`` and
+``robustness`` benchmarks (:mod:`repro.bench.suites.ablations`).
 """
 
-from statistics import mean
-
-from conftest import save_and_print
-from repro.core import theory
-from repro.core.rounding import compare_roundings
-from repro.experiments.report import format_table
-from repro.experiments.workloads import random_instance
-from repro.resources.pool import ResourcePool
-
-D = 2
-SEEDS = (0, 1, 2, 3)
+from conftest import run_registered
 
 
-def run():
-    pool = ResourcePool.uniform(D, 16)
-    rho = theory.theorem1_rho(D)
-    out = []
-    for seed in SEEDS:
-        wl = random_instance("layered", 20, pool, seed=seed)
-        res = compare_roundings(wl.instance, rho=rho, trials=16, seed=seed)
-        out.append({"seed": seed, **{k: v for k, v in res.items()}})
-    return out
+def test_ablation_rounding(results_dir):
+    run_registered("ablation_rounding", results_dir)
 
 
-def test_ablation_rounding(benchmark, results_dir):
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    for r in rows:
-        for key in ("quantile", "randomized", "best_quantile"):
-            assert r[key] >= r["lp_bound"] / (1 + 1e-6)
-        assert r["best_quantile"] <= r["quantile"] + 1e-12
-    # aggregate: swept quantile at least matches the fixed theorem choice
-    assert mean(r["best_quantile"] for r in rows) <= mean(r["quantile"] for r in rows) + 1e-12
-    save_and_print(
-        results_dir, "ablation_rounding",
-        format_table(list(rows[0]), [list(r.values()) for r in rows], precision=4,
-                     title="Ablation: DTCT rounding strategies, L(p') vs LP bound"),
-    )
-
-
-def test_robustness_sweep(benchmark, results_dir):
-    from repro.experiments.robustness import robustness_sweep
-
-    rows = benchmark.pedantic(
-        lambda: robustness_sweep(noise_levels=(0.0, 0.1, 0.3, 0.6), d=2, n=20, seeds=(0, 1)),
-        rounds=1, iterations=1,
-    )
-    assert rows[0]["max_ratio"] <= rows[0]["proven_noiseless"] + 1e-9
-    for r in rows:
-        assert r["mean_ratio"] >= 1.0 - 1e-9
-    save_and_print(
-        results_dir, "robustness",
-        format_table(list(rows[0]), [list(r.values()) for r in rows],
-                     title="Robustness: allocation on noisy estimates, execution with true times"),
-    )
+def test_robustness_sweep(results_dir):
+    run_registered("robustness", results_dir)

@@ -1,158 +1,13 @@
 """Engine — the compiled-instance scheduler vs. the loops it replaced.
 
-Three generations of the same Algorithm-2 dispatch are raced on identical
-workloads, asserting identical schedules first (each rewrite is a port,
-not a reimplementation):
-
-* **compiled** — the live path: array-native lowering cached on the
-  instance, packed uint64 demands, a fused event loop
-  (:mod:`repro.engine.dispatch`);
-* **pr1 kernel** — the unified-kernel driver as it shipped in PR 1,
-  frozen era-faithfully in :mod:`repro.engine.reference` (dict
-  bookkeeping, ``insort`` queue, per-run topological order and python
-  bottom levels);
-* **legacy** — the pre-kernel python loop.
-
-The headline gate: on the wide, contended shape the compiled path must
-sustain **>= 5x the PR-1 kernel's jobs/sec**.  The deep shape guards the
-short-queue regime (no regression vs. PR 1), and an online-arrival
-variant exercises release gating, which only the kernel generations can
-express at all.
-
-Set ``REPRO_BENCH_QUICK=1`` (the CI smoke job) to shrink the workloads
-and skip the throughput gates — correctness asserts still run.
+Thin wrapper over the registered ``engine`` benchmark
+(:mod:`repro.bench.suites.engine`): three dispatch generations raced
+on identical workloads, schedules asserted identical event for event,
+and the >= 5x compiled-vs-PR1 gate enforced in full runs.
 """
 
-import os
-import time
-
-import numpy as np
-
-from conftest import save_and_print
-from repro.core.list_scheduler import bottom_level_priority, list_schedule
-from repro.dag.generators import layered_random
-from repro.engine.reference import (
-    reference_list_schedule,
-    reference_pr1_list_schedule,
-)
-from repro.experiments.report import format_table
-from repro.instance.instance import make_instance, with_poisson_arrivals
-from repro.resources.pool import ResourcePool
-from repro.resources.vector import ResourceVector
-
-QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
-
-D = 4
-CAPACITY = 24
-
-#: The wide workload of the acceptance gate: 10 layers x 200 jobs per level,
-#: n=2000, d=4 — hundreds of queued jobs per pass.  The quick config keeps
-#: the wide (contended) regime by shrinking layers, not width.
-WIDE = (2, 100) if QUICK else (10, 200)
-#: Deep low-contention shape: short ready queues, the legacy loop's best case.
-DEEP = (10, 20) if QUICK else (100, 20)
-
-#: Required compiled-vs-PR1 speedup on the wide shape (see ISSUE 2).
-REQUIRED_WIDE_SPEEDUP = 5.0
+from conftest import run_registered
 
 
-def build_instance(layers, width, seed=0):
-    """Rigid jobs on a layered DAG: allocations fixed per job so the bench
-    times the event loop, not candidate enumeration."""
-    rng = np.random.default_rng(seed)
-    dag = layered_random(layers, width, p=0.15, seed=rng)
-    order = dag.topological_order()
-    allocs = {j: ResourceVector(rng.integers(1, 9, size=D)) for j in order}
-    durations = {j: float(rng.uniform(0.5, 4.0)) for j in order}
-    pool = ResourcePool.uniform(D, CAPACITY)
-
-    def factory(j):
-        t = durations[j]
-        return lambda a: t
-
-    inst = make_instance(dag, pool, factory, candidates_factory=lambda j: (allocs[j],))
-    return inst, {j: allocs[j] for j in order}
-
-
-def best_of(fn, rounds=3):
-    best = float("inf")
-    result = None
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
-
-
-def compare(inst, alloc):
-    """Time all three generations (identical best-of rounds — no sampling
-    bias in the gated ratio); assert they emit the identical schedule."""
-    rounds = 5
-    t_new, new = best_of(lambda: list_schedule(inst, alloc, bottom_level_priority),
-                         rounds=rounds)
-    t_pr1, pr1 = best_of(lambda: reference_pr1_list_schedule(inst, alloc),
-                         rounds=rounds)
-    t_old, old = best_of(lambda: reference_list_schedule(inst, alloc),
-                         rounds=rounds)
-    # exactness first: every generation is a port, not a reimplementation
-    assert new.starts == pr1.starts
-    assert new.starts == old.starts
-    new.validate()
-    return t_new, t_pr1, t_old
-
-
-def test_compiled_engine_outpaces_predecessors(results_dir):
-    rows = []
-
-    def add(shape, gen, seconds, n):
-        rows.append({"workload": f"{shape} ({gen})", "seconds": seconds,
-                     "jobs_per_sec": n / seconds})
-
-    # deep shape: ~20 ready jobs per pass, the legacy loop's best case
-    deep, deep_alloc = build_instance(*DEEP, seed=0)
-    n_deep = deep.n
-    t_new_deep, t_pr1_deep, t_old_deep = compare(deep, deep_alloc)
-    for gen, t in (("compiled", t_new_deep), ("pr1 kernel", t_pr1_deep),
-                   ("legacy", t_old_deep)):
-        add(f"deep {DEEP[0]}x{DEEP[1]}", gen, t, n_deep)
-
-    # wide shape: hundreds of queued jobs per pass — the contended regime
-    # the packed whole-queue prefilter is built for
-    wide, wide_alloc = build_instance(*WIDE, seed=0)
-    n_wide = wide.n
-    t_new_wide, t_pr1_wide, t_old_wide = compare(wide, wide_alloc)
-    for gen, t in (("compiled", t_new_wide), ("pr1 kernel", t_pr1_wide),
-                   ("legacy", t_old_wide)):
-        add(f"wide {WIDE[0]}x{WIDE[1]}", gen, t, n_wide)
-
-    # online arrivals: jobs stream in; only the kernel generations can run
-    # this scenario at all
-    online = with_poisson_arrivals(deep, rate=200.0, seed=1)
-    t_onl, sched_onl = best_of(lambda: list_schedule(online, deep_alloc,
-                                                     bottom_level_priority))
-    sched_onl.validate()
-    rel = online.release_times()
-    assert all(sched_onl.placements[j].start >= rel[j] - 1e-9 for j in rel)
-    add("deep + Poisson arrivals", "compiled", t_onl, n_deep)
-
-    save_and_print(
-        results_dir,
-        "engine",
-        format_table(list(rows[0]), [list(r.values()) for r in rows],
-                     precision=4,
-                     title=f"Compiled engine vs frozen predecessors (d={D})"),
-    )
-
-    if QUICK:
-        return
-    # the acceptance gate: >= 5x the PR-1 kernel where queues are contended
-    speedup = t_pr1_wide / t_new_wide
-    assert speedup >= REQUIRED_WIDE_SPEEDUP, (
-        f"compiled engine only {speedup:.2f}x the PR-1 kernel on the wide "
-        f"shape ({n_wide / t_new_wide:.0f} vs {n_wide / t_pr1_wide:.0f} jobs/s)"
-    )
-    # and no regression in the short-queue regime
-    assert t_new_deep <= t_pr1_deep, (
-        f"compiled engine slower than the PR-1 kernel on the deep shape: "
-        f"{n_deep / t_new_deep:.0f} vs {n_deep / t_pr1_deep:.0f} jobs/s"
-    )
+def test_engine(results_dir):
+    run_registered("engine", results_dir)

@@ -1,65 +1,20 @@
 """Extended sweeps: capacity precondition, FPTAS ε, candidate strategies.
 
-Not displayed in the paper but probing the theorems' knobs; indexed in
-DESIGN.md as ablations.  Shape assertions: the precondition threshold is
-visible, tighter ε is never worse, and the geometric grid trades a bounded
-quality loss for a much smaller LP.
+Thin wrappers over the registered ``capacity_sweep``,
+``epsilon_sweep`` and ``strategy_sweep`` benchmarks
+(:mod:`repro.bench.suites.extensions`).
 """
 
-from conftest import save_and_print
-from repro.experiments.extended import capacity_sweep, epsilon_sweep, strategy_sweep
-from repro.experiments.report import format_table
+from conftest import run_registered
 
 
-def test_capacity_sweep(benchmark, results_dir):
-    rows = benchmark.pedantic(
-        lambda: capacity_sweep(d=2, capacities=(2, 4, 7, 16, 32), n=20, seeds=(0, 1)),
-        rounds=1, iterations=1,
-    )
-    # the proven bound must hold whenever the precondition holds
-    for r in rows:
-        if r["pmin_precondition"]:
-            assert r["max_ratio"] <= r["proven"] + 1e-9
-        assert r["mean_ratio"] >= 1.0 - 1e-9
-    save_and_print(
-        results_dir, "capacity_sweep",
-        format_table(list(rows[0]), [list(r.values()) for r in rows],
-                     title="Capacity sweep: P_min >= 1/mu^2 ~ 7 precondition (d=2)"),
-    )
+def test_capacity_sweep(results_dir):
+    run_registered("capacity_sweep", results_dir)
 
 
-def test_epsilon_sweep(benchmark, results_dir):
-    rows = benchmark.pedantic(
-        lambda: epsilon_sweep(epsilons=(1.0, 0.5, 0.25), n=12, seeds=(0, 1)),
-        rounds=1, iterations=1,
-    )
-    vals = [r["l_over_lp"] for r in rows]
-    # the sweep's tightest ε is at least as good as its loosest (individual
-    # steps need not be monotone: the guarantee is only (1+ε)·L_min)
-    assert vals[-1] <= vals[0] + 1e-9
-    for r in rows:
-        assert r["l_over_lp"] >= 1.0 - 1e-6
-    # cost grows as ε tightens (DP budget levels scale with n/ε)
-    runtimes = [r["mean_seconds"] for r in rows]
-    assert runtimes[-1] >= runtimes[0]
-    save_and_print(
-        results_dir, "epsilon_sweep",
-        format_table(list(rows[0]), [list(r.values()) for r in rows], precision=4,
-                     title="FPTAS epsilon sweep (SP workloads): quality vs runtime"),
-    )
+def test_epsilon_sweep(results_dir):
+    run_registered("epsilon_sweep", results_dir)
 
 
-def test_strategy_sweep(benchmark, results_dir):
-    rows = benchmark.pedantic(
-        lambda: strategy_sweep(d=2, capacity=16, n=16, seeds=(0, 1, 2)),
-        rounds=1, iterations=1,
-    )
-    by_name = {r["strategy"]: r for r in rows}
-    # geometric loses at most 20% quality vs full while being much smaller
-    assert by_name["geometric"]["mean_makespan"] <= by_name["full"]["mean_makespan"] * 1.2
-    assert by_name["geometric"]["mean_frontier_size"] <= by_name["full"]["mean_frontier_size"]
-    save_and_print(
-        results_dir, "strategy_sweep",
-        format_table(list(rows[0]), [list(r.values()) for r in rows], precision=4,
-                     title="Candidate strategy sweep: quality vs LP size"),
-    )
+def test_strategy_sweep(results_dir):
+    run_registered("strategy_sweep", results_dir)

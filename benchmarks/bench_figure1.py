@@ -1,30 +1,11 @@
 """Figure 1 — Theorem 2's estimated vs. actual ratio vs. Theorem 1.
 
-Reproduces the three series for 22 <= d <= 50 and asserts the figure's
-qualitative content: the estimate hugs the actual curve (within 2%) and both
-sit strictly below Theorem 1's ratio.
+Thin wrapper over the registered ``figure1`` benchmark
+(:mod:`repro.bench.suites.paper`).
 """
 
-import pytest
-
-from conftest import save_and_print
-from repro.core import theory
-from repro.experiments.figure1 import figure1_table
+from conftest import run_registered
 
 
-def compute_rows():
-    return theory.figure1_rows(22, 50)
-
-
-def test_figure1(benchmark, results_dir):
-    rows = benchmark(compute_rows)
-    assert [r["d"] for r in rows] == list(range(22, 51))
-    for r in rows:
-        # shape assertions from the figure
-        assert r["theorem2_actual"] < r["theorem1"]
-        assert r["theorem2_estimate"] == pytest.approx(r["theorem2_actual"], rel=0.02)
-        assert r["theorem2_estimate"] >= r["theorem2_actual"] - 1e-9
-    # the gap to Theorem 1 widens with d (visually obvious in the figure)
-    gaps = [r["theorem1"] - r["theorem2_actual"] for r in rows]
-    assert gaps[-1] > gaps[0]
-    save_and_print(results_dir, "figure1", figure1_table(22, 50))
+def test_figure1(results_dir):
+    run_registered("figure1", results_dir)

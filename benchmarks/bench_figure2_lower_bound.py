@@ -1,45 +1,11 @@
 """Figure 2 / Theorem 6 — the local-priority list-scheduling lower bound.
 
-Simulates the reconstructed tree family for several (d, M): an adversarial
-local priority must serialize the resource types (T = Md) while the
-graph-aware order pipelines them (T_opt = M + d - 1), so the measured ratio
-approaches d from below.
+Thin wrapper over the registered ``figure2_lower_bound`` benchmark
+(:mod:`repro.bench.suites.paper`).
 """
 
-import pytest
-
-from conftest import save_and_print
-from repro.experiments.report import format_table
-from repro.experiments.sweeps import theorem6_sweep
-
-D_VALUES = (2, 3, 4, 5, 6)
-M_VALUES = (12, 24, 48, 96)
+from conftest import run_registered
 
 
-def run():
-    return theorem6_sweep(d_values=D_VALUES, m_values=M_VALUES)
-
-
-def test_figure2_lower_bound(benchmark, results_dir):
-    rows = benchmark(run)
-    by_d = {}
-    for r in rows:
-        # measured makespans must match the closed forms exactly
-        assert r["T_informed"] == pytest.approx(r["M"] + r["d"] - 1)
-        assert r["T_adversarial"] == pytest.approx(r["M"] * r["d"])
-        assert r["measured_ratio"] == pytest.approx(r["closed_form_ratio"])
-        assert r["measured_ratio"] < r["d"]  # approaches d from below
-        by_d.setdefault(r["d"], []).append(r["measured_ratio"])
-    for d, ratios in by_d.items():
-        # ratio increases with M and lands within 6% of d at M = 96
-        assert ratios == sorted(ratios)
-        assert ratios[-1] > d * 0.94
-    save_and_print(
-        results_dir,
-        "figure2_lower_bound",
-        format_table(
-            list(rows[0]),
-            [list(r.values()) for r in rows],
-            title="Figure 2 / Theorem 6: local list scheduling forced to ratio -> d",
-        ),
-    )
+def test_figure2_lower_bound(results_dir):
+    run_registered("figure2_lower_bound", results_dir)

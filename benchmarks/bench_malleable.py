@@ -1,57 +1,11 @@
 """Moldable vs malleable (He et al. [21]) on shared workloads.
 
-The malleable relaxation may reshape allocations every time step, so it
-should usually finish no later than the moldable schedule built from the
-same workload — quantifying what the moldable restriction costs — while
-both respect their respective proven bounds.
+Thin wrapper over the registered ``malleable`` benchmark
+(:mod:`repro.bench.suites.extensions`).
 """
 
-from statistics import mean
-
-from conftest import save_and_print
-from repro.core.two_phase import MoldableScheduler
-from repro.experiments.report import format_table
-from repro.experiments.workloads import random_instance
-from repro.malleable import malleable_list_schedule, moldable_to_malleable
-from repro.resources.pool import ResourcePool
-
-SEEDS = (0, 1, 2, 3)
+from conftest import run_registered
 
 
-def run():
-    pool = ResourcePool.uniform(2, 8)
-    rows = []
-    for seed in SEEDS:
-        wl = random_instance("layered", 16, pool, seed=seed, work_range=(1.0, 20.0))
-        mold = MoldableScheduler(allocator="lp").schedule(wl.instance)
-        mold.schedule.validate()
-        mall_inst = moldable_to_malleable(wl.instance)
-        mall = malleable_list_schedule(mall_inst)
-        mall.validate()
-        lb = mall_inst.lower_bound()
-        rows.append(
-            {
-                "seed": seed,
-                "moldable_makespan": mold.makespan,
-                "malleable_makespan": mall.makespan,
-                "malleable_lb": lb,
-                "malleable_ratio": mall.makespan / lb,
-                "d_plus_1": mall_inst.d + 1,
-            }
-        )
-    return rows
-
-
-def test_malleable_comparison(benchmark, results_dir):
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    for r in rows:
-        # He et al.'s (d+1) guarantee on the malleable schedule
-        assert r["malleable_ratio"] <= r["d_plus_1"] + 1e-9
-    # the relaxation is usually at least competitive with moldable
-    assert mean(r["malleable_makespan"] for r in rows) <= \
-        mean(r["moldable_makespan"] for r in rows) * 1.5
-    save_and_print(
-        results_dir, "malleable",
-        format_table(list(rows[0]), [list(r.values()) for r in rows],
-                     title="Moldable (ours) vs malleable relaxation (He et al. [21])"),
-    )
+def test_malleable_comparison(results_dir):
+    run_registered("malleable", results_dir)

@@ -1,127 +1,13 @@
 """Scaling — wall-clock cost of the library itself (the HPC-guide check).
 
-Times the two phases separately on growing instances.  The assertions pin
-the advertised complexity envelope loosely: list scheduling alone must
-handle 1500 jobs well under a second, the compiled dispatch core must
-complete a 100,000-job list schedule (the large-n sweep below), and the
-full pipeline must stay sub-minute at n = 120 with d = 3.
-
-Set ``REPRO_BENCH_QUICK=1`` (the CI smoke job) to cap the large-n sweep
-at 10,000 jobs.
+Thin wrapper over the registered ``scaling`` benchmark
+(:mod:`repro.bench.suites.engine`): full pipeline at n=120, phase-2
+list scheduling to n=1500 (sub-second gate), the compiled core at
+10^4..10^5 jobs.
 """
 
-import os
-import time
-
-import numpy as np
-
-from conftest import save_and_print
-from repro.core.list_scheduler import bottom_level_priority, list_schedule
-from repro.core.two_phase import MoldableScheduler
-from repro.dag.generators import layered_random
-from repro.experiments.report import format_table
-from repro.experiments.workloads import random_instance
-from repro.instance.instance import make_instance
-from repro.jobs.candidates import geometric_grid
-from repro.resources.pool import ResourcePool
-from repro.resources.vector import ResourceVector
-
-QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+from conftest import run_registered
 
 
-def bench_full_pipeline():
-    pool = ResourcePool.uniform(3, 16)
-    wl = random_instance("layered", 120, pool, seed=0)
-    res = MoldableScheduler(allocator="lp").schedule(wl.instance)
-    return res
-
-
-def test_full_pipeline_scaling(benchmark, results_dir):
-    res = benchmark.pedantic(bench_full_pipeline, rounds=3, iterations=1)
-    res.schedule.validate()
-    assert res.makespan <= res.proven_ratio * res.lower_bound * (1 + 1e-6)
-
-    # phase-2-only scaling table
-    rows = []
-    for n in (200, 600, 1500):
-        pool = ResourcePool.uniform(3, 16)
-        wl = random_instance("layered", n, pool, seed=1)
-        inst = wl.instance
-        table = inst.candidate_table(geometric_grid)
-        alloc = {j: min(es, key=lambda e: e.time * e.area).alloc for j, es in table.items()}
-        t0 = time.perf_counter()
-        sched = list_schedule(inst, alloc)
-        dt = time.perf_counter() - t0
-        rows.append({"n": inst.n, "list_schedule_seconds": dt, "makespan": sched.makespan})
-        if inst.n >= 1400:
-            assert dt < 1.0, f"list scheduling too slow: {dt:.3f}s for n={inst.n}"
-    save_and_print(
-        results_dir,
-        "scaling",
-        format_table(list(rows[0]), [list(r.values()) for r in rows],
-                     precision=4, title="Scheduler scaling (Phase 2 only)"),
-    )
-
-
-def build_rigid_instance(layers, width, d=4, capacity=24, seed=0):
-    """Rigid jobs on a layered DAG (no candidate enumeration): the large-n
-    sweep times the compiled dispatch core itself."""
-    rng = np.random.default_rng(seed)
-    # keep the expected in-degree ~8 regardless of width so edge count
-    # grows linearly with n
-    p = min(0.5, 8.0 / width)
-    dag = layered_random(layers, width, p=p, seed=rng)
-    order = dag.topological_order()
-    allocs = {j: ResourceVector(rng.integers(1, 9, size=d)) for j in order}
-    durations = {j: float(rng.uniform(0.5, 4.0)) for j in order}
-    pool = ResourcePool.uniform(d, capacity)
-
-    def factory(j):
-        t = durations[j]
-        return lambda a: t
-
-    inst = make_instance(dag, pool, factory, candidates_factory=lambda j: (allocs[j],))
-    return inst, allocs
-
-
-def test_list_scheduler_large_n(results_dir):
-    """The compiled core end to end: 10^4 .. 10^5 jobs, d=4.
-
-    No throughput gate beyond completion — the point is that a list
-    schedule for n = 100,000 finishes at all (the pre-compiled engine took
-    minutes here), plus a loose sub-minute ceiling so regressions surface.
-    """
-    shapes = [(25, 400)] if QUICK else [(25, 400), (50, 1000), (100, 1000)]
-    rows = []
-    for layers, width in shapes:
-        inst, alloc = build_rigid_instance(layers, width)
-        t0 = time.perf_counter()
-        sched = list_schedule(inst, alloc, bottom_level_priority)
-        dt = time.perf_counter() - t0
-        assert len(sched) == inst.n
-        rows.append({
-            "n": inst.n,
-            "edges": inst.dag.num_edges,
-            "list_schedule_seconds": dt,
-            "jobs_per_sec": inst.n / dt,
-        })
-        if inst.n >= 100_000:
-            sched.validate()
-            assert dt < 60.0, f"n={inst.n} list schedule took {dt:.1f}s"
-    save_and_print(
-        results_dir,
-        "scaling_large",
-        format_table(list(rows[0]), [list(r.values()) for r in rows],
-                     precision=4,
-                     title="Compiled dispatch core at scale (rigid jobs, d=4)"),
-    )
-
-
-def test_list_scheduler_throughput(benchmark):
-    pool = ResourcePool.uniform(2, 16)
-    wl = random_instance("layered", 400, pool, seed=2)
-    inst = wl.instance
-    table = inst.candidate_table(geometric_grid)
-    alloc = {j: min(es, key=lambda e: e.time * e.area).alloc for j, es in table.items()}
-    sched = benchmark(lambda: list_schedule(inst, alloc))
-    assert len(sched) == inst.n
+def test_scaling(results_dir):
+    run_registered("scaling", results_dir)

@@ -1,38 +1,11 @@
 """Sim-B — independent jobs: ours (Theorem 5) vs. Sun et al. [36].
 
-Ratios are measured against the exact L_min (Lemma 8).  Assertions encode
-the paper's comparative claims: every algorithm respects its own proven
-bound, and our schedule is never worse than the shelf algorithm on average
-(list packing dominates pack-by-shelves).
+Thin wrapper over the registered ``sim_independent`` benchmark
+(:mod:`repro.bench.suites.paper`).
 """
 
-from statistics import mean
-
-from conftest import save_and_print
-from repro.experiments.report import format_table
-from repro.experiments.sweeps import independent_comparison
-
-D_VALUES = (1, 2, 3, 4)
+from conftest import run_registered
 
 
-def run():
-    return independent_comparison(d_values=D_VALUES, n=32, capacity=16, seeds=(0, 1, 2, 3))
-
-
-def test_sim_independent(benchmark, results_dir):
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert [r["d"] for r in rows] == list(D_VALUES)
-    for r in rows:
-        assert r["ours"] <= r["proven_ours"] + 1e-9
-        assert r["sun_list"] <= r["proven_sun_list"] + 1e-9
-        assert r["sun_shelf"] <= r["proven_sun_shelf"] + 1e-9
-    assert mean(r["ours"] for r in rows) <= mean(r["sun_shelf"] for r in rows) + 1e-9
-    save_and_print(
-        results_dir,
-        "sim_independent",
-        format_table(
-            list(rows[0]),
-            [list(r.values()) for r in rows],
-            title="Sim-B: independent jobs, mean ratio vs exact L_min",
-        ),
-    )
+def test_sim_independent(results_dir):
+    run_registered("sim_independent", results_dir)

@@ -1,48 +1,11 @@
 """Sim-A — makespan / lower-bound ratio vs. d, ours vs. baselines.
 
-The simulation study the ICPP evaluation performs: across graph families
-and d in {1..4}, the two-phase algorithm should (a) stay far below its
-proven bound and (b) beat or match every fixed-allocation baseline on
-average.
+Thin wrapper over the registered ``sim_ratio_vs_d`` benchmark
+(:mod:`repro.bench.suites.paper`).
 """
 
-from statistics import mean
-
-from conftest import save_and_print
-from repro.experiments.report import format_table
-from repro.experiments.sweeps import algorithm_comparison
-
-FAMILIES = ("layered", "cholesky", "forkjoin", "outtree")
-D_VALUES = (1, 2, 3, 4)
+from conftest import run_registered
 
 
-def run():
-    return algorithm_comparison(
-        families=FAMILIES, d_values=D_VALUES, n=24, capacity=16, seeds=(0, 1, 2)
-    )
-
-
-def test_sim_ratio_vs_d(benchmark, results_dir):
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert len(rows) == len(FAMILIES) * len(D_VALUES)
-    baselines = ("min_area", "min_time", "balanced", "tetris", "heft")
-    for r in rows:
-        assert r["ours"] <= r["proven"] + 1e-9
-        assert r["ours"] >= 1.0 - 1e-9
-    # aggregate shape: ours wins on average against every fixed baseline
-    ours_mean = mean(r["ours"] for r in rows)
-    for b in ("min_area", "min_time", "balanced"):
-        assert ours_mean <= mean(r[b] for r in rows) + 1e-9, b
-    # and is competitive (within 25%) with the best dynamic heuristic
-    best_dyn = min(mean(r[b] for r in rows) for b in ("tetris", "heft"))
-    assert ours_mean <= best_dyn * 1.25
-    save_and_print(
-        results_dir,
-        "sim_ratio_vs_d",
-        format_table(
-            list(rows[0]),
-            [list(r.values()) for r in rows],
-            title="Sim-A: mean makespan/LB ratio per graph family and d "
-            f"(baselines: {', '.join(baselines)})",
-        ),
-    )
+def test_sim_ratio_vs_d(results_dir):
+    run_registered("sim_ratio_vs_d", results_dir)

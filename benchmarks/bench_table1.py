@@ -1,35 +1,11 @@
 """Table 1 — proven ratios per precedence class + empirical verification.
 
-Regenerates the summary table and cross-checks each class on random
-instances: the measured makespan / certified-lower-bound ratio must stay
-within the proven ratio (the theorems hold deterministically, so a breach
-would be an implementation bug).
+Thin wrapper over the registered ``table1`` benchmark
+(:mod:`repro.bench.suites.paper`).
 """
 
-from conftest import save_and_print
-from repro.experiments.report import format_table
-from repro.experiments.table1 import empirical_check, table1_text
-
-D_CHECK = (1, 2, 3)
+from conftest import run_registered
 
 
-def run_checks():
-    out = []
-    for d in D_CHECK:
-        out.extend(empirical_check(d, n=18, seeds=(0, 1), capacity=12))
-    return out
-
-
-def test_table1(benchmark, results_dir):
-    rows = benchmark(run_checks)
-    assert len(rows) == 3 * len(D_CHECK)
-    for r in rows:
-        assert r["within_bound"], f"ratio bound violated: {r}"
-        assert r["worst_empirical"] >= 1.0 - 1e-9
-    text = table1_text((1, 2, 3, 4, 8, 22, 50))
-    text += "\n\n" + format_table(
-        list(rows[0]),
-        [list(r.values()) for r in rows],
-        title="Empirical verification (ratios vs certified lower bounds)",
-    )
-    save_and_print(results_dir, "table1", text)
+def test_table1(results_dir):
+    run_registered("table1", results_dir)

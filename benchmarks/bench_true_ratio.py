@@ -1,29 +1,11 @@
 """True approximation ratios against the exact branch-and-bound optimum.
 
-On tiny instances ``T_opt`` is computable exactly, so this is the one
-experiment reporting *true* ratios rather than ratios against lower
-bounds.  Shape: true ratios sit close to 1 and far below the proven
-worst case; the lower-bound-based ratio always over-states the true one.
+Thin wrapper over the registered ``true_ratio`` benchmark
+(:mod:`repro.bench.suites.paper`).
 """
 
-from conftest import save_and_print
-from repro.experiments.extended import true_ratio_study
-from repro.experiments.report import format_table
+from conftest import run_registered
 
 
-def test_true_ratio(benchmark, results_dir):
-    rows = benchmark.pedantic(
-        lambda: true_ratio_study(d_values=(1, 2), n=4, capacity=3, seeds=(0, 1, 2, 3, 4)),
-        rounds=1, iterations=1,
-    )
-    for r in rows:
-        assert 1.0 - 1e-9 <= r["mean_true_ratio"]
-        assert r["max_true_ratio"] <= r["proven"] + 1e-9
-        assert r["mean_lb_ratio"] >= r["mean_true_ratio"] - 1e-9
-        # far from worst case on random instances
-        assert r["mean_true_ratio"] <= 0.6 * r["proven"]
-    save_and_print(
-        results_dir, "true_ratio",
-        format_table(list(rows[0]), [list(r.values()) for r in rows],
-                     title="True ratios T/T_opt (exact oracle, tiny instances)"),
-    )
+def test_true_ratio(results_dir):
+    run_registered("true_ratio", results_dir)

@@ -1,29 +1,11 @@
 """Workflow study — the algorithms on Pegasus-shaped real workflows.
 
-Shape assertions mirror Sim-A on realistic structures: our ratio stays
-within the proven bound and beats the fixed-allocation baselines on
-average across the four workflows.
+Thin wrapper over the registered ``workflow_study`` benchmark
+(:mod:`repro.bench.suites.paper`).
 """
 
-from statistics import mean
-
-from conftest import save_and_print
-from repro.experiments.report import format_table
-from repro.experiments.workflow_study import workflow_comparison
+from conftest import run_registered
 
 
-def test_workflow_study(benchmark, results_dir):
-    rows = benchmark.pedantic(lambda: workflow_comparison(d=2, capacity=16),
-                              rounds=1, iterations=1)
-    assert {r["workflow"] for r in rows} == {"montage", "cybershake", "epigenomics", "ligo"}
-    for r in rows:
-        assert r["ours"] <= r["proven"] + 1e-9
-        assert r["ours"] >= 1.0 - 1e-9
-    ours_mean = mean(r["ours"] for r in rows)
-    for b in ("min_area", "min_time", "balanced"):
-        assert ours_mean <= mean(r[b] for r in rows) + 1e-9
-    save_and_print(
-        results_dir, "workflow_study",
-        format_table(list(rows[0]), [list(r.values()) for r in rows],
-                     title="Pegasus workflow study (d=2): ratio vs LP bound"),
-    )
+def test_workflow_study(results_dir):
+    run_registered("workflow_study", results_dir)

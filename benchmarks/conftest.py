@@ -1,13 +1,20 @@
 """Benchmark harness configuration.
 
-Each bench file regenerates one of the paper's displayed results (or one of
-the extension experiments indexed in DESIGN.md), prints the paper-style
-rows, asserts the qualitative *shape* (who wins, how ratios trend), and
-saves the rendered table under ``benchmarks/results/``.
+Each bench file is a thin pytest wrapper over one or more benchmarks
+registered in :mod:`repro.bench.suites`; the shared runner
+(:mod:`repro.bench.runner`) owns workload construction, warmup/repeat/
+median timing and check evaluation, and every result table is rendered
+from the emitted JSON record (:func:`repro.bench.schema.render_table`),
+so the committed text tables under ``benchmarks/results/`` and the JSON
+perf trajectory can never disagree.
+
+``REPRO_BENCH_QUICK=1`` selects the reduced CI configuration.  The same
+specs run standalone via ``python -m repro bench``.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -21,7 +28,27 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
-def save_and_print(results_dir: pathlib.Path, name: str, text: str) -> None:
-    """Print a result table and persist it for EXPERIMENTS.md."""
-    print("\n" + text)
-    (results_dir / f"{name}.txt").write_text(text + "\n")
+def run_registered(name: str, results_dir: pathlib.Path) -> dict:
+    """Run one registered benchmark, persist its tables, assert its checks.
+
+    The committed tables under ``results/`` are full-config artifacts, so
+    a ``REPRO_BENCH_QUICK=1`` run prints its tables but never overwrites
+    them (quick workloads would silently drop the large-config rows).
+    """
+    from repro.bench.core import BenchConfig
+    from repro.bench.registry import get_benchmark
+    from repro.bench.runner import run_spec
+    from repro.bench.schema import render_table
+
+    config = BenchConfig(quick=os.environ.get("REPRO_BENCH_QUICK") == "1")
+    record = run_spec(get_benchmark(name), config)
+    for table in record["tables"]:
+        text = render_table(table)
+        print("\n" + text)
+        if not config.quick:
+            (results_dir / f"{table['name']}.txt").write_text(text + "\n")
+    failed = [c for c in record["checks"] if not c["ok"]]
+    assert not failed, f"{name}: failed checks: " + "; ".join(
+        f"{c['name']}" + (f" ({c['detail']})" if c["detail"] else "") for c in failed
+    )
+    return record

@@ -1,0 +1,50 @@
+"""Registry-driven benchmark subsystem.
+
+One front door for every performance measurement in the repo::
+
+    PYTHONPATH=src python -m repro bench --quick --json out.json
+    PYTHONPATH=src python -m repro bench --only engine --compare baseline.json
+
+A benchmark is a registered factory (:func:`repro.bench.registry.
+register_benchmark`) expanding a :class:`repro.bench.core.BenchConfig`
+into a :class:`repro.bench.core.BenchPlan`; the shared runner
+(:mod:`repro.bench.runner`) owns timing, check evaluation and emission to
+the versioned JSON schema (:mod:`repro.bench.schema`), and
+:mod:`repro.bench.compare` diffs two documents for the CI regression
+gate.  ``benchmarks/bench_*.py`` are thin pytest wrappers over the same
+specs.
+"""
+
+from repro.bench.core import (
+    BenchCase,
+    BenchConfig,
+    BenchPlan,
+    CaseResult,
+    CheckResult,
+    Checker,
+    Gate,
+    Table,
+)
+from repro.bench.registry import (
+    BenchmarkSpec,
+    available_benchmarks,
+    benchmark_specs,
+    get_benchmark,
+    register_benchmark,
+)
+
+__all__ = [
+    "BenchCase",
+    "BenchConfig",
+    "BenchPlan",
+    "BenchmarkSpec",
+    "CaseResult",
+    "CheckResult",
+    "Checker",
+    "Gate",
+    "Table",
+    "available_benchmarks",
+    "benchmark_specs",
+    "get_benchmark",
+    "register_benchmark",
+]

@@ -1,0 +1,238 @@
+"""Diff two benchmark documents: the regression gate behind ``--compare``.
+
+Two kinds of entries come out of a comparison:
+
+* **gated deltas** — metrics a benchmark explicitly declared as
+  :class:`repro.bench.core.Gate`\\ s: machine-relative ratios (the
+  compiled-vs-reference speedup) or deterministic schedule-quality
+  numbers.  A gated metric that moves the wrong way by more than the
+  gate's ``max_regression`` is a **regression** and fails the run; one
+  that moves the right way by the same margin is an **improvement**;
+  anything else is **ok**.
+* **informational deltas** — every case's wall-clock and every shared
+  non-gated metric.  Reported (so the perf trajectory stays visible in
+  CI logs) but never failing: absolute timings move with the hardware.
+
+Gates come from the *current* document — they are the code's contract,
+so a PR that adds a gate starts enforcing it immediately and a PR that
+retires one stops.  Benchmarks present on only one side are listed as
+``new``/``missing``, never failed: the committed baseline is regenerated
+whenever the benchmark set changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "CompareReport",
+    "Delta",
+    "compare_documents",
+]
+
+#: informational deltas smaller than this are elided from the summary
+_NOISE_FLOOR = 0.02
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared metric."""
+
+    benchmark: str
+    key: str  #: ``derived:<metric>``, ``case:<case>:<metric>`` or ``case:<case>:seconds``
+    baseline: float
+    current: float
+    #: "regression" | "improvement" | "ok" for gated metrics; "info" otherwise
+    status: str
+    direction: str = "higher"
+    max_regression: float | None = None
+
+    @property
+    def change(self) -> float:
+        """Signed fractional change, positive = metric went up."""
+        if self.baseline == 0:
+            return float("inf") if self.current > 0 else 0.0
+        return self.current / self.baseline - 1.0
+
+    def describe(self) -> str:
+        arrow = "+" if self.change >= 0 else ""
+        gate = (
+            f" (gate: {self.direction} is better, fail past {self.max_regression:.0%})"
+            if self.max_regression is not None
+            else ""
+        )
+        return (
+            f"{self.benchmark} {self.key}: {self.baseline:.6g} -> {self.current:.6g} "
+            f"({arrow}{self.change:.1%}){gate}"
+        )
+
+
+@dataclass
+class CompareReport:
+    """Everything ``--compare`` found; ``ok`` drives the exit code."""
+
+    gated: list[Delta] = field(default_factory=list)
+    info: list[Delta] = field(default_factory=list)
+    new_benchmarks: list[str] = field(default_factory=list)
+    missing_benchmarks: list[str] = field(default_factory=list)
+    #: set when the two documents were produced under different configs
+    #: (quick vs full, or different seeds) — gated metrics then compare
+    #: different workloads; the CLI refuses such baselines outright
+    config_mismatch: str | None = None
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.gated if d.status == "regression"]
+
+    @property
+    def improvements(self) -> list[Delta]:
+        return [d for d in self.gated if d.status == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        lines = [
+            f"compare: {len(self.gated)} gated metric(s), "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s)"
+        ]
+        if self.config_mismatch:
+            lines.append(f"  WARNING: {self.config_mismatch}")
+        for d in self.gated:
+            lines.append(f"  [{d.status.upper()}] {d.describe()}")
+        noisy = [d for d in self.info if abs(d.change) >= _NOISE_FLOOR]
+        if noisy:
+            lines.append(f"  informational (never gated, +-{_NOISE_FLOOR:.0%} floor):")
+            for d in sorted(noisy, key=lambda d: -abs(d.change)):
+                lines.append(f"    {d.describe()}")
+        if self.new_benchmarks:
+            lines.append(f"  new benchmarks (not in baseline): {', '.join(self.new_benchmarks)}")
+        if self.missing_benchmarks:
+            lines.append(
+                f"  missing benchmarks (baseline only): {', '.join(self.missing_benchmarks)}"
+            )
+        return "\n".join(lines)
+
+
+def _classify(current: float, baseline: float, direction: str, tolerance: float) -> str:
+    if baseline == 0:
+        return "ok"
+    change = current / baseline - 1.0
+    worse = -change if direction == "higher" else change
+    if worse > tolerance:
+        return "regression"
+    if -worse > tolerance:
+        return "improvement"
+    return "ok"
+
+
+def _resolve(record: Mapping[str, Any], gate: Mapping[str, Any]) -> float | None:
+    if gate["case"] is None:
+        return record["derived"].get(gate["metric"])
+    for case in record["cases"]:
+        if case["name"] == gate["case"]:
+            return case["metrics"].get(gate["metric"])
+    return None
+
+
+def _gate_key(gate: Mapping[str, Any]) -> str:
+    if gate["case"] is None:
+        return f"derived:{gate['metric']}"
+    return f"case:{gate['case']}:{gate['metric']}"
+
+
+def compare_documents(
+    current: Mapping[str, Any], baseline: Mapping[str, Any]
+) -> CompareReport:
+    """Compare ``current`` against ``baseline`` (both validated documents)."""
+    report = CompareReport()
+    if current["config"] != baseline["config"]:
+        report.config_mismatch = (
+            f"config mismatch: current {current['config']} vs baseline "
+            f"{baseline['config']} — gated metrics compare different workloads"
+        )
+    base_by_name = {r["name"]: r for r in baseline["benchmarks"]}
+    cur_names = set()
+
+    for record in current["benchmarks"]:
+        name = record["name"]
+        cur_names.add(name)
+        base = base_by_name.get(name)
+        if base is None:
+            report.new_benchmarks.append(name)
+            continue
+
+        gated_keys = set()
+        for gate in record["gates"]:
+            cur_value = _resolve(record, gate)
+            base_value = _resolve(base, gate)
+            if cur_value is None or base_value is None:
+                # a gate the baseline predates: informational until the
+                # baseline is regenerated
+                continue
+            gated_keys.add(_gate_key(gate))
+            report.gated.append(
+                Delta(
+                    benchmark=name,
+                    key=_gate_key(gate),
+                    baseline=float(base_value),
+                    current=float(cur_value),
+                    status=_classify(
+                        float(cur_value),
+                        float(base_value),
+                        gate["direction"],
+                        float(gate["max_regression"]),
+                    ),
+                    direction=gate["direction"],
+                    max_regression=float(gate["max_regression"]),
+                )
+            )
+
+        # informational: wall-clock per case plus shared non-gated metrics
+        base_cases = {c["name"]: c for c in base["cases"]}
+        for case in record["cases"]:
+            bcase = base_cases.get(case["name"])
+            if bcase is None:
+                continue
+            report.info.append(
+                Delta(
+                    benchmark=name,
+                    key=f"case:{case['name']}:seconds",
+                    baseline=float(bcase["seconds"]),
+                    current=float(case["seconds"]),
+                    status="info",
+                    direction="lower",
+                )
+            )
+            for metric, value in case["metrics"].items():
+                key = f"case:{case['name']}:{metric}"
+                if key in gated_keys or metric not in bcase["metrics"]:
+                    continue
+                report.info.append(
+                    Delta(
+                        benchmark=name,
+                        key=key,
+                        baseline=float(bcase["metrics"][metric]),
+                        current=float(value),
+                        status="info",
+                    )
+                )
+        for metric, value in record["derived"].items():
+            key = f"derived:{metric}"
+            if key in gated_keys or metric not in base["derived"]:
+                continue
+            report.info.append(
+                Delta(
+                    benchmark=name,
+                    key=key,
+                    baseline=float(base["derived"][metric]),
+                    current=float(value),
+                    status="info",
+                )
+            )
+
+    report.missing_benchmarks = [n for n in base_by_name if n not in cur_names]
+    return report

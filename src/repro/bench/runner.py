@@ -1,0 +1,95 @@
+"""The shared benchmark driver: expand, time, record.
+
+One front door for the CLI, CI and the pytest wrappers under
+``benchmarks/``::
+
+    from repro.bench.core import BenchConfig
+    from repro.bench.runner import run_benchmarks
+
+    records = run_benchmarks(["engine", "scaling"], BenchConfig(quick=True))
+    doc = build_document(config, records)
+
+:func:`run_spec` owns what every old script hand-rolled: plan expansion
+under the config, warmup/repeat/median timing per case, check and derived
+evaluation, and serialization to the schema record.  :func:`run_benchmarks`
+fans whole benchmarks out over a process pool via
+:func:`repro.experiments.parallel.map_parallel` — the unit is one
+registered benchmark (its cases share built workloads and its checks need
+the in-memory case values), order is preserved, and ``workers=1`` (the
+default, and what CI uses) keeps timings contention-free.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.bench.core import BenchConfig, run_plan
+from repro.bench.registry import BenchmarkSpec, get_benchmark
+from repro.experiments.parallel import map_parallel
+
+__all__ = ["failed_checks", "run_benchmarks", "run_spec"]
+
+
+def run_spec(spec: BenchmarkSpec, config: BenchConfig | None = None) -> dict[str, Any]:
+    """Run one benchmark end to end; returns its schema record."""
+    config = config if config is not None else BenchConfig()
+    t0 = time.perf_counter()
+    plan = spec.build(config)
+    by_name, checks, derived = run_plan(plan)
+    tables = list(plan.tables(by_name)) if plan.tables is not None else []
+    seconds_total = time.perf_counter() - t0
+    return {
+        "name": spec.name,
+        "kind": spec.kind,
+        "description": spec.description,
+        "seconds_total": seconds_total,
+        "cases": [result.to_record() for result in by_name.values()],
+        "checks": [check.to_record() for check in checks],
+        "derived": derived,
+        "gates": [gate.to_record() for gate in plan.gates],
+        "tables": [table.to_record() for table in tables],
+    }
+
+
+def _run_benchmark_job(job: tuple[str, BenchConfig]) -> dict[str, Any]:
+    """Module-level worker body (must be picklable for the process pool)."""
+    name, config = job
+    return run_spec(get_benchmark(name), config)
+
+
+def run_benchmarks(
+    names: list[str],
+    config: BenchConfig | None = None,
+    *,
+    workers: int | None = 1,
+    progress=None,
+) -> list[dict[str, Any]]:
+    """Run the named benchmarks, optionally over a process pool.
+
+    ``workers=1`` (default) runs serially in-process and calls
+    ``progress(i, total, name)`` before each benchmark; ``workers>1`` or
+    ``None`` (auto) trades timing fidelity for wall-clock by fanning the
+    benchmarks out with :func:`map_parallel`.
+    """
+    config = config if config is not None else BenchConfig()
+    for name in names:
+        get_benchmark(name)  # fail fast on unknown names, before any timing
+    if workers == 1:
+        records = []
+        for i, name in enumerate(names):
+            if progress is not None:
+                progress(i, len(names), name)
+            records.append(run_spec(get_benchmark(name), config))
+        return records
+    return map_parallel(_run_benchmark_job, [(n, config) for n in names], workers=workers)
+
+
+def failed_checks(records: list[dict[str, Any]]) -> list[tuple[str, dict[str, Any]]]:
+    """Every failed check across the run, as (benchmark, check) pairs."""
+    return [
+        (record["name"], check)
+        for record in records
+        for check in record["checks"]
+        if not check["ok"]
+    ]

@@ -1,0 +1,9 @@
+"""Built-in benchmark specs: one registered benchmark per result artifact.
+
+Importing this package registers every built-in benchmark (the registry's
+:func:`repro.bench.registry._load_builtin_benchmarks` does so lazily).
+Each ``benchmarks/bench_*.py`` pytest wrapper maps onto one or more specs
+here; the mapping is asserted by ``tests/test_bench_harness.py``.
+"""
+
+from repro.bench.suites import ablations, engine, extensions, paper  # noqa: F401

@@ -1,0 +1,341 @@
+"""Engine throughput benchmarks: the dispatch core raced and scaled.
+
+``engine`` races the three generations of the Algorithm-2 dispatch loop
+(compiled / frozen PR-1 kernel / pre-kernel legacy) on identical rigid
+workloads, asserting identical schedules first — each rewrite is a port,
+not a reimplementation.  Its ``wide_speedup_vs_pr1`` derived metric is
+the compiled-vs-reference ratio CI gates on: machine-relative, so it
+compares across hosts.
+
+``scaling`` pins the advertised complexity envelope: the full two-phase
+pipeline at n=120, phase-2-only list scheduling up to n=1500 (must stay
+under a second), and the compiled core end to end at 10^4..10^5 jobs.
+"""
+
+from __future__ import annotations
+
+from repro.bench.core import (
+    BenchCase,
+    BenchConfig,
+    BenchPlan,
+    Checker,
+    Gate,
+    Table,
+    jobs_per_sec,
+)
+from repro.bench.registry import register_benchmark
+from repro.bench.workloads import rigid_layered
+from repro.core.list_scheduler import bottom_level_priority, list_schedule
+from repro.engine.reference import (
+    reference_list_schedule,
+    reference_pr1_list_schedule,
+)
+
+D = 4
+CAPACITY = 24
+
+#: Required compiled-vs-PR1 speedup on the wide shape (see ISSUE 2); only
+#: enforced as a check in full (non-quick) runs, where the workload is the
+#: contended 10x200 shape the gate was calibrated on.
+REQUIRED_WIDE_SPEEDUP = 5.0
+
+_GENERATIONS = (
+    ("compiled", lambda inst, alloc: list_schedule(inst, alloc, bottom_level_priority)),
+    ("pr1_kernel", lambda inst, alloc: reference_pr1_list_schedule(inst, alloc)),
+    ("legacy", lambda inst, alloc: reference_list_schedule(inst, alloc)),
+)
+
+
+@register_benchmark(
+    "engine",
+    kind="engine",
+    description="Compiled dispatch core vs the frozen PR-1 kernel and pre-kernel loop",
+)
+def engine_benchmark(config: BenchConfig) -> BenchPlan:
+    """Three dispatch generations on deep/wide rigid DAGs + online arrivals."""
+    from repro.instance.instance import with_poisson_arrivals
+
+    # quick keeps the wide (contended) regime by shrinking layers, not
+    # width; the wide shape stays at n=800 so the gated speedup ratio is
+    # derived from tens-of-ms timed bodies, not noise-dominated ~2ms ones
+    deep_shape = (10, 20) if config.quick else (100, 20)
+    wide_shape = (4, 200) if config.quick else (10, 200)
+    repeats = 7 if config.quick else 5
+    shapes = {}
+    allocs = {}
+    for label, (layers, width) in (("deep", deep_shape), ("wide", wide_shape)):
+        inst, alloc = rigid_layered(
+            layers, width, d=D, capacity=CAPACITY, seed=config.seed, edge_prob=0.15
+        )
+        shapes[label] = inst
+        allocs[label] = alloc
+    online = with_poisson_arrivals(shapes["deep"], rate=200.0, seed=config.seed + 1)
+
+    cases = []
+    for label in ("deep", "wide"):
+        inst, alloc = shapes[label], allocs[label]
+        for gen, fn in _GENERATIONS:
+            cases.append(
+                BenchCase(
+                    name=f"{label}:{gen}",
+                    fn=lambda inst=inst, alloc=alloc, fn=fn: fn(inst, alloc),
+                    repeats=repeats,
+                    warmup=1,
+                    metrics=jobs_per_sec(inst.n),
+                )
+            )
+    cases.append(
+        BenchCase(
+            name="online:compiled",
+            fn=lambda: list_schedule(online, allocs["deep"], bottom_level_priority),
+            repeats=3,
+            warmup=1,
+            metrics=jobs_per_sec(online.n),
+        )
+    )
+
+    def checks(by_name):
+        c = Checker()
+        # exactness first: every generation is a port, not a reimplementation
+        for label in ("deep", "wide"):
+            live = by_name[f"{label}:compiled"].value
+            for gen in ("pr1_kernel", "legacy"):
+                other = by_name[f"{label}:{gen}"].value
+                c.check(
+                    f"{label}:identical_vs_{gen}",
+                    live.starts == other.starts,
+                    "schedules must match event for event",
+                )
+            try:
+                live.validate()
+                c.check(f"{label}:valid", True)
+            except Exception as exc:
+                c.check(f"{label}:valid", False, str(exc))
+        onl = by_name["online:compiled"].value
+        try:
+            onl.validate()
+            c.check("online:valid", True)
+        except Exception as exc:
+            c.check("online:valid", False, str(exc))
+        rel = online.release_times()
+        c.check(
+            "online:release_gating",
+            all(onl.placements[j].start >= rel[j] - 1e-9 for j in rel),
+            "no job may start before its release",
+        )
+        if not config.quick:
+            t_new = by_name["wide:compiled"].seconds
+            t_pr1 = by_name["wide:pr1_kernel"].seconds
+            speedup = t_pr1 / t_new
+            c.check(
+                "wide:speedup_gate",
+                speedup >= REQUIRED_WIDE_SPEEDUP,
+                f"compiled only {speedup:.2f}x the PR-1 kernel (need "
+                f">= {REQUIRED_WIDE_SPEEDUP}x)",
+            )
+            c.check(
+                "deep:no_regression",
+                by_name["deep:compiled"].seconds <= by_name["deep:pr1_kernel"].seconds,
+                "compiled slower than the PR-1 kernel in the short-queue regime",
+            )
+        return c.results
+
+    def derived(by_name):
+        return {
+            "wide_speedup_vs_pr1": by_name["wide:pr1_kernel"].seconds
+            / by_name["wide:compiled"].seconds,
+            "wide_speedup_vs_legacy": by_name["wide:legacy"].seconds
+            / by_name["wide:compiled"].seconds,
+            "deep_speedup_vs_pr1": by_name["deep:pr1_kernel"].seconds
+            / by_name["deep:compiled"].seconds,
+        }
+
+    def tables(by_name):
+        labels = {
+            "deep": f"deep {deep_shape[0]}x{deep_shape[1]}",
+            "wide": f"wide {wide_shape[0]}x{wide_shape[1]}",
+            "online": "deep + Poisson arrivals",
+        }
+        rows = []
+        for result in by_name.values():
+            shape, gen = result.name.split(":", 1)
+            rows.append(
+                {
+                    "workload": f"{labels[shape]} ({gen.replace('_', ' ')})",
+                    "seconds": result.seconds,
+                    "jobs_per_sec": result.metrics["jobs_per_sec"],
+                }
+            )
+        return [
+            Table(
+                name="engine",
+                title=f"Compiled engine vs frozen predecessors (d={D})",
+                rows=rows,
+                precision=4,
+            )
+        ]
+
+    return BenchPlan(
+        cases=cases,
+        checks=checks,
+        derived=derived,
+        tables=tables,
+        gates=[
+            Gate("wide_speedup_vs_pr1", direction="higher", max_regression=0.30),
+            Gate("wide_speedup_vs_legacy", direction="higher", max_regression=0.30),
+        ],
+    )
+
+
+@register_benchmark(
+    "scaling",
+    kind="engine",
+    description="Wall-clock cost of the library itself across instance sizes",
+)
+def scaling_benchmark(config: BenchConfig) -> BenchPlan:
+    """Full pipeline at n=120, phase-2 scaling to n=1500, compiled core to 10^5."""
+    from repro.core.two_phase import MoldableScheduler
+    from repro.experiments.workloads import random_instance
+    from repro.jobs.candidates import geometric_grid
+    from repro.resources.pool import ResourcePool
+
+    pipeline_wl = random_instance(
+        "layered", 120, ResourcePool.uniform(3, 16), seed=config.seed
+    )
+
+    phase2 = {}
+    for n in (200, 600, 1500):
+        wl = random_instance("layered", n, ResourcePool.uniform(3, 16), seed=config.seed + 1)
+        inst = wl.instance
+        table = inst.candidate_table(geometric_grid)
+        alloc = {
+            j: min(es, key=lambda e: e.time * e.area).alloc for j, es in table.items()
+        }
+        phase2[n] = (inst, alloc)
+
+    large_shapes = [(25, 400)] if config.quick else [(25, 400), (50, 1000), (100, 1000)]
+    large = {}
+    for layers, width in large_shapes:
+        inst, alloc = rigid_layered(layers, width, d=D, capacity=CAPACITY, seed=config.seed)
+        large[inst.n] = (inst, alloc)
+
+    thru_wl = random_instance("layered", 400, ResourcePool.uniform(2, 16), seed=config.seed + 2)
+    thru_inst = thru_wl.instance
+    thru_table = thru_inst.candidate_table(geometric_grid)
+    thru_alloc = {
+        j: min(es, key=lambda e: e.time * e.area).alloc for j, es in thru_table.items()
+    }
+
+    cases = [
+        BenchCase(
+            name="full_pipeline:n120",
+            fn=lambda: MoldableScheduler(allocator="lp").schedule(pipeline_wl.instance),
+            repeats=3,
+        )
+    ]
+    for n, (inst, alloc) in phase2.items():
+        cases.append(
+            BenchCase(
+                name=f"phase2:n{n}",
+                fn=lambda inst=inst, alloc=alloc: list_schedule(inst, alloc),
+                metrics=jobs_per_sec(inst.n),
+            )
+        )
+    for n, (inst, alloc) in large.items():
+        cases.append(
+            BenchCase(
+                name=f"large:n{n}",
+                fn=lambda inst=inst, alloc=alloc: list_schedule(
+                    inst, alloc, bottom_level_priority
+                ),
+                metrics=jobs_per_sec(inst.n),
+            )
+        )
+    cases.append(
+        BenchCase(
+            name="throughput:n400",
+            fn=lambda: list_schedule(thru_inst, thru_alloc),
+            repeats=3,
+            warmup=1,
+            metrics=jobs_per_sec(thru_inst.n),
+        )
+    )
+
+    def checks(by_name):
+        c = Checker()
+        res = by_name["full_pipeline:n120"].value
+        try:
+            res.schedule.validate()
+            c.check("full_pipeline:valid", True)
+        except Exception as exc:
+            c.check("full_pipeline:valid", False, str(exc))
+        c.check(
+            "full_pipeline:within_proven_bound",
+            res.makespan <= res.proven_ratio * res.lower_bound * (1 + 1e-6),
+            f"makespan {res.makespan:.4f} vs proven "
+            f"{res.proven_ratio * res.lower_bound:.4f}",
+        )
+        n1500 = by_name["phase2:n1500"].seconds
+        c.check(
+            "phase2:n1500_under_1s",
+            n1500 < 1.0,
+            f"list scheduling too slow: {n1500:.3f}s for n=1500",
+        )
+        for n, (inst, _) in large.items():
+            sched = by_name[f"large:n{n}"].value
+            c.check(f"large:n{n}_complete", len(sched) == inst.n)
+            if inst.n >= 100_000:
+                try:
+                    sched.validate()
+                    c.check(f"large:n{n}_valid", True)
+                except Exception as exc:
+                    c.check(f"large:n{n}_valid", False, str(exc))
+                dt = by_name[f"large:n{n}"].seconds
+                c.check(
+                    f"large:n{n}_under_60s", dt < 60.0, f"n={n} took {dt:.1f}s"
+                )
+        thru = by_name["throughput:n400"].value
+        c.check("throughput:complete", len(thru) == thru_inst.n)
+        return c.results
+
+    def derived(by_name):
+        n_max = max(large)
+        return {
+            "phase2_n1500_seconds": by_name["phase2:n1500"].seconds,
+            "large_max_jobs_per_sec": by_name[f"large:n{n_max}"].metrics["jobs_per_sec"],
+        }
+
+    def tables(by_name):
+        phase2_rows = [
+            {
+                "n": inst.n,
+                "list_schedule_seconds": by_name[f"phase2:n{n}"].seconds,
+                "makespan": by_name[f"phase2:n{n}"].value.makespan,
+            }
+            for n, (inst, _) in phase2.items()
+        ]
+        large_rows = [
+            {
+                "n": inst.n,
+                "edges": inst.dag.num_edges,
+                "list_schedule_seconds": by_name[f"large:n{n}"].seconds,
+                "jobs_per_sec": by_name[f"large:n{n}"].metrics["jobs_per_sec"],
+            }
+            for n, (inst, _) in large.items()
+        ]
+        return [
+            Table(
+                name="scaling",
+                title="Scheduler scaling (Phase 2 only)",
+                rows=phase2_rows,
+                precision=4,
+            ),
+            Table(
+                name="scaling_large",
+                title="Compiled dispatch core at scale (rigid jobs, d=4)",
+                rows=large_rows,
+                precision=4,
+            ),
+        ]
+
+    return BenchPlan(cases=cases, checks=checks, derived=derived, tables=tables)

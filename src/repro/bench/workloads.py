@@ -1,0 +1,85 @@
+"""Deterministic workload construction shared by the benchmark suites.
+
+The old ``benchmarks/bench_*.py`` scripts each hand-rolled instance
+building; the two recipes they actually used live here, both seeded and
+reproducible bit-for-bit:
+
+* :func:`rigid_layered` — rigid jobs (one fixed candidate per job) on a
+  layered random DAG.  This is the engine-throughput workload: no
+  candidate enumeration, so the timed loop is the dispatch core itself.
+* :func:`family_instance` — a named workload family from
+  :data:`repro.experiments.workloads.WORKLOAD_FAMILIES`, i.e. exactly the
+  builders the conformance fuzzer sweeps
+  (:func:`repro.conformance.fuzz.build_case_instance` uses the same
+  path), optionally with Poisson release times.
+
+Both are pure functions of their arguments — the determinism the
+``--compare`` split relies on (workloads and schedules reproduce exactly;
+only wall-clock varies between runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.generators import layered_random
+from repro.experiments.workloads import WORKLOAD_FAMILIES, random_instance
+from repro.instance.instance import Instance, make_instance, with_poisson_arrivals
+from repro.resources.pool import ResourcePool
+from repro.resources.vector import ResourceVector
+
+__all__ = ["WORKLOAD_FAMILIES", "family_instance", "rigid_layered"]
+
+
+def rigid_layered(
+    layers: int,
+    width: int,
+    *,
+    d: int = 4,
+    capacity: int = 24,
+    seed: int = 0,
+    edge_prob: float | None = None,
+) -> tuple[Instance, dict]:
+    """Rigid jobs on a ``layers x width`` layered DAG.
+
+    Demands are uniform in ``[1, 8]`` per type, durations in
+    ``[0.5, 4.0]``.  ``edge_prob=None`` keeps the expected in-degree ~8
+    regardless of width (edge count linear in n — the large-n scaling
+    recipe); pass an explicit probability for a fixed-density graph (the
+    engine race uses 0.15).  Returns ``(instance, allocation_map)``.
+    """
+    rng = np.random.default_rng(seed)
+    p = min(0.5, 8.0 / width) if edge_prob is None else edge_prob
+    dag = layered_random(layers, width, p=p, seed=rng)
+    order = dag.topological_order()
+    allocs = {j: ResourceVector(rng.integers(1, 9, size=d)) for j in order}
+    durations = {j: float(rng.uniform(0.5, 4.0)) for j in order}
+    pool = ResourcePool.uniform(d, capacity)
+
+    def factory(j):
+        t = durations[j]
+        return lambda a: t
+
+    inst = make_instance(dag, pool, factory, candidates_factory=lambda j: (allocs[j],))
+    return inst, dict(allocs)
+
+
+def family_instance(
+    family: str,
+    n: int,
+    *,
+    d: int,
+    capacity: int,
+    seed: int = 0,
+    arrival_rate: float | None = None,
+) -> Instance:
+    """One instance of a named workload family (the fuzzer's builders)."""
+    if family not in WORKLOAD_FAMILIES:
+        raise KeyError(
+            f"unknown family {family!r}; available: {', '.join(WORKLOAD_FAMILIES)}"
+        )
+    pool = ResourcePool.uniform(d, capacity)
+    inst = random_instance(family, n, pool, seed=seed).instance
+    if arrival_rate is not None:
+        inst = with_poisson_arrivals(inst, arrival_rate, seed=seed)
+    return inst

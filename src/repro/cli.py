@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro sim-b
     python -m repro schedulers
     python -m repro fuzz --quick
+    python -m repro bench --quick --json out.json
+    python -m repro bench --only engine scaling --compare baseline.json
     python -m repro schedule --family cholesky --n 40 --d 3 --gantt
     python -m repro schedule --family independent --scheduler sun_shelf
     python -m repro schedule --scheduler tetris --arrival-rate 2.0
@@ -86,6 +88,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("schedulers", help="list the registered schedulers")
 
+    be = sub.add_parser(
+        "bench",
+        help="registry-driven benchmark harness: timed cases, recorded "
+             "checks, versioned JSON emission, baseline comparison",
+    )
+    be.add_argument("--quick", action="store_true",
+                    help="reduced CI configuration (smaller engine workloads, "
+                         "timing gates relaxed; also via REPRO_BENCH_QUICK=1)")
+    be.add_argument("--only", nargs="+", default=None, metavar="NAME",
+                    help="run only these registered benchmarks")
+    be.add_argument("--kind", default=None,
+                    choices=["engine", "paper", "ablation", "extension"],
+                    help="run only benchmarks of this kind")
+    be.add_argument("--seed", type=int, default=0,
+                    help="workload seed offset (engine-level workloads)")
+    be.add_argument("--workers", type=int, default=1,
+                    help="process-pool size over whole benchmarks (default 1 "
+                         "= serial, best timing fidelity; 0 = auto)")
+    be.add_argument("--json", metavar="FILE", dest="json_out",
+                    help="write the full repro-bench/1 document here")
+    be.add_argument("--emit-dir", metavar="DIR",
+                    help="write per-benchmark BENCH_<name>.json slices here")
+    be.add_argument("--tables", metavar="DIR",
+                    help="render every embedded result table to DIR/<name>.txt")
+    be.add_argument("--compare", metavar="BASELINE.json",
+                    help="diff against a baseline document; gated regressions "
+                         "fail the run")
+    be.add_argument("--list", action="store_true", dest="list_only",
+                    help="list registered benchmarks and exit")
+
     fz = sub.add_parser(
         "fuzz",
         help="conformance sweep: strict validation + differential checks "
@@ -154,6 +186,117 @@ def _cmd_fuzz(args) -> int:
             json.dump(report.to_json(), fh, indent=2)
         print(f"failure report written to {args.failures}")
     return 0 if report.ok else 1
+
+
+def _cmd_bench(args) -> int:
+    import json
+    import os
+
+    from repro.bench.compare import compare_documents
+    from repro.bench.core import BenchConfig
+    from repro.bench.registry import benchmark_specs
+    from repro.bench.runner import failed_checks, run_benchmarks
+    from repro.bench.schema import (
+        SchemaError,
+        benchmark_document,
+        build_document,
+        load_document,
+        write_tables,
+    )
+
+    if args.list_only:
+        rows = [
+            (s.name, s.kind, s.description)
+            for s in benchmark_specs(kind=args.kind)
+        ]
+        print(format_table(["name", "kind", "description"], rows,
+                           title="Registered benchmarks"))
+        return 0
+
+    registered = [s.name for s in benchmark_specs()]
+    names = [s.name for s in benchmark_specs(kind=args.kind)]
+    if args.only is not None:
+        unknown = set(args.only) - set(registered)
+        if unknown:
+            print(f"error: unknown benchmark(s): {', '.join(sorted(unknown))}; "
+                  f"registered: {', '.join(registered)}", file=sys.stderr)
+            return 2
+        names = [n for n in names if n in set(args.only)]
+        if not names:
+            print(f"error: none of {', '.join(sorted(args.only))} has kind "
+                  f"{args.kind!r}", file=sys.stderr)
+            return 2
+
+    quick = args.quick or os.environ.get("REPRO_BENCH_QUICK") == "1"
+    config = BenchConfig(quick=quick, seed=args.seed)
+
+    baseline = None
+    if args.compare:
+        try:
+            baseline = load_document(args.compare)
+        except (OSError, json.JSONDecodeError, SchemaError) as exc:
+            print(f"error: cannot load baseline {args.compare}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if baseline["config"] != {"quick": quick, "seed": args.seed}:
+            print(f"error: baseline {args.compare} was produced under config "
+                  f"{baseline['config']}, this run uses "
+                  f"{{'quick': {quick}, 'seed': {args.seed}}} — gated metrics "
+                  "would compare different workloads; regenerate the baseline "
+                  "or match its config", file=sys.stderr)
+            return 2
+    label = "quick" if quick else "full"
+    print(f"bench: running {len(names)} benchmark(s) ({label} config, "
+          f"seed {args.seed})", flush=True)
+
+    def progress(i, total, name):
+        print(f"  [{i + 1}/{total}] {name}", flush=True)
+
+    records = run_benchmarks(names, config, workers=args.workers or None,
+                             progress=progress)
+    doc = build_document(config, records)
+
+    failed = failed_checks(records)
+    for record in records:
+        metrics = ", ".join(
+            f"{k}={v:.4g}" for k, v in sorted(record["derived"].items())
+        )
+        print(f"  {record['name']}: {record['seconds_total']:.2f}s, "
+              f"{len(record['cases'])} case(s)"
+              + (f", {metrics}" if metrics else ""))
+    for name, check in failed:
+        detail = f": {check['detail']}" if check["detail"] else ""
+        print(f"  CHECK FAILED {name}:{check['name']}{detail}")
+
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=False)
+            fh.write("\n")
+        print(f"document written to {args.json_out}")
+    if args.emit_dir:
+        os.makedirs(args.emit_dir, exist_ok=True)
+        for record in records:
+            path = os.path.join(args.emit_dir, f"BENCH_{record['name']}.json")
+            with open(path, "w") as fh:
+                json.dump(benchmark_document(doc, record["name"]), fh, indent=1)
+                fh.write("\n")
+        print(f"{len(records)} BENCH_<name>.json slice(s) written to {args.emit_dir}")
+    if args.tables:
+        written = write_tables(doc, args.tables)
+        print(f"{len(written)} table(s) rendered to {args.tables}")
+
+    exit_code = 0
+    if failed:
+        print(f"bench: {len(failed)} check(s) FAILED")
+        exit_code = 1
+    if baseline is not None:
+        report = compare_documents(doc, baseline)
+        print(report.summary())
+        if not report.ok:
+            exit_code = 1
+    if exit_code == 0:
+        print("bench: OK")
+    return exit_code
 
 
 def _cmd_schedulers() -> int:
@@ -248,6 +391,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "schedulers":
         return _cmd_schedulers()
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     if args.command == "schedule":

@@ -147,7 +147,9 @@ def available_schedulers(*, kind: str | None = None, graphs: str | None = None) 
     return [s.name for s in scheduler_specs(kind=kind, graphs=graphs)]
 
 
-def scheduler_specs(*, kind: str | None = None, graphs: str | None = None) -> Iterator[SchedulerSpec]:
+def scheduler_specs(
+    *, kind: str | None = None, graphs: str | None = None
+) -> Iterator[SchedulerSpec]:
     """Iterate registry entries (registration order), optionally filtered."""
     _load_builtin_schedulers()
     return iter(

@@ -11,7 +11,7 @@ from hypothesis import given, settings, strategies as st
 from helpers import tiny_instance
 from repro.core.dtct import dtct_allocate, round_fractional, solve_dtct_lp
 from repro.dag.graph import DAG
-from repro.instance.instance import Instance, make_instance
+from repro.instance.instance import Instance
 from repro.jobs.candidates import full_grid
 from repro.jobs.job import Job
 from repro.resources.pool import ResourcePool

@@ -1,6 +1,5 @@
 """Tests for the shared event kernel and its dispatch drivers."""
 
-import numpy as np
 import pytest
 
 from helpers import rigid_unit_job, tiny_instance

@@ -9,7 +9,6 @@ import importlib.util
 import pathlib
 import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import theory
 from repro.experiments.figure1 import figure1_table
 from repro.experiments.report import format_table, format_value
 from repro.experiments.sweeps import (
@@ -83,7 +82,6 @@ class TestWorkloads:
         pool = ResourcePool.uniform(2, 8)
         a = random_instance("layered", 12, pool, seed=5)
         b = random_instance("layered", 12, pool, seed=5)
-        alloc = {j: pool.capacities for j in a.instance.jobs}
         assert a.instance.times({j: pool.capacities for j in a.instance.jobs}) == \
             b.instance.times({j: pool.capacities for j in b.instance.jobs})
 

@@ -1,6 +1,5 @@
 """Tests for the extended experiment sweeps."""
 
-import pytest
 
 from repro.experiments.extended import (
     capacity_sweep,

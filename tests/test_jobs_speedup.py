@@ -1,11 +1,9 @@
 """Tests for the analytic execution-time models, especially Assumption 3."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.instance.instance import Instance
 from repro.jobs.profiles import ProfileEntry, assumption3_violations
 from repro.jobs.speedup import (
     AmdahlSpeedup,

@@ -1,6 +1,5 @@
 """Tests for the estimation-noise robustness experiment."""
 
-import pytest
 
 from helpers import tiny_instance
 from repro.experiments.robustness import perturbed_instance, robustness_sweep

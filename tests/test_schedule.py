@@ -2,7 +2,7 @@
 
 import pytest
 
-from helpers import rigid_unit_job, tiny_instance
+from helpers import tiny_instance
 from repro.core.list_scheduler import list_schedule
 from repro.dag.graph import DAG
 from repro.instance.instance import Instance
@@ -11,7 +11,7 @@ from repro.jobs.job import Job
 from repro.resources.pool import ResourcePool
 from repro.resources.vector import ResourceVector
 from repro.sim.intervals import classify_intervals
-from repro.sim.schedule import Schedule, ScheduledJob
+from repro.sim.schedule import Schedule
 
 
 def two_job_instance():

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.instance.instance import Instance, make_instance
+from repro.instance.instance import make_instance
 from repro.dag.generators import independent
 from repro.jobs.candidates import full_grid
 from repro.jobs.profiles import ProfileEntry, pareto_filter
