@@ -1,0 +1,15 @@
+"""Service — online-session throughput vs the batch compiled engine.
+
+Thin wrapper over the registered ``service`` benchmark
+(:mod:`repro.bench.suites.service`): an open-loop Poisson client drives a
+live scheduling session, the identical workload runs through the batch
+engine, schedules are asserted identical event for event (including a
+checkpoint → restore replay mid-stream), and the session-vs-batch
+throughput ratio is the gated metric.
+"""
+
+from conftest import run_registered
+
+
+def test_service(results_dir):
+    run_registered("service", results_dir)

@@ -6,4 +6,4 @@ Each ``benchmarks/bench_*.py`` pytest wrapper maps onto one or more specs
 here; the mapping is asserted by ``tests/test_bench_harness.py``.
 """
 
-from repro.bench.suites import ablations, engine, extensions, paper  # noqa: F401
+from repro.bench.suites import ablations, engine, extensions, paper, service  # noqa: F401

@@ -14,6 +14,9 @@ Usage (after ``pip install -e .``)::
     python -m repro schedule --family cholesky --n 40 --d 3 --gantt
     python -m repro schedule --family independent --scheduler sun_shelf
     python -m repro schedule --scheduler tetris --arrival-rate 2.0
+    python -m repro schedule --n 2000 --follow      # stream events live
+    python -m repro serve --capacities 16 16        # JSON-lines service
+    python -m repro serve --tcp 7077 --batch-size 8
 
 Every scheduler name comes from :mod:`repro.registry`; every command
 prints the same tables the benchmark harness asserts on.
@@ -151,6 +154,41 @@ def build_parser() -> argparse.ArgumentParser:
                          "with this rate (event-driven schedulers only)")
     sc.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     sc.add_argument("--trace", metavar="FILE", help="write a JSON trace")
+    sc.add_argument("--follow", action="store_true",
+                    help="stream per-event progress while dispatching: the "
+                         "scheduler's allocation is replayed through the "
+                         "re-entrant engine loop, printing each start/finish "
+                         "as virtual time advances (fixed-allocation "
+                         "schedulers only)")
+
+    sv = sub.add_parser(
+        "serve",
+        help="online scheduling service: JSON-lines requests "
+             "(submit/cancel/advance/drain/checkpoint/restore) over "
+             "stdin/stdout or TCP",
+    )
+    sv.add_argument("--capacities", type=int, nargs="+", default=None, metavar="P",
+                    help="per-type platform capacities (default: --d copies "
+                         "of --capacity)")
+    sv.add_argument("--d", type=int, default=2)
+    sv.add_argument("--capacity", type=int, default=16)
+    sv.add_argument("--tcp", type=int, default=None, metavar="PORT",
+                    help="serve a TCP socket instead of stdin/stdout "
+                         "(0 picks a free port)")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--batch-size", type=int, default=32,
+                    help="admit buffered submissions once this many are "
+                         "waiting (default 32)")
+    sv.add_argument("--batch-interval", type=float, default=0.05, metavar="SECONDS",
+                    help="...or once the oldest has waited this long "
+                         "(default 0.05s); whichever comes first")
+    sv.add_argument("--restore", metavar="FILE", default=None,
+                    help="resume from a repro-session/1 checkpoint")
+    sv.add_argument("--trace", metavar="FILE", default=None,
+                    help="write the session trace (v3, cancellations "
+                         "included) on shutdown")
+    sv.add_argument("--seed", type=int, default=0,
+                    help="session RNG seed (stochastic clients)")
 
     return p
 
@@ -309,6 +347,29 @@ def _cmd_schedulers() -> int:
     return 0
 
 
+def _follow_replay(inst, result) -> "Schedule | None":
+    """Stream the result's fixed allocation through the re-entrant engine
+    loop, printing each start/finish as virtual time advances.  Returns the
+    streamed schedule (same allocation, FIFO queue order — it carries the
+    identical Phase-2 guarantee) or ``None`` when the scheduler keeps no
+    allocation to replay."""
+    from repro.core.list_scheduler import list_schedule
+
+    allocation = getattr(result, "allocation", None)
+    if allocation is None:
+        return None
+
+    def on_event(kind, job, t, duration) -> None:
+        if kind == "start":
+            alloc = tuple(int(a) for a in allocation[job])
+            print(f"[{t:12.4f}] start  {job!r} alloc={alloc} dur={duration:.4f}",
+                  flush=True)
+        else:
+            print(f"[{t:12.4f}] finish {job!r}", flush=True)
+
+    return list_schedule(inst, allocation, on_event=on_event)
+
+
 def _cmd_schedule(args) -> int:
     pool = ResourcePool.uniform(args.d, args.capacity)
     wl = random_instance(args.family, args.n, pool, seed=args.seed)
@@ -327,16 +388,34 @@ def _cmd_schedule(args) -> int:
     except ValueError as exc:  # e.g. offline planner given release times
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if hasattr(result, "lower_bound"):
+    if args.follow:
+        streamed = _follow_replay(inst, result)
+        if streamed is None:
+            print(f"error: --follow needs a fixed allocation to replay and "
+                  f"{args.scheduler!r} keeps none", file=sys.stderr)
+            return 2
+        print(f"\nfamily={args.family} n={inst.n} d={inst.d} "
+              f"scheduler={args.scheduler} (streamed replay)\n"
+              f"makespan={streamed.makespan:.4f}", end="")
+        own = result.schedule
+        if not isinstance(own, Schedule) or streamed.placements != own.placements:
+            # the replay uses the FIFO queue order; flag any placement-level
+            # divergence from the scheduler's own order, not just makespan
+            print(f" (differs from the scheduler's own queue order, "
+                  f"makespan {result.makespan:.4f})", end="")
+        print()
+        schedule = streamed
+    elif hasattr(result, "lower_bound"):
         print(
             f"family={args.family} n={inst.n} d={inst.d} allocator={result.allocator}\n"
             f"makespan={result.makespan:.4f} lower_bound={result.lower_bound:.4f} "
             f"ratio={result.ratio():.4f} proven<={result.proven_ratio:.4f}"
         )
+        schedule = result.schedule
     else:
         print(f"family={args.family} n={inst.n} d={inst.d} algorithm={result.name}\n"
               f"makespan={result.makespan:.4f}")
-    schedule = result.schedule
+        schedule = result.schedule
     schedule.validate()
     if not isinstance(schedule, Schedule):
         if args.gantt or args.trace:
@@ -351,6 +430,55 @@ def _cmd_schedule(args) -> int:
             fh.write(trace_to_json(schedule))
         print(f"\ntrace written to {args.trace}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.service import (
+        ServiceFrontend,
+        SchedulingSession,
+        load_session,
+        serve_stdio,
+        serve_tcp,
+        write_trace,
+    )
+
+    if args.restore:
+        try:
+            session = load_session(args.restore)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"error: cannot restore {args.restore}: {exc}", file=sys.stderr)
+            return 2
+        print(f"serve: resumed {len(session.gi.order)} job(s) at clock "
+              f"{session.now:g} from {args.restore}", file=sys.stderr)
+    else:
+        caps = args.capacities if args.capacities else [args.capacity] * args.d
+        try:
+            session = SchedulingSession(caps, seed=args.seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        frontend = ServiceFrontend(
+            session, batch_size=args.batch_size, batch_interval=args.batch_interval
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.tcp is not None:
+        def announce(port: int) -> None:
+            print(f"serve: listening on {args.host}:{port} "
+                  f"(batch {args.batch_size} jobs / {args.batch_interval}s)",
+                  file=sys.stderr, flush=True)
+
+        code = serve_tcp(frontend, args.host, args.tcp, on_bound=announce)
+    else:
+        code = serve_stdio(frontend, sys.stdin, sys.stdout)
+    if args.trace:
+        write_trace(frontend.session, args.trace)
+        print(f"serve: session trace written to {args.trace}", file=sys.stderr)
+    return code
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -397,6 +525,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_fuzz(args)
     if args.command == "schedule":
         return _cmd_schedule(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

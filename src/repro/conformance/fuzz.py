@@ -24,14 +24,25 @@ running it performs every conformance check that applies:
    schedule_to_trace(s))`` must equal ``s`` placement-for-placement;
 5. **fault replay** (``scenario="faults"``) — the kernel fault simulator
    (:func:`repro.sim.faults.execute_with_faults`) is raced attempt-for-
-   attempt against the frozen pre-kernel loop under the same seed.
+   attempt against the frozen pre-kernel loop under the same seed;
+6. **service replay** (``scenario="service"``) — the scheduler's fixed
+   allocation is driven through a live
+   :class:`~repro.service.session.SchedulingSession` twice: once with a
+   seeded *submission-order-faithful* interleaving of ``submit`` /
+   ``advance`` calls (every job submitted before virtual time reaches its
+   batch start) with a checkpoint → JSON → restore round-trip at a random
+   midpoint, which must reproduce the batch compiled engine's schedule
+   **event for event**; and once with an adversarial interleaving — random
+   chunk sizes, advances past batch starts, cancellations, another
+   checkpoint/restore — whose completed sub-schedule must strict-validate,
+   place no cancelled job, and round-trip through the version-3 trace.
 
 The default matrix sweeps all registered schedulers × the 11 workload
 families × ``d ∈ {1..6}`` × capacity regimes (including the degenerate
 ``cap=1`` platform and the packed/unpacked engine boundary at ``d=4/5``
-and ``cap >= 2**15``) × offline / Poisson-arrival / fault-replay
-scenarios.  Offline-only planners (backfill, the shelf packers, the
-malleable relaxation) are swept offline; a scheduler that *rejects* a
+and ``cap >= 2**15``) × offline / Poisson-arrival / fault-replay /
+service scenarios.  Offline-only planners (backfill, the shelf packers,
+the malleable relaxation) are swept offline; a scheduler that *rejects* a
 scenario with ``ValueError`` is recorded as a skip, never a failure.
 
 Everything is deterministic in the case seed, so a failing case is its own
@@ -67,12 +78,13 @@ __all__ = [
     "FuzzCase",
     "FuzzFailure",
     "FuzzReport",
+    "portable_events",
     "default_matrix",
     "run_case",
     "run_fuzz",
 ]
 
-SCENARIOS = ("offline", "poisson", "faults")
+SCENARIOS = ("offline", "poisson", "faults", "service")
 
 #: Schedulers that plan offline and reject release times by contract.
 _OFFLINE_ONLY = frozenset({"backfill", "level_shelf", "sun_shelf", "malleable"})
@@ -271,7 +283,7 @@ def _run_scheduler(spec, instance: Instance, strategy):
     return spec.schedule(instance)
 
 
-def _portable_events(schedule: Schedule, *, reprify: bool) -> list[tuple]:
+def portable_events(schedule: Schedule, *, reprify: bool) -> list[tuple]:
     """Canonical event list under the serialize module's id mapping: pass
     ``reprify=True`` for the original instance (ids map to their ``repr``)
     and ``False`` for a round-tripped one (ids already *are* the reprs)."""
@@ -298,6 +310,12 @@ def build_case_instance(case: FuzzCase) -> Instance:
     inst = random_instance(case.family, case.n, pool, seed=case.seed).instance
     if case.scenario == "poisson":
         inst = with_poisson_arrivals(inst, case.arrival_rate, seed=case.seed)
+    elif case.scenario == "service":
+        # odd seeds add release times so sessions exercise online-arrival
+        # gating too; offline-only planners keep the offline instance (they
+        # reject releases by contract)
+        if case.seed % 2 and case.scheduler not in _OFFLINE_ONLY:
+            inst = with_poisson_arrivals(inst, case.arrival_rate, seed=case.seed)
     return inst
 
 
@@ -382,6 +400,10 @@ def run_case(case: FuzzCase) -> tuple[list[FuzzFailure], bool]:
     if case.scenario == "faults" and allocation is not None:
         failures.extend(_check_fault_replay(case, inst, allocation))
 
+    # 6 — online-session replay (faithful identity + adversarial validity)
+    if case.scenario == "service" and allocation is not None:
+        failures.extend(_check_service(case, inst, allocation))
+
     return failures, False
 
 
@@ -400,7 +422,7 @@ def _check_differential(case, inst, allocation) -> list[FuzzFailure]:
                 "compiled dispatch diverges from the frozen PR-1 kernel driver",
             )
         )
-    if case.scenario != "poisson":  # the pre-kernel loop predates releases
+    if not inst.has_releases:  # the pre-kernel loop predates releases
         try:
             old = reference_list_schedule(inst, allocation, None)
         except Exception as exc:
@@ -431,7 +453,7 @@ def _check_serialize_roundtrip(case, spec, inst, strategy, schedule) -> list[Fuz
     schedule2 = getattr(result2, "schedule", None)
     if not isinstance(schedule2, Schedule):
         return [FuzzFailure(case, "serialize", "round-trip lost the timeline")]
-    if _portable_events(schedule2, reprify=False) != _portable_events(
+    if portable_events(schedule2, reprify=False) != portable_events(
         schedule, reprify=True
     ):
         return [
@@ -485,6 +507,183 @@ def _check_fault_replay(case, inst, allocation) -> list[FuzzFailure]:
         out.append(
             FuzzFailure(case, "faults", "fault replay completion times diverge")
         )
+    return out
+
+
+# ----------------------------------------------------------------------
+# service-session replay (scenario="service")
+# ----------------------------------------------------------------------
+def service_specs(inst: Instance, allocation) -> list:
+    """Lower ``(instance, allocation)`` to submittable service job specs.
+
+    Ids become their ``repr`` (the portable key the serializers use),
+    durations are the instance's times at the fixed allocation, and the
+    priority key is the topological index — the FIFO order the batch
+    comparison run uses.  Shared with the hypothesis checkpoint suite.
+    """
+    from repro.service.session import JobSpec
+
+    order = inst.dag.topological_order()
+    return [
+        JobSpec(
+            id=repr(j),
+            demand=tuple(int(a) for a in allocation[j]),
+            duration=inst.time(j, allocation[j]),
+            preds=tuple(repr(u) for u in inst.dag.predecessors(j)),
+            release=inst.jobs[j].release,
+            key=i,
+        )
+        for i, j in enumerate(order)
+    ]
+
+
+def _roundtrip_restore(session):
+    """checkpoint → JSON text → restore (the exact-resume path under test)."""
+    import json
+
+    from repro.service.checkpoint import checkpoint_session, restore_session
+
+    return restore_session(json.loads(json.dumps(checkpoint_session(session))))
+
+
+def drive_session_faithfully(
+    inst: Instance, allocation, *, seed: int, checkpoint: bool = True, batch=None
+):
+    """Drive a session with a seeded submission-order-faithful interleaving.
+
+    Jobs are submitted in random-size insertion-order chunks; between
+    chunks, virtual time advances to a random point *strictly below* the
+    earliest batch start among not-yet-submitted jobs — the faithfulness
+    condition under which the session must reproduce the batch schedule.
+    With ``checkpoint``, one random chunk boundary round-trips the session
+    through checkpoint → JSON → restore.  ``batch`` optionally supplies the
+    already-computed batch schedule (it anchors the advance horizons).
+    Returns the drained session.
+    """
+    import numpy as np
+
+    from repro.service.session import SchedulingSession
+
+    if batch is None:
+        batch = list_schedule(inst, allocation, fifo_priority)
+    order = inst.dag.topological_order()
+    specs = service_specs(inst, allocation)
+    n = len(specs)
+    rng = np.random.default_rng(seed)
+    session = SchedulingSession(inst.pool.capacities)
+    ckpt_at = int(rng.integers(0, n + 1)) if checkpoint and n else None
+    k = 0
+    while k < n:
+        size = int(rng.integers(1, n - k + 1))
+        session.submit(specs[k:k + size])
+        k += size
+        if ckpt_at is not None and k >= ckpt_at:
+            session = _roundtrip_restore(session)
+            ckpt_at = None
+        if k < n:
+            horizon = min(batch.placements[order[i]].start for i in range(k, n))
+            if horizon > session.now:
+                # strictly below the next unsubmitted start: faithful
+                t = session.now + float(rng.uniform(0.0, 0.999)) * (
+                    horizon - session.now
+                )
+                session.advance(t)
+    session.drain()
+    return session
+
+
+def _drive_session_adversarially(inst: Instance, allocation, *, seed: int):
+    """Random submit/cancel/advance/checkpoint/restore interleaving.
+
+    No identity can hold here (advances outrun submissions, jobs get
+    cancelled); the session must stay *valid*: the drained sub-schedule of
+    completed jobs strict-validates, cancelled jobs never appear in it,
+    and the v3 trace round-trips.  Returns ``(session, cancelled_ids)``.
+    """
+    import numpy as np
+
+    from repro.service.session import SchedulingSession
+
+    specs = service_specs(inst, allocation)
+    n = len(specs)
+    rng = np.random.default_rng(seed)
+    session = SchedulingSession(inst.pool.capacities)
+    scale = max((s.duration for s in specs), default=1.0)
+    cancelled: set = set()  # withdrawn after submission
+    dropped: set = set()    # never submitted: a predecessor was withdrawn first
+    k = 0
+    while k < n:
+        size = int(rng.integers(1, n - k + 1))
+        chunk = []
+        for s in specs[k:k + size]:
+            if any(p in cancelled or p in dropped for p in s.preds):
+                dropped.add(s.id)
+            else:
+                chunk.append(s)
+        if chunk:
+            session.submit(chunk)
+        k += size
+        if rng.random() < 0.5:
+            live = [s.id for s in specs[:k] if s.id not in dropped]
+            if live:
+                victim = live[int(rng.integers(0, len(live)))]
+                cancelled.update(session.cancel(victim))
+        if rng.random() < 0.3:
+            session = _roundtrip_restore(session)
+        if rng.random() < 0.7:
+            session.advance(session.now + float(rng.exponential(scale)))
+    session.drain()
+    return session, cancelled
+
+
+def _check_service(case, inst, allocation) -> list[FuzzFailure]:
+    from repro.sim.trace import schedule_from_trace
+
+    out: list[FuzzFailure] = []
+    # faithful interleaving: event-for-event identity with the batch engine
+    try:
+        batch = list_schedule(inst, allocation, fifo_priority)
+        session = drive_session_faithfully(
+            inst, allocation, seed=case.seed + 9173, checkpoint=True, batch=batch
+        )
+        sched = session.to_schedule()
+        session.validate()
+    except Exception as exc:
+        return [FuzzFailure(case, "service", f"{type(exc).__name__}: {exc}")]
+    if portable_events(sched, reprify=False) != portable_events(batch, reprify=True):
+        out.append(
+            FuzzFailure(
+                case,
+                "service",
+                "submission-order-faithful session diverges from the batch "
+                "compiled engine",
+            )
+        )
+    # adversarial interleaving: strict validity of whatever completed
+    try:
+        session, cancelled = _drive_session_adversarially(
+            inst, allocation, seed=case.seed + 40123
+        )
+        sched = session.to_schedule()
+        session.validate()
+        placed_cancelled = cancelled & set(sched.placements)
+        if placed_cancelled:
+            out.append(
+                FuzzFailure(
+                    case,
+                    "service",
+                    f"cancelled jobs were placed: {sorted(placed_cancelled)[:5]}",
+                )
+            )
+        back = schedule_from_trace(sched.instance, session.to_trace())
+        if back.placements != sched.placements:
+            out.append(
+                FuzzFailure(
+                    case, "service", "service trace round-trip changed the schedule"
+                )
+            )
+    except Exception as exc:
+        out.append(FuzzFailure(case, "service", f"{type(exc).__name__}: {exc}"))
     return out
 
 

@@ -126,6 +126,8 @@ def list_schedule(
     instance: Instance,
     allocation: Mapping[JobId, ResourceVector],
     priority: PriorityRule = fifo_priority,
+    *,
+    on_event: Callable[[str, JobId, float, float | None], None] | None = None,
 ) -> Schedule:
     """Run Algorithm 2 and return the resulting (valid) schedule.
 
@@ -135,6 +137,10 @@ def list_schedule(
     vectorized resource accounting, release gating for online arrivals —
     lives in :mod:`repro.engine`; this function contributes only the
     priority keys and collects the placements.
+
+    ``on_event("start"|"finish", job, time, duration_or_None)`` streams
+    dispatch events as virtual time advances (``repro schedule --follow``);
+    leaving it ``None`` keeps the hot loop free of per-completion callbacks.
     """
     alloc_mat = instance.validate_allocation_map(allocation)
     as_array = getattr(priority, "as_array", None)
@@ -154,11 +160,24 @@ def list_schedule(
 
     placements: dict[JobId, ScheduledJob] = {}
 
-    def on_start(j: JobId, start: float, duration: float) -> None:
-        placements[j] = ScheduledJob(job_id=j, start=start, time=duration, alloc=allocation[j])
+    if on_event is None:
+        def on_start(j: JobId, start: float, duration: float) -> None:
+            placements[j] = ScheduledJob(job_id=j, start=start, time=duration,
+                                         alloc=allocation[j])
+
+        on_complete = None
+    else:
+        def on_start(j: JobId, start: float, duration: float) -> None:
+            placements[j] = ScheduledJob(job_id=j, start=start, time=duration,
+                                         alloc=allocation[j])
+            on_event("start", j, start, duration)
+
+        def on_complete(j: JobId, now: float) -> None:
+            on_event("finish", j, now, None)
+            return None
 
     drive_priority_schedule(instance, allocation, keys, durations, on_start,
-                            alloc_mat=alloc_mat)
+                            on_complete=on_complete, alloc_mat=alloc_mat)
 
     if len(placements) != len(instance.jobs):  # pragma: no cover - invariant
         raise RuntimeError("deadlock: ready jobs cannot fit an empty platform")

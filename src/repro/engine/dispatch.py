@@ -20,22 +20,37 @@ plus one memmove) and the per-pass feasibility test is a single
 whole-queue vector comparison, so dispatch is ``O((n + m) log n)`` array
 work plus ``O(1)`` python per started job.
 
-The priority driver has two bodies behind one contract:
+The priority discipline is implemented as **re-entrant loop objects**
+rather than run-to-completion functions: each loop owns a resumable event
+heap plus readiness state and exposes ``run(until)`` — run until the heap
+drains (returns ``True``) or until the next event lies past ``until``
+(returns ``False``, resume later).  ``drive_priority_schedule`` simply
+builds one via :func:`priority_loop` and runs it to completion; streaming
+front-ends (``repro schedule --follow``) and the online scheduling
+service step the same loops incrementally.
 
-* the **packed path** (``ci.packable``: ``d <= 4``, capacities below
-  ``2**15``) lowers every demand vector into one ``uint64`` whose fields
-  are the per-type amounts (see :class:`~repro.instance.compiled.CompiledInstance`).
-  Resource accounting degenerates to integer adds/subtracts, the scalar
-  admission test to ``((av + mask) - a) & mask == mask``, and the
-  whole-queue prefilter to three 1-D vector ops.  The event loop is fused
-  into a single flat loop (heap, readiness, dispatch) with no per-event
-  callback indirection — this is the hot path the benchmarks measure.
-* the **general path** (higher ``d`` or larger capacities) keeps the
-  ``(n, d)`` allocation matrix and drives the shared
-  :class:`~repro.engine.kernel.EventKernel` with whole-matrix feasibility
-  comparisons.
+Three loop bodies share that contract:
 
-Both paths gate readiness on job release times (online arrivals) and
+* :class:`PackedPriorityLoop` — the fused fast path (``ci.packable``:
+  ``d <= 4``, capacities below ``2**15``): every demand vector is one
+  ``uint64`` whose fields are the per-type amounts, the scalar admission
+  test is ``((av + mask) - a) & mask == mask``, and the whole-queue
+  prefilter is three 1-D vector ops.  One flat loop owns heap, readiness
+  and dispatch with no per-event callback indirection — this is the hot
+  path the benchmarks measure.
+* :class:`GeneralPriorityLoop` — the matrix fallback (higher ``d`` or
+  larger capacities): the same discipline over the ``(n, d)`` allocation
+  matrix on the shared :class:`~repro.engine.kernel.EventKernel`.
+* :class:`IncrementalPriorityLoop` — the growable form used by
+  :mod:`repro.service`: runs on a
+  :class:`~repro.instance.compiled.GrowableCompiledInstance`, admits jobs
+  *while scheduling* (``admit``), supports cancellation of not-yet-started
+  jobs, and keeps the ready queue as a list sorted by ``(key, index)`` —
+  the identical total order the rank lowering realizes, so a session
+  driven submission-order-faithfully reproduces the batch schedule event
+  for event (the conformance service family asserts this).
+
+All paths gate readiness on job release times (online arrivals) and
 preserve the historical tie-breaking exactly: simultaneous completions are
 processed as one batch, newly ready jobs enter the queue by ``(priority
 key, topological index)``, and events pop in ``(time, submission)`` order.
@@ -46,14 +61,27 @@ in the differential tests.
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from typing import Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
-from repro.engine.kernel import RELEASE, EventKernel
+from repro.engine.kernel import RELEASE, TIME_EPS, EventKernel
 from repro.instance.compiled import PACK_BITS, compile_instance
 
-__all__ = ["drive_priority_schedule", "drive_policy_schedule"]
+__all__ = [
+    "drive_priority_schedule",
+    "drive_policy_schedule",
+    "priority_loop",
+    "PackedPriorityLoop",
+    "GeneralPriorityLoop",
+    "IncrementalPriorityLoop",
+    "J_WAITING",
+    "J_QUEUED",
+    "J_RUNNING",
+    "J_DONE",
+    "J_CANCELLED",
+]
 
 JobId = Hashable
 
@@ -91,10 +119,33 @@ def drive_priority_schedule(
     its resources (failure re-execution); ``None`` completes it normally.
     Returns a kernel whose clock holds the final virtual time.
     """
+    loop = priority_loop(
+        instance, allocation, keys, durations, on_start,
+        on_complete=on_complete, alloc_mat=alloc_mat,
+    )
+    loop.run()
+    return loop.kernel
+
+
+def priority_loop(
+    instance,
+    allocation: Mapping[JobId, Sequence[int]],
+    keys: "Mapping[JobId, object] | np.ndarray",
+    durations: "Mapping[JobId, float] | np.ndarray",
+    on_start: Callable[[JobId, float, float], None],
+    *,
+    on_complete: Callable[[JobId, float], float | None] | None = None,
+    alloc_mat: np.ndarray | None = None,
+) -> "PackedPriorityLoop | GeneralPriorityLoop":
+    """Build the re-entrant dispatch loop for a fixed job set, unstarted.
+
+    Same arguments as :func:`drive_priority_schedule`; the returned loop
+    exposes ``run(until=None) -> bool`` (``True`` once drained), ``now``,
+    ``next_time`` and ``kernel``.  Callers that only need the final
+    schedule should prefer :func:`drive_priority_schedule`.
+    """
     ci = compile_instance(instance)
     kernel = EventKernel(instance.pool.capacities)
-    if ci.n == 0:
-        return kernel
 
     if alloc_mat is None:
         alloc_mat = ci.alloc_matrix(allocation)
@@ -105,21 +156,17 @@ def drive_priority_schedule(
         dur = [durations[j] for j in order]
     rank_of, topo_of_rank = ci.rank_permutation(keys)
 
-    if ci.packable:
-        _drive_priority_packed(
+    if ci.n == 0 or ci.packable:
+        return PackedPriorityLoop(
             ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
         )
-    else:
-        _drive_priority_general(
-            ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
-        )
-    return kernel
+    return GeneralPriorityLoop(
+        ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
+    )
 
 
-def _drive_priority_packed(
-    ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
-) -> None:
-    """The fused packed-demand event loop (see module docstring).
+class PackedPriorityLoop:
+    """The fused packed-demand event loop, resumable (see module docstring).
 
     One flat loop owns the event heap, the readiness vector and the ready
     queue.  Heap entries are ``(time, seq, code)`` with ``code < n`` a
@@ -127,270 +174,638 @@ def _drive_priority_packed(
     of index ``code - n``; ``seq`` reproduces the kernel's FIFO order for
     simultaneous events, so ``on_complete`` sees completions in exactly
     the order the kernel-based loop delivered them.
+
+    All loop state (heap, sequence counter, availability, readiness
+    counts, the sorted ready queue) lives on the object; :meth:`run` loads
+    it into locals, executes the identical flat loop, and writes it back
+    on exit, so stepping the loop costs nothing on the per-event path.
     """
-    cd = ci.cdag
-    n = cd.n
-    order = cd.order
-    succ = cd.succ_lists()
-    remaining = cd.in_degree.tolist()
 
-    pk_by_rank = ci.pack_demands(alloc_mat)[topo_of_rank]
-    pk_rank_l = pk_by_rank.tolist()  # python ints: scalar tests are one int op
-    rank_l = rank_of.tolist()
-    topo_l = topo_of_rank
+    __slots__ = (
+        "kernel", "ci", "n", "order", "succ", "remaining",
+        "pk_by_rank", "pk_rank_l", "rank_l", "topo_l", "dur",
+        "H", "H_u", "avh", "heap", "seq", "qb", "pb", "sq", "sp", "L",
+        "now", "eps", "on_start", "on_complete", "done",
+    )
 
-    H = ci.fit_mask
-    H_u = np.uint64(H)
-    uint64 = np.uint64
-    # availability carried with the headroom bits pre-added: avh = av + H
-    avh = ci.packed_capacities + H
+    def __init__(
+        self, ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
+    ) -> None:
+        self.kernel = kernel
+        self.ci = ci
+        cd = ci.cdag
+        n = cd.n
+        self.n = n
+        self.order = cd.order
+        self.succ = cd.succ_lists()
+        self.remaining = cd.in_degree.tolist()
+        self.dur = dur
+        self.on_start = on_start
+        self.on_complete = on_complete
+        self.done = n == 0
 
-    heap: list[tuple[float, int, int]] = []
-    seq = 0
-    if ci.has_releases:
-        rel = ci.release
-        for i in np.flatnonzero(rel > 0.0).tolist():
-            remaining[i] += 1  # the release acts as one extra virtual predecessor
-            heap.append((float(rel[i]), seq, n + i))
-            seq += 1
-        heapq.heapify(heap)
+        pk_by_rank = (
+            ci.pack_demands(alloc_mat)[topo_of_rank]
+            if n
+            else np.empty(0, dtype=np.uint64)
+        )
+        self.pk_by_rank = pk_by_rank
+        self.pk_rank_l = pk_by_rank.tolist()  # python ints: scalar tests are one int op
+        self.rank_l = rank_of.tolist()
+        self.topo_l = topo_of_rank
 
-    # the ready queue: parallel sorted-by-rank buffers of ranks and packed
-    # demands, plus spares for the batched insertion merge
-    qb = np.empty(n, dtype=np.int64)
-    pb = np.empty(n, dtype=np.uint64)
-    sq = np.empty(n, dtype=np.int64)
-    sp = np.empty(n, dtype=np.uint64)
-    r0 = rank_of[np.flatnonzero(np.asarray(remaining) == 0)]
-    r0.sort()
-    L = r0.size
-    qb[:L] = r0
-    pb[:L] = pk_by_rank[r0]
+        self.H = ci.fit_mask
+        self.H_u = np.uint64(ci.fit_mask)
+        # availability carried with the headroom bits pre-added: avh = av + H
+        self.avh = ci.packed_capacities + ci.fit_mask
 
-    now = 0.0
-    eps = kernel.time_eps
-    push = heapq.heappush
-    pop = heapq.heappop
+        heap: list[tuple[float, int, int]] = []
+        seq = 0
+        if ci.has_releases:
+            rel = ci.release
+            for i in np.flatnonzero(rel > 0.0).tolist():
+                self.remaining[i] += 1  # the release acts as one extra virtual predecessor
+                heap.append((float(rel[i]), seq, n + i))
+                seq += 1
+            heapq.heapify(heap)
+        self.heap = heap
+        self.seq = seq
 
-    while True:
-        # ------------------------- dispatch pass -------------------------
-        if L:
-            # whole-queue feasibility: one SWAR comparison over uint64s
-            hits = ((((uint64(avh) - pb[:L]) & H_u) == H_u).nonzero())[0]
-            if hits.size:
-                started = None
-                for kpos, r in zip(hits.tolist(), qb[hits].tolist()):
-                    a = pk_rank_l[r]
-                    if (avh - a) & H == H:  # still fits as availability shrinks
-                        avh -= a
-                        i = topo_l[r]
-                        t = dur[i]
-                        push(heap, (now + t, seq, i))
-                        seq += 1
-                        on_start(order[i], now, t)
-                        if started is None:
-                            started = [kpos]
+        # the ready queue: parallel sorted-by-rank buffers of ranks and packed
+        # demands, plus spares for the batched insertion merge
+        self.qb = np.empty(n, dtype=np.int64)
+        self.pb = np.empty(n, dtype=np.uint64)
+        self.sq = np.empty(n, dtype=np.int64)
+        self.sp = np.empty(n, dtype=np.uint64)
+        r0 = rank_of[np.flatnonzero(np.asarray(self.remaining) == 0)] if n else _EMPTY_QUEUE
+        r0.sort()
+        L = r0.size
+        self.qb[:L] = r0
+        self.pb[:L] = pk_by_rank[r0]
+        self.L = L
+
+        self.now = 0.0
+        self.eps = kernel.time_eps
+
+    @property
+    def next_time(self) -> float | None:
+        """Time of the earliest pending event (``None`` when drained)."""
+        return self.heap[0][0] if self.heap else None
+
+    @property
+    def pending(self) -> int:
+        return len(self.heap)
+
+    def run(self, until: float | None = None) -> bool:
+        """Dispatch and process events; stop once the heap drains (returns
+        ``True``) or the earliest pending event lies past ``until``
+        (returns ``False`` — call again to resume)."""
+        # load the loop state into locals: the body below is the exact
+        # fused loop the batch driver has always run
+        succ = self.succ
+        remaining = self.remaining
+        pk_by_rank = self.pk_by_rank
+        pk_rank_l = self.pk_rank_l
+        rank_l = self.rank_l
+        topo_l = self.topo_l
+        dur = self.dur
+        order = self.order
+        on_start = self.on_start
+        on_complete = self.on_complete
+        n = self.n
+        H = self.H
+        H_u = self.H_u
+        uint64 = np.uint64
+        avh = self.avh
+        heap = self.heap
+        seq = self.seq
+        qb = self.qb
+        pb = self.pb
+        sq = self.sq
+        sp = self.sp
+        L = self.L
+        now = self.now
+        eps = self.eps
+        push = heapq.heappush
+        pop = heapq.heappop
+        done = False
+
+        while True:
+            # ------------------------- dispatch pass -------------------------
+            if L:
+                # whole-queue feasibility: one SWAR comparison over uint64s
+                hits = ((((uint64(avh) - pb[:L]) & H_u) == H_u).nonzero())[0]
+                if hits.size:
+                    started = None
+                    for kpos, r in zip(hits.tolist(), qb[hits].tolist()):
+                        a = pk_rank_l[r]
+                        if (avh - a) & H == H:  # still fits as availability shrinks
+                            avh -= a
+                            i = topo_l[r]
+                            t = dur[i]
+                            push(heap, (now + t, seq, i))
+                            seq += 1
+                            on_start(order[i], now, t)
+                            if started is None:
+                                started = [kpos]
+                            else:
+                                started.append(kpos)
+                    if started is not None:
+                        if len(started) == L:
+                            L = 0
                         else:
-                            started.append(kpos)
-                if started is not None:
-                    if len(started) == L:
-                        L = 0
+                            for p in reversed(started):
+                                qb[p:L - 1] = qb[p + 1:L]
+                                pb[p:L - 1] = pb[p + 1:L]
+                                L -= 1
+            if not heap:
+                done = True
+                break
+            if until is not None and heap[0][0] > until:
+                break
+            # -------------------------- event batch --------------------------
+            t0, _, c = pop(heap)
+            now = t0
+            horizon = t0 + eps
+            if heap and heap[0][0] <= horizon:
+                batch = [c]
+                while heap and heap[0][0] <= horizon:
+                    batch.append(pop(heap)[2])
+            else:
+                batch = (c,)
+            newly = None
+            for c in batch:
+                if c >= n:  # release event: one virtual predecessor satisfied
+                    i = c - n
+                    m = remaining[i] - 1
+                    remaining[i] = m
+                    if not m:
+                        if newly is None:
+                            newly = [rank_l[i]]
+                        else:
+                            newly.append(rank_l[i])
+                    continue
+                i = c
+                if on_complete is not None:
+                    retry = on_complete(order[i], now)
+                    if retry is not None:
+                        # re-run on the held allocation; nothing is released
+                        push(heap, (now + retry, seq, i))
+                        seq += 1
+                        continue
+                avh += pk_rank_l[rank_l[i]]
+                for s in succ[i]:
+                    m = remaining[s] - 1
+                    remaining[s] = m
+                    if not m:
+                        if newly is None:
+                            newly = [rank_l[s]]
+                        else:
+                            newly.append(rank_l[s])
+            if newly is not None:
+                k = len(newly)
+                if k == 1:
+                    r = newly[0]
+                    p = qb[:L].searchsorted(r)
+                    qb[p + 1:L + 1] = qb[p:L]
+                    qb[p] = r
+                    pb[p + 1:L + 1] = pb[p:L]
+                    pb[p] = pk_rank_l[r]
+                    L += 1
+                else:
+                    nr = np.array(newly, dtype=np.int64)
+                    nr.sort()
+                    idx = qb[:L].searchsorted(nr) + np.arange(k)
+                    mask = np.ones(L + k, dtype=bool)
+                    mask[idx] = False
+                    oq = sq[:L + k]
+                    op = sp[:L + k]
+                    oq[idx] = nr
+                    op[idx] = pk_by_rank[nr]
+                    oq[mask] = qb[:L]
+                    op[mask] = pb[:L]
+                    qb, sq = sq, qb
+                    pb, sp = sp, pb
+                    L += k
+
+        # store the loop state back and leave the kernel facade consistent
+        self.avh = avh
+        self.seq = seq
+        self.qb = qb
+        self.pb = pb
+        self.sq = sq
+        self.sp = sp
+        self.L = L
+        self.now = now
+        self.done = done
+        kernel = self.kernel
+        kernel.now = now
+        if self.ci.packable:
+            av = avh - H
+            field = (1 << PACK_BITS) - 1
+            kernel._avail[:] = [
+                (av >> (PACK_BITS * r)) & field for r in range(self.ci.d)
+            ]
+        return done
+
+
+class GeneralPriorityLoop:
+    """Matrix fallback for instances the packed lowering cannot carry
+    (``d > 4`` or capacities ``>= 2**15``): same discipline over the
+    ``(n, d)`` allocation matrix on the shared :class:`EventKernel`,
+    resumable through :meth:`EventKernel.run_until`."""
+
+    __slots__ = ("kernel", "_dispatch", "_handle", "done")
+
+    def __init__(
+        self, ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
+    ) -> None:
+        self.kernel = kernel
+        self.done = False
+        cd = ci.cdag
+        order = cd.order
+        succ_indptr = cd.succ_indptr
+        succ_indices = cd.succ_indices
+        d = ci.d
+        rng_d = range(d)
+
+        alloc_rows = alloc_mat.tolist()  # python ints for the shrinking-scan
+        alloc_by_rank = alloc_mat[topo_of_rank]
+
+        remaining = cd.in_degree.copy()
+        if ci.has_releases:
+            rel = ci.release
+            for i in np.flatnonzero(rel > 0.0).tolist():
+                remaining[i] += 1  # the release acts as one extra virtual predecessor
+                kernel.schedule_release(float(rel[i]), i)
+
+        # the ready queue: a sorted int64 array of ranks
+        state = {"q": np.sort(rank_of[np.flatnonzero(remaining == 0)])}
+
+        # events of the current batch, drained as whole-vector updates at the
+        # next dispatch pass (the batch boundary the loops have always used)
+        done_events: list[int] = []
+        released: list[int] = []
+
+        def dispatch(k: EventKernel) -> None:
+            q = state["q"]
+            zeroed = None
+            if done_events:
+                k.release(alloc_mat[done_events].sum(axis=0))
+                if len(done_events) == 1:
+                    i = done_events[0]
+                    targets = succ_indices[succ_indptr[i]:succ_indptr[i + 1]]
+                    if targets.size:
+                        remaining[targets] -= 1  # successors of one job are unique
+                else:
+                    targets = np.concatenate(
+                        [
+                            succ_indices[succ_indptr[i]:succ_indptr[i + 1]]
+                            for i in done_events
+                        ]
+                    )
+                    if targets.size:
+                        np.subtract.at(remaining, targets, 1)
+                done_events.clear()
+                if targets.size:
+                    zeroed = targets[remaining[targets] == 0]
+            newly: list[int] = []
+            if released:
+                for i in released:
+                    remaining[i] -= 1
+                    if remaining[i] == 0:
+                        newly.append(i)
+                released.clear()
+            if zeroed is not None and zeroed.size:
+                new_ranks = rank_of[np.unique(zeroed)]
+                if newly:
+                    new_ranks = np.concatenate([new_ranks, rank_of[newly]])
+            elif newly:
+                new_ranks = rank_of[newly]
+            else:
+                new_ranks = None
+            if new_ranks is not None and new_ranks.size:
+                new_ranks.sort()
+                q = np.insert(q, np.searchsorted(q, new_ranks), new_ranks)
+                state["q"] = q
+
+            if not q.size:
+                return
+            # whole-queue feasibility in one vector comparison
+            fit = (alloc_by_rank[q] <= k.available).all(axis=1)
+            if not fit.any():
+                return
+            av = k.available.tolist()
+            acq: list[int] | None = None
+            started: list[int] | None = None
+            cand = np.flatnonzero(fit)
+            for pos, rnk in zip(cand.tolist(), q[cand].tolist()):
+                i = topo_of_rank[rnk]
+                a = alloc_rows[i]
+                if all(x <= y for x, y in zip(a, av)):
+                    t = dur[i]
+                    k.hold(i, t)
+                    if acq is None:
+                        acq = list(a)
+                        started = [pos]
                     else:
-                        for p in reversed(started):
-                            qb[p:L - 1] = qb[p + 1:L]
-                            pb[p:L - 1] = pb[p + 1:L]
-                            L -= 1
-        if not heap:
-            break
-        # -------------------------- event batch --------------------------
-        t0, _, c = pop(heap)
-        now = t0
-        horizon = t0 + eps
-        if heap and heap[0][0] <= horizon:
+                        for r in rng_d:
+                            acq[r] += a[r]
+                        started.append(pos)
+                    for r in rng_d:
+                        av[r] -= a[r]
+                    on_start(order[i], k.now, t)
+            if started is not None:
+                k.acquire(acq)
+                if len(started) == q.size:
+                    state["q"] = _EMPTY_QUEUE
+                else:
+                    keep = np.ones(q.size, dtype=bool)
+                    keep[started] = False
+                    state["q"] = q[keep]
+
+        def handle(k: EventKernel, kind: str, payload) -> None:
+            if kind == RELEASE:
+                released.append(payload)
+                return
+            i = payload
+            if on_complete is not None:
+                retry = on_complete(order[i], k.now)
+                if retry is not None:
+                    k.hold(i, retry)
+                    return
+            done_events.append(i)
+
+        self._dispatch = dispatch
+        self._handle = handle
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    @property
+    def next_time(self) -> float | None:
+        return self.kernel.next_time
+
+    @property
+    def pending(self) -> int:
+        return self.kernel.pending
+
+    def run(self, until: float | None = None) -> bool:
+        """See :meth:`PackedPriorityLoop.run`."""
+        self.done = self.kernel.run_until(self._dispatch, self._handle, until)
+        return self.done
+
+
+# ----------------------------------------------------------------------
+# the growable (online-session) loop
+# ----------------------------------------------------------------------
+
+#: Job states inside :class:`IncrementalPriorityLoop`.
+J_WAITING, J_QUEUED, J_RUNNING, J_DONE, J_CANCELLED = range(5)
+
+
+class IncrementalPriorityLoop:
+    """Algorithm 2's discipline over a growing job set, resumable.
+
+    The online form of the priority loops above: jobs are admitted with
+    :meth:`admit` *at any point* — including between :meth:`run` calls
+    with the clock mid-schedule — and not-yet-started jobs can be
+    cancelled.  The ready queue is a list sorted by ``(key, index)``
+    (python tuple order), the exact total order the batch rank lowering
+    realizes, and event batching anchors on the first popped event with
+    the same ``time_eps`` horizon, so an admission pattern that presents
+    every job before the clock reaches its batch start time reproduces
+    the batch schedule event for event.
+
+    Heap codes: ``code >= 0`` is the completion of job index ``code``;
+    ``code < 0`` is the release of index ``~code`` (the bitwise-complement
+    encoding keeps codes valid as the job set grows — a ``code >= n``
+    convention would not survive appends).
+    """
+
+    __slots__ = (
+        "gi", "now", "eps", "heap", "seq", "state", "remaining", "ready",
+        "start", "finish", "avh", "avail", "on_start", "on_complete",
+    )
+
+    def __init__(
+        self,
+        gi,
+        *,
+        on_start: Callable[[JobId, float, float], None] | None = None,
+        on_complete: Callable[[JobId, float], None] | None = None,
+        time_eps: float = TIME_EPS,
+    ) -> None:
+        self.gi = gi
+        self.now = 0.0
+        self.eps = time_eps
+        self.heap: list[tuple[float, int, int]] = []
+        self.seq = 0
+        self.state: list[int] = []
+        self.remaining: list[int] = []
+        self.ready: list[tuple[object, int]] = []  # sorted by (key, index)
+        self.start: list[float | None] = []
+        self.finish: list[float | None] = []
+        # availability: packed with headroom pre-added (packable) and the
+        # per-type vector (authoritative in general mode, derived otherwise)
+        self.avh = gi.packed_capacities + gi.fit_mask
+        self.avail = list(gi.capacities)
+        self.on_start = on_start
+        self.on_complete = on_complete
+
+    # ------------------------------------------------------------------
+    @property
+    def next_time(self) -> float | None:
+        return self.heap[0][0] if self.heap else None
+
+    @property
+    def pending(self) -> int:
+        return len(self.heap)
+
+    def available(self) -> tuple[int, ...]:
+        """The per-type availability vector at the current clock."""
+        if self.gi.packable:
+            field = (1 << PACK_BITS) - 1
+            av = self.avh - self.gi.fit_mask
+            return tuple((av >> (PACK_BITS * r)) & field for r in range(self.gi.d))
+        return tuple(self.avail)
+
+    # ------------------------------------------------------------------
+    def admit(self, i: int) -> None:
+        """Register appended row ``i`` with the loop (once, in row order).
+
+        Readiness counts predecessors not yet completed plus — when the
+        job's release lies in the future — one virtual release
+        predecessor whose event is pushed on the heap.
+        """
+        gi = self.gi
+        if i != len(self.state):
+            raise ValueError(f"admit out of order: row {i}, expected {len(self.state)}")
+        rem = 0
+        for p in gi.preds[i]:
+            st = self.state[p]
+            if st == J_CANCELLED:
+                raise ValueError(
+                    f"job {gi.order[i]!r} depends on cancelled job {gi.order[p]!r}"
+                )
+            if st != J_DONE:
+                rem += 1
+        r = gi.release[i]
+        if r > self.now:
+            rem += 1  # the release acts as one extra virtual predecessor
+            heapq.heappush(self.heap, (r, self.seq, ~i))
+            self.seq += 1
+        self.remaining.append(rem)
+        self.start.append(None)
+        self.finish.append(None)
+        if rem == 0:
+            self.state.append(J_QUEUED)
+            insort(self.ready, (gi.key[i], i))
+        else:
+            self.state.append(J_WAITING)
+
+    def cancel(self, i: int) -> bool:
+        """Cancel job index ``i`` if it has not started; returns success.
+
+        Callers must cancel a job's pending descendants too (their
+        precedence constraint becomes unsatisfiable); the session layer
+        owns that cascade.
+        """
+        st = self.state[i]
+        if st in (J_RUNNING, J_DONE):
+            return False
+        if st == J_CANCELLED:
+            return True
+        if st == J_QUEUED:
+            self.ready.remove((self.gi.key[i], i))
+        elif self.gi.release[i] > self.now:
+            # purge the pending release event: a leftover entry would drag
+            # the clock out to the cancelled job's release on drain
+            code = ~i
+            kept = [e for e in self.heap if e[2] != code]
+            if len(kept) != len(self.heap):
+                self.heap = kept
+                heapq.heapify(kept)
+        self.state[i] = J_CANCELLED
+        return True
+
+    # ------------------------------------------------------------------
+    def _start_job(self, i: int, now: float) -> None:
+        self.state[i] = J_RUNNING
+        self.start[i] = now
+        t = self.gi.duration[i]
+        heapq.heappush(self.heap, (now + t, self.seq, i))
+        self.seq += 1
+        if self.on_start is not None:
+            self.on_start(self.gi.order[i], now, t)
+
+    def _mark_ready(self, i: int) -> None:
+        self.state[i] = J_QUEUED
+        insort(self.ready, (self.gi.key[i], i))
+
+    def run(self, until: float | None = None) -> bool:
+        """Dispatch and process events up to ``until`` (see the batch loops).
+
+        Returns ``True`` when the event heap is empty after the final
+        dispatch pass — queued jobs may remain only if the platform can
+        never fit them concurrently with nothing running, which
+        :meth:`admit`'s bounds validation rules out, so an empty heap
+        means every admitted, uncancelled job has completed.
+        """
+        gi = self.gi
+        packable = gi.packable
+        heap = self.heap
+        ready = self.ready
+        state = self.state
+        remaining = self.remaining
+        H = gi.fit_mask
+        eps = self.eps
+        now = self.now
+        pop = heapq.heappop
+
+        while True:
+            # ------------------------- dispatch pass -------------------------
+            if ready:
+                started: list[int] | None = None
+                if packable:
+                    avh = self.avh
+                    packed = gi.packed
+                    for pos, (_, i) in enumerate(ready):
+                        a = packed[i]
+                        if (avh - a) & H == H:
+                            avh -= a
+                            self._start_job(i, now)
+                            if started is None:
+                                started = [pos]
+                            else:
+                                started.append(pos)
+                    self.avh = avh
+                else:
+                    av = self.avail
+                    for pos, (_, i) in enumerate(ready):
+                        dem = gi.demand[i]
+                        if all(x <= y for x, y in zip(dem, av)):
+                            for r, x in enumerate(dem):
+                                av[r] -= x
+                            self._start_job(i, now)
+                            if started is None:
+                                started = [pos]
+                            else:
+                                started.append(pos)
+                if started is not None:
+                    for pos in reversed(started):
+                        del ready[pos]
+            if not heap:
+                self.now = now
+                return True
+            if until is not None and heap[0][0] > until:
+                self.now = now
+                return False
+            # -------------------------- event batch --------------------------
+            t0, _, c = pop(heap)
+            now = t0
+            horizon = t0 + eps
             batch = [c]
             while heap and heap[0][0] <= horizon:
                 batch.append(pop(heap)[2])
-        else:
-            batch = (c,)
-        newly = None
-        for c in batch:
-            if c >= n:  # release event: one virtual predecessor satisfied
-                i = c - n
-                m = remaining[i] - 1
-                remaining[i] = m
-                if not m:
-                    if newly is None:
-                        newly = [rank_l[i]]
-                    else:
-                        newly.append(rank_l[i])
-                continue
-            i = c
-            if on_complete is not None:
-                retry = on_complete(order[i], now)
-                if retry is not None:
-                    # re-run on the held allocation; nothing is released
-                    push(heap, (now + retry, seq, i))
-                    seq += 1
+            for c in batch:
+                if c < 0:  # release event: one virtual predecessor satisfied
+                    i = ~c
+                    if state[i] == J_CANCELLED:
+                        continue
+                    m = remaining[i] - 1
+                    remaining[i] = m
+                    if not m and state[i] == J_WAITING:
+                        self._mark_ready(i)
                     continue
-            avh += pk_rank_l[rank_l[i]]
-            for s in succ[i]:
-                m = remaining[s] - 1
-                remaining[s] = m
-                if not m:
-                    if newly is None:
-                        newly = [rank_l[s]]
-                    else:
-                        newly.append(rank_l[s])
-        if newly is not None:
-            k = len(newly)
-            if k == 1:
-                r = newly[0]
-                p = qb[:L].searchsorted(r)
-                qb[p + 1:L + 1] = qb[p:L]
-                qb[p] = r
-                pb[p + 1:L + 1] = pb[p:L]
-                pb[p] = pk_rank_l[r]
-                L += 1
-            else:
-                nr = np.array(newly, dtype=np.int64)
-                nr.sort()
-                idx = qb[:L].searchsorted(nr) + np.arange(k)
-                mask = np.ones(L + k, dtype=bool)
-                mask[idx] = False
-                oq = sq[:L + k]
-                op = sp[:L + k]
-                oq[idx] = nr
-                op[idx] = pk_by_rank[nr]
-                oq[mask] = qb[:L]
-                op[mask] = pb[:L]
-                qb, sq = sq, qb
-                pb, sp = sp, pb
-                L += k
-
-    # leave the kernel facade consistent: final clock and availability
-    kernel.now = now
-    av = avh - H
-    field = (1 << PACK_BITS) - 1
-    kernel._avail[:] = [(av >> (PACK_BITS * r)) & field for r in range(ci.d)]
-
-
-def _drive_priority_general(
-    ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
-) -> None:
-    """Matrix fallback for instances the packed lowering cannot carry
-    (``d > 4`` or capacities ``>= 2**15``): same discipline over the
-    ``(n, d)`` allocation matrix on the shared :class:`EventKernel`."""
-    cd = ci.cdag
-    order = cd.order
-    succ_indptr = cd.succ_indptr
-    succ_indices = cd.succ_indices
-    d = ci.d
-    rng_d = range(d)
-
-    alloc_rows = alloc_mat.tolist()  # python ints for the shrinking-scan
-    alloc_by_rank = alloc_mat[topo_of_rank]
-
-    remaining = cd.in_degree.copy()
-    if ci.has_releases:
-        rel = ci.release
-        for i in np.flatnonzero(rel > 0.0).tolist():
-            remaining[i] += 1  # the release acts as one extra virtual predecessor
-            kernel.schedule_release(float(rel[i]), i)
-
-    # the ready queue: a sorted int64 array of ranks
-    q = np.sort(rank_of[np.flatnonzero(remaining == 0)])
-
-    # events of the current batch, drained as whole-vector updates at the
-    # next dispatch pass (the batch boundary the loops have always used)
-    done: list[int] = []
-    released: list[int] = []
-
-    def dispatch(k: EventKernel) -> None:
-        nonlocal q
-        zeroed = None
-        if done:
-            k.release(alloc_mat[done].sum(axis=0))
-            if len(done) == 1:
-                i = done[0]
-                targets = succ_indices[succ_indptr[i]:succ_indptr[i + 1]]
-                if targets.size:
-                    remaining[targets] -= 1  # successors of one job are unique
-            else:
-                targets = np.concatenate(
-                    [succ_indices[succ_indptr[i]:succ_indptr[i + 1]] for i in done]
-                )
-                if targets.size:
-                    np.subtract.at(remaining, targets, 1)
-            done.clear()
-            if targets.size:
-                zeroed = targets[remaining[targets] == 0]
-        newly: list[int] = []
-        if released:
-            for i in released:
-                remaining[i] -= 1
-                if remaining[i] == 0:
-                    newly.append(i)
-            released.clear()
-        if zeroed is not None and zeroed.size:
-            new_ranks = rank_of[np.unique(zeroed)]
-            if newly:
-                new_ranks = np.concatenate([new_ranks, rank_of[newly]])
-        elif newly:
-            new_ranks = rank_of[newly]
-        else:
-            new_ranks = None
-        if new_ranks is not None and new_ranks.size:
-            new_ranks.sort()
-            q = np.insert(q, np.searchsorted(q, new_ranks), new_ranks)
-
-        if not q.size:
-            return
-        # whole-queue feasibility in one vector comparison
-        fit = (alloc_by_rank[q] <= k.available).all(axis=1)
-        if not fit.any():
-            return
-        av = k.available.tolist()
-        acq: list[int] | None = None
-        started: list[int] | None = None
-        cand = np.flatnonzero(fit)
-        for pos, rnk in zip(cand.tolist(), q[cand].tolist()):
-            i = topo_of_rank[rnk]
-            a = alloc_rows[i]
-            if all(x <= y for x, y in zip(a, av)):
-                t = dur[i]
-                k.hold(i, t)
-                if acq is None:
-                    acq = list(a)
-                    started = [pos]
+                i = c
+                state[i] = J_DONE
+                self.finish[i] = now
+                if packable:
+                    self.avh += gi.packed[i]
                 else:
-                    for r in rng_d:
-                        acq[r] += a[r]
-                    started.append(pos)
-                for r in rng_d:
-                    av[r] -= a[r]
-                on_start(order[i], k.now, t)
-        if started is not None:
-            k.acquire(acq)
-            if len(started) == q.size:
-                q = _EMPTY_QUEUE
-            else:
-                keep = np.ones(q.size, dtype=bool)
-                keep[started] = False
-                q = q[keep]
+                    av = self.avail
+                    for r, x in enumerate(gi.demand[i]):
+                        av[r] += x
+                if self.on_complete is not None:
+                    self.on_complete(gi.order[i], now)
+                for s in gi.succ[i]:
+                    if state[s] != J_WAITING:
+                        continue
+                    m = remaining[s] - 1
+                    remaining[s] = m
+                    if not m:
+                        self._mark_ready(s)
 
-    def handle(k: EventKernel, kind: str, payload) -> None:
-        if kind == RELEASE:
-            released.append(payload)
-            return
-        i = payload
-        if on_complete is not None:
-            retry = on_complete(order[i], k.now)
-            if retry is not None:
-                k.hold(i, retry)
-                return
-        done.append(i)
-
-    kernel.run(dispatch, handle)
+    def advance_clock(self, until: float) -> None:
+        """Move the clock forward to ``until`` with no events in between
+        (the session's ``advance`` contract: time has progressed even when
+        nothing happened)."""
+        if until > self.now:
+            if self.heap and self.heap[0][0] <= until:
+                raise RuntimeError("advance_clock would skip pending events")
+            self.now = until
 
 
 #: Policy: (instance, ready job ids, available amounts) -> jobs to start now,

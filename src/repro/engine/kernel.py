@@ -135,6 +135,11 @@ class EventKernel:
         """Number of events still on the heap."""
         return len(self._heap)
 
+    @property
+    def next_time(self) -> float | None:
+        """Time of the earliest pending event (``None`` when drained)."""
+        return self._heap[0][0] if self._heap else None
+
     def pop_batch(self) -> list[tuple[str, Any]]:
         """Advance the clock to the next event and pop it together with every
         event within ``time_eps`` of it (anchored at the first event's time)."""
@@ -167,8 +172,25 @@ class EventKernel:
         the final dispatch pass starts nothing; callers are responsible for
         detecting deadlock (work left unplaced) afterwards.
         """
+        self.run_until(dispatch, handle)
+
+    def run_until(
+        self,
+        dispatch: Callable[["EventKernel"], None],
+        handle: Callable[["EventKernel", str, Any], None],
+        until: float | None = None,
+    ) -> bool:
+        """:meth:`run`, resumable: stop once the earliest pending event lies
+        past ``until`` without popping it (returns ``False`` — call again to
+        resume) or the heap drains (returns ``True``).  A resumed call
+        re-runs the dispatch pass at the current clock first, which starts
+        nothing new unless work arrived in between — availability only
+        changes through events."""
         dispatch(self)
         while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                return False
             for kind, payload in self.pop_batch():
                 handle(self, kind, payload)
             dispatch(self)
+        return True

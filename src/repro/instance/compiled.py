@@ -35,6 +35,7 @@ import numpy as np
 __all__ = [
     "CompiledDAG",
     "CompiledInstance",
+    "GrowableCompiledInstance",
     "compile_dag",
     "compile_instance",
     "node_levels_array",
@@ -44,6 +45,7 @@ __all__ = [
     "PACK_BITS",
     "PACK_MAX_D",
     "PACK_MAX_CAPACITY",
+    "pack_layout",
 ]
 
 JobId = Hashable
@@ -301,6 +303,22 @@ PACK_MAX_D = 4
 PACK_MAX_CAPACITY = (1 << (PACK_BITS - 1)) - 1
 
 
+def pack_layout(capacities) -> tuple[bool, int, int]:
+    """``(packable, fit_mask, packed_capacities)`` for a capacity vector.
+
+    The single source of truth for the SWAR lowering shared by the batch
+    (:class:`CompiledInstance`) and online (:class:`GrowableCompiledInstance`)
+    engines — the two admission tests must agree bit for bit.
+    """
+    caps = [int(c) for c in capacities]
+    d = len(caps)
+    if not (1 <= d <= PACK_MAX_D) or max(caps, default=0) > PACK_MAX_CAPACITY:
+        return False, 0, 0
+    fit_mask = sum(1 << (PACK_BITS * r + PACK_BITS - 1) for r in range(d))
+    packed = sum(c << (PACK_BITS * r) for r, c in enumerate(caps))
+    return True, fit_mask, packed
+
+
 class CompiledInstance:
     """Array form of an :class:`~repro.instance.instance.Instance`.
 
@@ -338,20 +356,9 @@ class CompiledInstance:
             [instance.jobs[j].release for j in self.cdag.order], dtype=np.float64
         )
         self.has_releases = bool((self.release > 0.0).any())
-        self.packable = (
-            1 <= self.d <= PACK_MAX_D
-            and int(self.capacities.max(initial=0)) <= PACK_MAX_CAPACITY
+        self.packable, self.fit_mask, self.packed_capacities = pack_layout(
+            self.capacities
         )
-        if self.packable:
-            self.fit_mask = sum(
-                1 << (PACK_BITS * r + PACK_BITS - 1) for r in range(self.d)
-            )
-            self.packed_capacities = sum(
-                int(c) << (PACK_BITS * r) for r, c in enumerate(self.capacities)
-            )
-        else:
-            self.fit_mask = 0
-            self.packed_capacities = 0
 
     # convenience pass-throughs -----------------------------------------
     @property
@@ -439,3 +446,143 @@ def compile_instance(instance) -> CompiledInstance:
         ci = CompiledInstance(instance)
         instance._compiled = ci
     return ci
+
+
+# ----------------------------------------------------------------------
+# growable lowering (online sessions)
+# ----------------------------------------------------------------------
+
+
+class GrowableCompiledInstance:
+    """Append-only array form of an instance that grows while scheduling.
+
+    :class:`CompiledInstance` lowers a *frozen* job set once; an online
+    session admits jobs continuously, so recompiling per submission would
+    be O(n) per job.  This class keeps the same lowering — topological
+    order, successor adjacency, per-job demand / duration / release rows,
+    and the packed uint64 demand when the platform is packable — in
+    append-only python lists: :meth:`append` is O(1 + in-degree) and never
+    touches existing rows.
+
+    Invariants the session relies on:
+
+    * jobs are appended in a valid topological order — every predecessor
+      of a job must already have an index when the job is appended, so
+      ``order`` *is* a topological order of the growing DAG and downstream
+      tie-breaks key on positions in it, exactly like the batch lowering;
+    * priority ``key`` values are totally ordered by ``(key, index)``;
+      keys must be mutually comparable (the service protocol uses floats);
+    * demand rows are validated against the capacities at append time, so
+      the dispatch loop's admission test never sees an infeasible row.
+    """
+
+    __slots__ = (
+        "d", "capacities", "packable", "fit_mask", "packed_capacities",
+        "order", "index", "succ", "preds", "demand", "packed",
+        "duration", "key", "release",
+    )
+
+    def __init__(self, capacities: Sequence[int]) -> None:
+        caps = tuple(int(c) for c in capacities)
+        if not caps or any(c <= 0 for c in caps):
+            raise ValueError(f"capacities must be a positive vector, got {capacities!r}")
+        self.d = len(caps)
+        self.capacities = caps
+        self.packable, self.fit_mask, self.packed_capacities = pack_layout(caps)
+        self.order: list[JobId] = []          # job ids, append (topological) order
+        self.index: dict[JobId, int] = {}     # id -> topological index
+        self.succ: list[list[int]] = []       # successor indices per job
+        self.preds: list[tuple[int, ...]] = []  # predecessor indices per job
+        self.demand: list[tuple[int, ...]] = []
+        self.packed: list[int] = []           # packed uint64 demand (packable only)
+        self.duration: list[float] = []
+        self.key: list[object] = []           # priority key; order is (key, index)
+        self.release: list[float] = []
+
+    @property
+    def n(self) -> int:
+        return len(self.order)
+
+    def pack(self, demand: Sequence[int]) -> int:
+        """The uint64 packed image of one demand row (packable platforms)."""
+        return sum(int(a) << (PACK_BITS * r) for r, a in enumerate(demand))
+
+    def validate_row(
+        self,
+        job_id: JobId,
+        demand: Sequence[int],
+        duration: float,
+        release: float = 0.0,
+    ) -> tuple[int, ...]:
+        """Check one prospective row without appending it; returns the
+        normalized demand tuple.  Lets callers validate a whole batch
+        before admitting any of it (all-or-nothing submission)."""
+        if job_id in self.index:
+            raise ValueError(f"job {job_id!r} was already submitted")
+        dem = tuple(int(a) for a in demand)
+        if len(dem) != self.d:
+            raise ValueError(
+                f"job {job_id!r}: demand {dem} has dimension {len(dem)}, "
+                f"platform has {self.d}"
+            )
+        if any(a < 0 for a in dem) or sum(dem) <= 0:
+            raise ValueError(
+                f"job {job_id!r}: demand {dem} must request at least one "
+                "unit and no negative amounts"
+            )
+        if any(a > c for a, c in zip(dem, self.capacities)):
+            raise ValueError(
+                f"job {job_id!r}: demand {dem} exceeds capacities {self.capacities}"
+            )
+        duration = float(duration)
+        if not duration > 0.0 or duration != duration or duration == float("inf"):
+            raise ValueError(
+                f"job {job_id!r}: duration must be positive and finite, got {duration}"
+            )
+        release = float(release)
+        if not 0.0 <= release < float("inf"):
+            raise ValueError(
+                f"job {job_id!r}: release must be finite and >= 0, got {release}"
+            )
+        return dem
+
+    def append(
+        self,
+        job_id: JobId,
+        preds: Sequence[int],
+        demand: Sequence[int],
+        duration: float,
+        key: object,
+        release: float = 0.0,
+    ) -> int:
+        """Append one job row; returns its topological index.
+
+        ``preds`` are topological indices of already-appended jobs (the
+        online precedence model: a new job may depend only on jobs the
+        session already knows).  Validates id uniqueness, demand bounds
+        and duration/release finiteness (:meth:`validate_row`) so the
+        dispatch loop can trust every row it reads.
+        """
+        dem = self.validate_row(job_id, demand, duration, release)
+        duration = float(duration)
+        release = float(release)
+        i = len(self.order)
+        pred_idx = tuple(int(p) for p in preds)
+        for p in pred_idx:
+            if not 0 <= p < i:
+                raise ValueError(
+                    f"job {job_id!r}: predecessor index {p} is not an "
+                    "already-appended job"
+                )
+        self.order.append(job_id)
+        self.index[job_id] = i
+        self.succ.append([])
+        self.preds.append(pred_idx)
+        self.demand.append(dem)
+        self.packed.append(self.pack(dem) if self.packable else 0)
+        self.duration.append(duration)
+        self.key.append(key)
+        self.release.append(release)
+        for p in pred_idx:
+            self.succ[p].append(i)
+        return i

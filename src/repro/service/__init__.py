@@ -1,0 +1,36 @@
+"""The online scheduling service: long-running sessions over the engine.
+
+Every entry point before this package was batch — build a full
+:class:`~repro.instance.instance.Instance`, run one scheduler, exit.  The
+service subsystem runs *indefinitely*: a :class:`SchedulingSession` admits,
+cancels and completes jobs while scheduling (the incremental form of
+Algorithm 2's dispatch loop), :mod:`repro.service.checkpoint` snapshots
+full session state with an exact-resume guarantee, and
+:mod:`repro.service.frontend` serves a JSON-lines request protocol over
+stdin/stdout or TCP (``repro serve``) with batched admission and weighted
+fair sharing across tenants.
+"""
+
+from repro.service.checkpoint import (
+    SESSION_FORMAT,
+    checkpoint_session,
+    load_session,
+    restore_session,
+    save_session,
+)
+from repro.service.frontend import ServiceFrontend, serve_stdio, serve_tcp, write_trace
+from repro.service.session import JobSpec, SchedulingSession
+
+__all__ = [
+    "JobSpec",
+    "SchedulingSession",
+    "SESSION_FORMAT",
+    "checkpoint_session",
+    "restore_session",
+    "save_session",
+    "load_session",
+    "ServiceFrontend",
+    "serve_stdio",
+    "serve_tcp",
+    "write_trace",
+]

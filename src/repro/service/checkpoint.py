@@ -1,0 +1,213 @@
+"""Versioned session snapshots with an exact-resume guarantee.
+
+A checkpoint (format ``repro-session/1``) captures the *complete* state of
+a :class:`~repro.service.session.SchedulingSession`: every submitted job
+(demand, duration, priority key, predecessors, release, tenant, state,
+start/finish times, readiness count), the resumable event heap, the
+virtual clock and event-sequence counter, the availability vector, the
+session event log and the RNG state.  The guarantee — validated the same
+way the instance serializer's round-trips are, by the conformance fuzz
+family and the hypothesis suite — is **exact resume**:
+
+    ``restore_session(checkpoint_session(s))`` continues event-for-event
+    identically to ``s`` itself, for any interleaving of further
+    ``submit`` / ``cancel`` / ``advance`` / ``drain`` calls.
+
+Two properties make this hold: all scheduler state is plain python
+scalars (floats survive JSON round-trips exactly; heap entries, keys and
+ids are carried verbatim), and nothing is re-derived on load that could
+disagree with the running session — the ready queue is rebuilt from the
+stored states (it is *exactly* the sorted ``(key, index)`` list of queued
+jobs) and the availability vector is recomputed from running jobs' demands
+and cross-checked against the stored one, so a corrupted checkpoint fails
+loudly instead of resuming subtly wrong.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.engine.dispatch import J_DONE, J_RUNNING, J_WAITING
+from repro.service.session import STATE_NAMES, SchedulingSession
+
+__all__ = [
+    "SESSION_FORMAT",
+    "checkpoint_session",
+    "restore_session",
+    "save_session",
+    "load_session",
+]
+
+#: Checkpoint format tag (bump on schema change).
+SESSION_FORMAT = "repro-session/1"
+
+_STATE_INDEX = {name: i for i, name in enumerate(STATE_NAMES)}
+
+
+def checkpoint_session(session: SchedulingSession) -> dict[str, Any]:
+    """Snapshot the full session state as a JSON-ready dict."""
+    gi = session.gi
+    loop = session.loop
+    jobs = []
+    for i, jid in enumerate(gi.order):
+        jobs.append(
+            {
+                "id": jid,
+                "demand": list(gi.demand[i]),
+                "duration": gi.duration[i],
+                "key": gi.key[i],
+                "preds": list(gi.preds[i]),
+                "release": gi.release[i],
+                "tenant": session.tenants[i],
+                "state": STATE_NAMES[loop.state[i]],
+                "remaining": loop.remaining[i],
+                "start": loop.start[i],
+                "finish": loop.finish[i],
+            }
+        )
+    return {
+        "format": SESSION_FORMAT,
+        "capacities": list(gi.capacities),
+        "time_eps": loop.eps,
+        "clock": loop.now,
+        "seq": loop.seq,
+        "available": list(loop.available()),
+        "jobs": jobs,
+        "heap": [[t, s, c] for (t, s, c) in loop.heap],
+        "events": [dict(e) for e in session.events],
+        "counters": {
+            "submitted": session.counters.submitted,
+            "cancelled": session.counters.cancelled,
+            "completed": session.counters.completed,
+        },
+        "rng": session.rng.bit_generator.state,
+    }
+
+
+def restore_session(data: "dict[str, Any] | str") -> SchedulingSession:
+    """Rebuild a session from a checkpoint; exact resume (see module doc).
+
+    Raises ``ValueError`` on an unknown format, malformed records, or a
+    stored availability vector that disagrees with the running jobs'
+    demands (a corrupted snapshot must never resume silently wrong).
+    """
+    snap = json.loads(data) if isinstance(data, str) else data
+    if not isinstance(snap, dict):
+        raise ValueError(
+            f"session checkpoint must be a JSON object, got {type(snap).__name__}"
+        )
+    if snap.get("format") != SESSION_FORMAT:
+        raise ValueError(
+            f"unsupported session checkpoint format {snap.get('format')!r} "
+            f"(expected {SESSION_FORMAT!r})"
+        )
+    try:
+        return _restore_checked(snap)
+    except (KeyError, TypeError) as exc:
+        # truncated or hand-edited snapshots must fail the documented way
+        # (ValueError), not leak KeyError/TypeError to the caller
+        raise ValueError(f"malformed session checkpoint: {exc!r}") from exc
+
+
+def _restore_checked(snap: dict[str, Any]) -> SchedulingSession:
+    session = SchedulingSession(snap["capacities"], time_eps=float(snap["time_eps"]))
+    gi = session.gi
+    loop = session.loop
+
+    for rec in snap["jobs"]:
+        state = rec["state"]
+        if state not in _STATE_INDEX:
+            raise ValueError(f"job {rec['id']!r}: unknown state {state!r}")
+        i = gi.append(
+            rec["id"],
+            [int(p) for p in rec["preds"]],
+            rec["demand"],
+            rec["duration"],
+            rec["key"],
+            rec["release"],
+        )
+        loop.state.append(_STATE_INDEX[state])
+        loop.remaining.append(int(rec["remaining"]))
+        loop.start.append(None if rec["start"] is None else float(rec["start"]))
+        loop.finish.append(None if rec["finish"] is None else float(rec["finish"]))
+        session.tenants.append(rec["tenant"])
+        if loop.state[i] == J_RUNNING and loop.start[i] is None:
+            raise ValueError(f"job {rec['id']!r}: running but has no start time")
+        if loop.state[i] == J_DONE and (
+            loop.start[i] is None or loop.finish[i] is None
+        ):
+            raise ValueError(f"job {rec['id']!r}: done but missing start/finish")
+
+    loop.now = float(snap["clock"])
+    loop.seq = int(snap["seq"])
+    heap = []
+    n = gi.n
+    for t, s, c in snap["heap"]:
+        c = int(c)
+        i = ~c if c < 0 else c
+        if not 0 <= i < n:
+            raise ValueError(f"heap entry references unknown job index {c}")
+        heap.append((float(t), int(s), c))
+    heap.sort()  # a valid checkpoint is already heap-ordered; sorting is a superset
+    loop.heap = heap
+
+    # the ready queue IS the sorted (key, index) list of queued jobs
+    loop.ready = sorted(
+        (gi.key[i], i)
+        for i, s in enumerate(loop.state)
+        if s == _STATE_INDEX["queued"]
+    )
+
+    # recompute availability from running demands and cross-check
+    avail = list(gi.capacities)
+    for i, s in enumerate(loop.state):
+        if s == J_RUNNING:
+            for r, a in enumerate(gi.demand[i]):
+                avail[r] -= a
+    if any(a < 0 for a in avail):
+        raise ValueError("running jobs overcommit the platform capacities")
+    if avail != [int(a) for a in snap["available"]]:
+        raise ValueError(
+            f"stored availability {snap['available']} disagrees with the "
+            f"running jobs' demands (recomputed {avail})"
+        )
+    if gi.packable:
+        loop.avh = gi.packed_capacities + gi.fit_mask
+        for i, s in enumerate(loop.state):
+            if s == J_RUNNING:
+                loop.avh -= gi.packed[i]
+    loop.avail = avail
+
+    # waiting jobs must still have a satisfiable readiness count
+    for i, s in enumerate(loop.state):
+        if s == J_WAITING and loop.remaining[i] <= 0:
+            raise ValueError(
+                f"job {gi.order[i]!r}: waiting with no outstanding predecessors"
+            )
+
+    session.events = [dict(e) for e in snap["events"]]
+    counters = snap.get("counters", {})
+    session.counters.submitted = int(counters.get("submitted", gi.n))
+    session.counters.cancelled = int(counters.get("cancelled", 0))
+    session.counters.completed = int(counters.get("completed", 0))
+    if snap.get("rng") is not None:
+        rng = np.random.default_rng()
+        rng.bit_generator.state = snap["rng"]
+        session.rng = rng
+    return session
+
+
+def save_session(session: SchedulingSession, path: str, *, indent: int | None = 1) -> None:
+    """Write the checkpoint to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        json.dump(checkpoint_session(session), fh, indent=indent)
+        fh.write("\n")
+
+
+def load_session(path: str) -> SchedulingSession:
+    """Load a checkpoint written by :func:`save_session`."""
+    with open(path) as fh:
+        return restore_session(json.load(fh))

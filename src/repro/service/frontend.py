@@ -1,0 +1,465 @@
+"""The `repro serve` front-end: JSON-lines protocol, batching, fair shares.
+
+One request per line, one JSON response per line — over stdin/stdout
+(:func:`serve_stdio`) or a TCP socket (:func:`serve_tcp`); both drive the
+same transport-free :class:`ServiceFrontend`, so tests and scripted
+clients exercise the full protocol without a process boundary.
+
+**Batched admission.**  Submissions are buffered, not admitted
+immediately: a batch is admitted when the buffer reaches ``--batch-size``
+jobs or the oldest buffered job has waited ``--batch-interval`` (wall
+clock) — whichever comes first — and always before any operation whose
+semantics depend on the admitted set (``advance``, ``drain``,
+``checkpoint``, ``trace``, ``validate``, explicit ``flush``), so virtual
+time never advances past work the client already handed over.
+
+**Weighted fair sharing.**  Each tenant owns a FIFO buffer; admission
+interleaves tenants by stride scheduling: tenant ``T`` with weight ``w``
+pays ``1/w`` virtual admission time per job, and the pending job with the
+smallest ``(vtime, tenant name)`` is admitted next.  Since admission
+order fixes the default FIFO priority keys in the session, a tenant with
+weight 2 gets twice the admission share — and thus dispatch preference —
+of a weight-1 tenant under contention, while each tenant's own jobs stay
+FIFO.  A tenant (re)entering after idling starts at the current virtual
+floor, so saved-up idle time cannot be hoarded into a burst.
+
+Requests (``op`` selects; everything else is the payload)::
+
+    {"op": "submit", "jobs": [{"id": "j1", "demand": [2, 1], "duration": 3.5,
+                               "preds": [], "release": 0.0, "tenant": "acme"}]}
+    {"op": "flush"}                       admit everything buffered now
+    {"op": "cancel", "id": "j1"}          buffered or admitted (cascades)
+    {"op": "advance", "until": 12.5}      move virtual time, report events
+    {"op": "drain"}                       run to quiescence
+    {"op": "tenant", "name": "acme", "weight": 2.0}
+    {"op": "status"} · {"op": "validate"} · {"op": "prune"}
+    {"op": "checkpoint", "path": "s.json"} · {"op": "restore", "path": "s.json"}
+    {"op": "trace", "path": "t.json"}
+    {"op": "shutdown"}
+
+Responses carry ``{"ok": true, "op": ...}`` plus op-specific fields, or
+``{"ok": false, "error": "..."}`` — a malformed request never kills the
+service.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, TextIO
+
+from repro.service.checkpoint import (
+    checkpoint_session,
+    load_session,
+    restore_session,
+    save_session,
+)
+from repro.service.session import JobSpec, SchedulingSession
+
+__all__ = ["ServiceFrontend", "serve_stdio", "serve_tcp", "write_trace"]
+
+
+def write_trace(session: SchedulingSession, path: str) -> None:
+    """Write the session's v3 trace to ``path`` (the one trace serializer,
+    shared by the ``trace`` op and the CLI's ``--trace`` shutdown hook)."""
+    with open(path, "w") as fh:
+        json.dump(session.to_trace(), fh, indent=1)
+        fh.write("\n")
+
+
+class _Tenant:
+    """One tenant's FIFO buffer and its stride-scheduling state."""
+
+    __slots__ = ("name", "weight", "buffer", "vtime")
+
+    def __init__(self, name: str, weight: float = 1.0) -> None:
+        self.name = name
+        self.weight = weight
+        self.buffer: deque[JobSpec] = deque()
+        self.vtime = 0.0
+
+
+class ServiceFrontend:
+    """Transport-free protocol handler around one :class:`SchedulingSession`.
+
+    ``clock`` injects the wall-clock source for the batch interval (tests
+    pass a fake); ``batch_size=1`` admits every submission immediately.
+    """
+
+    def __init__(
+        self,
+        session: SchedulingSession,
+        *,
+        batch_size: int = 32,
+        batch_interval: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch_size}")
+        if batch_interval < 0:
+            raise ValueError(f"batch interval must be >= 0, got {batch_interval}")
+        self.session = session
+        self.batch_size = batch_size
+        self.batch_interval = batch_interval
+        self.clock = clock
+        self.closed = False
+        self._tenants: dict[str, _Tenant] = {}
+        self._vfloor = 0.0  # virtual admission time of the last admitted job
+        self._buffered = 0
+        self._stamps: dict[Any, float] = {}  # wall-clock enqueue stamp per buffered job
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _tenant(self, name: str) -> _Tenant:
+        t = self._tenants.get(name)
+        if t is None:
+            t = self._tenants[name] = _Tenant(name)
+        return t
+
+    def set_weight(self, name: str, weight: float) -> None:
+        if not weight > 0:
+            raise ValueError(f"tenant weight must be positive, got {weight}")
+        self._tenant(name).weight = float(weight)
+
+    def enqueue(self, spec: JobSpec) -> None:
+        """Buffer one job in its tenant's FIFO queue."""
+        t = self._tenant(spec.tenant)
+        if not t.buffer:
+            # (re)activation: start at the virtual floor — idle time is not
+            # banked into an admission burst
+            t.vtime = max(t.vtime, self._vfloor)
+        t.buffer.append(spec)
+        self._buffered += 1
+        self._stamps[spec.id] = self.clock()
+
+    def _batch_due(self) -> bool:
+        if self._buffered == 0:
+            return False
+        if self._buffered >= self.batch_size:
+            return True
+        # per-job stamps: cancelling the oldest buffered job must not let
+        # younger jobs inherit its waiting time
+        return self.clock() - min(self._stamps.values()) >= self.batch_interval
+
+    def flush(self) -> tuple[list[Any], list[dict[str, Any]]]:
+        """Admit everything buffered, in weighted-fair order.
+
+        Returns ``(admitted_ids, errors)``; a job the session rejects
+        (unknown predecessor, duplicate id, bad demand) produces one error
+        record and does not block the rest of the batch.  A job whose
+        predecessor lands *later in the same flush* (a cross-tenant
+        dependency the fair-share interleaving reordered) is retried after
+        the rest, so legal intra-call dependencies never depend on tenant
+        names — only genuinely unsatisfiable jobs error.
+        """
+        admitted: list[Any] = []
+        errors: list[dict[str, Any]] = []
+        pending: list[JobSpec] = []  # the weighted-fair admission sequence
+        active = [t for t in self._tenants.values() if t.buffer]
+        while active:
+            t = min(active, key=lambda t: (t.vtime, t.name))
+            pending.append(t.buffer.popleft())
+            t.vtime += 1.0 / t.weight
+            self._vfloor = t.vtime
+            self._buffered -= 1
+            if not t.buffer:
+                active.remove(t)
+        self._stamps.clear()
+        while pending:
+            deferred: list[tuple[JobSpec, str]] = []
+            progressed = False
+            for spec in pending:
+                try:
+                    self.session.submit([spec])
+                    admitted.append(spec.id)
+                    progressed = True
+                except (ValueError, TypeError) as exc:
+                    deferred.append((spec, str(exc)))
+            if not progressed:  # fixpoint: what's left can never admit
+                errors.extend({"id": s.id, "error": e} for s, e in deferred)
+                break
+            pending = [s for s, _ in deferred]
+        return admitted, errors
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    def handle_request(self, req: dict[str, Any]) -> dict[str, Any]:
+        """Process one protocol request; never raises on client errors.
+
+        The batch-interval clock is consulted here, before *every* op: a
+        buffer whose oldest job has waited past the interval is admitted
+        no matter which request arrives next (status, cancel, …), so the
+        "size or interval, whichever first" contract does not depend on
+        further submissions.  (The loop is synchronous — with no requests
+        at all, admission happens at the next one.)  Jobs admitted this
+        way are reported as ``admitted_by_batch`` on the response.
+        """
+        if not isinstance(req, dict) or "op" not in req:
+            return {"ok": False, "error": "request must be an object with an 'op'"}
+        op = req["op"]
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        try:
+            pre_admitted: list[Any] = []
+            pre_errors: list[dict[str, Any]] = []
+            # "restore" is excluded: flushing a due buffer into the session
+            # about to be replaced would silently discard the client's work —
+            # its buffered-submissions guard must see the buffer as it is
+            if op not in ("submit", "flush", "restore") and self._batch_due():
+                pre_admitted, pre_errors = self.flush()
+            resp = handler(req)
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            # TypeError covers structurally malformed payloads (scalar where
+            # a list is expected, non-numeric weight, ...): a bad request
+            # must produce an error response, never kill the service
+            return {"ok": False, "op": op, "error": f"{type(exc).__name__}: {exc}"}
+        if pre_admitted:
+            resp.setdefault("admitted_by_batch", pre_admitted)
+        if pre_errors:
+            resp.setdefault("admission_errors", []).extend(pre_errors)
+        resp.setdefault("ok", True)
+        resp.setdefault("op", op)
+        return resp
+
+    # -- ops -----------------------------------------------------------
+    @staticmethod
+    def _path_arg(req: dict[str, Any]) -> str | None:
+        """The optional ``path`` field, required to be a string — an integer
+        would reach ``open()`` as a raw file descriptor (fd 1 = the response
+        stream) and get written over and closed."""
+        path = req.get("path")
+        if path is not None and not isinstance(path, str):
+            raise ValueError(f"path must be a string, got {type(path).__name__}")
+        return path
+
+    def _op_submit(self, req: dict[str, Any]) -> dict[str, Any]:
+        jobs = req.get("jobs")
+        if not isinstance(jobs, list):
+            raise ValueError("submit needs a 'jobs' list")
+        specs = [JobSpec.from_dict(rec) for rec in jobs]
+        for spec in specs:
+            self.enqueue(spec)
+        resp: dict[str, Any] = {"buffered": self._buffered}
+        if self._batch_due():
+            admitted, errors = self.flush()
+            resp.update({"admitted": admitted, "buffered": 0})
+            if errors:
+                resp["errors"] = errors
+        return resp
+
+    def _op_flush(self, req: dict[str, Any]) -> dict[str, Any]:
+        admitted, errors = self.flush()
+        resp: dict[str, Any] = {"admitted": admitted}
+        if errors:
+            resp["errors"] = errors
+        return resp
+
+    def _op_cancel(self, req: dict[str, Any]) -> dict[str, Any]:
+        jid = req["id"]
+        buffered_ids = {spec.id for t in self._tenants.values() for spec in t.buffer}
+        was_buffered = jid in buffered_ids
+        if was_buffered:
+            cancelled: list[Any] = []
+            gone = {jid}
+        else:
+            cancelled = list(self.session.cancel(jid))
+            gone = set(cancelled)
+        if gone:
+            # cascade through the buffers too: a dependent of a withdrawn
+            # job — buffered or already admitted — could never admit
+            grew = True
+            while grew:
+                grew = False
+                for t in self._tenants.values():
+                    for spec in list(t.buffer):
+                        if spec.id not in gone and any(p in gone for p in spec.preds):
+                            gone.add(spec.id)
+                            grew = True
+            for t in self._tenants.values():
+                for spec in list(t.buffer):
+                    if spec.id in gone:
+                        t.buffer.remove(spec)
+                        cancelled.append(spec.id)
+                        self._buffered -= 1
+                        self._stamps.pop(spec.id, None)
+        return {"cancelled": cancelled, "buffered": was_buffered}
+
+    @staticmethod
+    def _with_flush_errors(resp: dict[str, Any], errors) -> dict[str, Any]:
+        # an implicit flush must never swallow rejections: advance/drain/
+        # checkpoint/trace responses carry them alongside their own payload
+        if errors:
+            resp["admission_errors"] = errors
+        return resp
+
+    def _op_advance(self, req: dict[str, Any]) -> dict[str, Any]:
+        _, errors = self.flush()
+        events = self.session.advance(float(req["until"]))
+        return self._with_flush_errors(
+            {"clock": self.session.now, "events": events}, errors
+        )
+
+    def _op_drain(self, req: dict[str, Any]) -> dict[str, Any]:
+        _, errors = self.flush()
+        schedule = self.session.drain()
+        return self._with_flush_errors(
+            {
+                "clock": self.session.now,
+                "makespan": schedule.makespan,
+                "completed": len(schedule.placements),
+            },
+            errors,
+        )
+
+    def _op_status(self, req: dict[str, Any]) -> dict[str, Any]:
+        status = self.session.status()
+        status["buffered"] = self._buffered
+        status["tenants"] = {
+            t.name: {"weight": t.weight, "buffered": len(t.buffer), "vtime": t.vtime}
+            for t in self._tenants.values()
+        }
+        return status
+
+    def _op_tenant(self, req: dict[str, Any]) -> dict[str, Any]:
+        self.set_weight(str(req["name"]), float(req["weight"]))
+        return {"name": req["name"], "weight": float(req["weight"])}
+
+    def _op_validate(self, req: dict[str, Any]) -> dict[str, Any]:
+        from repro.conformance.invariants import validate_schedule
+
+        _, errors = self.flush()
+        report = validate_schedule(self.session.to_schedule(), strict=True)
+        return self._with_flush_errors(
+            {
+                "valid": report.ok,
+                "violations": [
+                    {"kind": v.kind, "detail": v.detail} for v in report.violations
+                ],
+            },
+            errors,
+        )
+
+    def _op_checkpoint(self, req: dict[str, Any]) -> dict[str, Any]:
+        path = self._path_arg(req)
+        _, errors = self.flush()
+        if path is not None:
+            save_session(self.session, path)
+            return self._with_flush_errors(
+                {"path": path, "clock": self.session.now}, errors
+            )
+        return self._with_flush_errors(
+            {"snapshot": checkpoint_session(self.session), "clock": self.session.now},
+            errors,
+        )
+
+    def _op_restore(self, req: dict[str, Any]) -> dict[str, Any]:
+        if self._buffered:
+            raise ValueError("cannot restore with submissions still buffered")
+        if "path" in req:
+            self.session = load_session(self._path_arg(req))
+        elif "snapshot" in req:
+            self.session = restore_session(req["snapshot"])
+        else:
+            raise ValueError("restore needs a 'path' or an inline 'snapshot'")
+        return {"clock": self.session.now, "jobs": len(self.session.gi.order)}
+
+    def _op_trace(self, req: dict[str, Any]) -> dict[str, Any]:
+        path = self._path_arg(req)
+        _, errors = self.flush()
+        if path is not None:
+            write_trace(self.session, path)
+            return self._with_flush_errors({"path": path}, errors)
+        return self._with_flush_errors({"trace": self.session.to_trace()}, errors)
+
+    def _op_prune(self, req: dict[str, Any]) -> dict[str, Any]:
+        return {"dropped": self.session.prune_events(),
+                "events": len(self.session.events)}
+
+    def _op_shutdown(self, req: dict[str, Any]) -> dict[str, Any]:
+        self.closed = True
+        return {"clock": self.session.now}
+
+
+# ----------------------------------------------------------------------
+# transports
+# ----------------------------------------------------------------------
+def _handle_line(frontend: ServiceFrontend, line: str) -> dict[str, Any]:
+    try:
+        req = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return {"ok": False, "error": f"bad JSON: {exc}"}
+    return frontend.handle_request(req)
+
+
+def serve_stdio(frontend: ServiceFrontend, in_stream: TextIO, out_stream: TextIO) -> int:
+    """One request per line on ``in_stream``, one response per line out.
+
+    Returns the process exit code (0 on clean shutdown or EOF).  Blank
+    lines are ignored; a malformed line produces an error response and the
+    loop continues.
+    """
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        resp = _handle_line(frontend, line)
+        out_stream.write(json.dumps(resp) + "\n")
+        out_stream.flush()
+        if frontend.closed:
+            break
+    return 0
+
+
+class _ServiceTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+def serve_tcp(
+    frontend: ServiceFrontend,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    ready: "threading.Event | None" = None,
+    on_bound: "Callable[[int], None] | None" = None,
+) -> int:
+    """Serve the line protocol on a TCP socket until a ``shutdown`` op.
+
+    Connections are handled concurrently but requests are serialized
+    through one lock — the session is single-threaded state.  ``on_bound``
+    is called with the bound port once listening (with ``port=0`` this is
+    the only way anyone learns which port the OS picked); ``ready``
+    (tests) is set at the same moment, with the port published as
+    ``ready.port``.  Returns 0.
+    """
+    lock = threading.Lock()
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self) -> None:
+            for raw in self.rfile:
+                line = raw.decode("utf-8").strip()
+                if not line:
+                    continue
+                with lock:
+                    resp = _handle_line(frontend, line)
+                self.wfile.write((json.dumps(resp) + "\n").encode("utf-8"))
+                self.wfile.flush()
+                if frontend.closed:
+                    threading.Thread(target=server.shutdown, daemon=True).start()
+                    return
+
+    with _ServiceTCPServer((host, port), Handler) as server:
+        bound = server.server_address[1]
+        if on_bound is not None:
+            on_bound(bound)
+        if ready is not None:
+            ready.port = bound  # type: ignore[attr-defined]
+            ready.set()
+        server.serve_forever(poll_interval=0.05)
+    return 0

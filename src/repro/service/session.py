@@ -1,0 +1,445 @@
+"""Incremental scheduling sessions: submit / cancel / advance / drain.
+
+A :class:`SchedulingSession` is the online form of the batch pipeline:
+instead of compiling a frozen instance and running the dispatch loop to
+completion, it owns a
+:class:`~repro.instance.compiled.GrowableCompiledInstance` (submissions
+append rows, never recompile) and an
+:class:`~repro.engine.dispatch.IncrementalPriorityLoop` (a resumable heap
+plus readiness state), and exposes the service verbs:
+
+* :meth:`~SchedulingSession.submit` — admit jobs (with chosen demands,
+  durations, precedences, releases and priority keys) at the current
+  virtual time;
+* :meth:`~SchedulingSession.cancel` — best-effort cancellation: a job
+  that has not started is withdrawn together with its pending descendants
+  (their precedence constraint became unsatisfiable); a running or
+  completed job is too late to cancel;
+* :meth:`~SchedulingSession.advance` — move virtual time forward,
+  dispatching and completing work on the way;
+* :meth:`~SchedulingSession.drain` — run to quiescence and return the
+  realized :class:`~repro.sim.schedule.Schedule`.
+
+**Batch identity.**  Dispatch order inside the session is exactly the
+batch discipline — the ready queue is totally ordered by ``(key,
+submission index)``, every pass starts every fitting job, simultaneous
+events batch within ``time_eps`` — so a session driven
+*submission-order-faithfully* (every job submitted before virtual time
+reaches the start it would get in the batch run) produces a schedule
+event-for-event identical to
+:func:`repro.core.list_scheduler.list_schedule` on the same job set.  The
+conformance fuzz family (``scenario="service"``) and the hypothesis suite
+assert this across every registered scheduler's allocations.
+
+Sessions carry an RNG (:attr:`SchedulingSession.rng`) for stochastic
+clients — e.g. the service-throughput benchmark's open-loop Poisson
+client draws inter-arrival times from it — so that checkpoint/restore
+(:mod:`repro.service.checkpoint`) resumes the *client's* stream exactly
+too, not just the scheduler's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.engine.dispatch import (
+    J_CANCELLED,
+    J_DONE,
+    J_QUEUED,
+    J_RUNNING,
+    J_WAITING,
+    IncrementalPriorityLoop,
+)
+from repro.engine.kernel import TIME_EPS
+from repro.instance.compiled import GrowableCompiledInstance
+
+__all__ = ["JobSpec", "SchedulingSession", "STATE_NAMES"]
+
+JobId = Hashable
+
+#: Human-readable names of the loop's job states (checkpoint format order).
+STATE_NAMES = ("waiting", "queued", "running", "done", "cancelled")
+
+_DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submitted job: the service protocol's unit of admission.
+
+    ``id`` must be a JSON-scalar (``str`` or ``int``) so checkpoints and
+    the wire protocol carry it verbatim.  ``preds`` name already-submitted
+    jobs (or earlier jobs of the same ``submit`` call) — the online
+    precedence model.  ``key`` is the priority sort key (smaller starts
+    first, ties by submission order); omitted, the job's submission index
+    is used, i.e. FIFO.  ``release`` gates the earliest start in virtual
+    time; a release in the past is simply "available now".
+    """
+
+    id: JobId
+    demand: tuple[int, ...]
+    duration: float
+    preds: tuple[JobId, ...] = ()
+    release: float = 0.0
+    key: float | int | None = None
+    tenant: str = _DEFAULT_TENANT
+
+    @classmethod
+    def from_dict(cls, rec: Mapping[str, Any]) -> "JobSpec":
+        """Build from a wire/protocol record; structural problems raise
+        ``ValueError`` (unknown fields, missing fields, non-scalar ids or
+        predecessors, scalar demands) so transport layers can buffer the
+        result without ever tripping over an unhashable or mistyped field.
+        """
+        if not isinstance(rec, Mapping):
+            raise ValueError(f"job record must be an object, got {type(rec).__name__}")
+        unknown = set(rec) - {"id", "demand", "duration", "preds", "release", "key", "tenant"}
+        if unknown:
+            raise ValueError(f"unknown job fields: {sorted(unknown)}")
+        try:
+            jid = rec["id"]
+            raw_demand = rec["demand"]
+            duration = float(rec["duration"])
+        except KeyError as exc:
+            raise ValueError(f"job record missing required field {exc.args[0]!r}") from None
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"job record has a malformed duration: {exc}") from None
+        if isinstance(jid, bool) or not isinstance(jid, (str, int)):
+            raise ValueError(f"job id {jid!r} must be a string or integer")
+        if isinstance(raw_demand, (str, int, float)) or not hasattr(raw_demand, "__iter__"):
+            raise ValueError(f"job {jid!r}: demand must be a list of per-type amounts")
+        raw_preds = rec.get("preds", ())
+        if isinstance(raw_preds, str):  # a bare id would iterate character-wise
+            raise ValueError(f"job {jid!r}: preds must be a list of job ids")
+        try:
+            demand = tuple(int(a) for a in raw_demand)
+            preds = tuple(raw_preds)
+            release = float(rec.get("release", 0.0))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"job {jid!r}: malformed record: {exc}") from None
+        for p in preds:
+            if isinstance(p, bool) or not isinstance(p, (str, int)):
+                raise ValueError(
+                    f"job {jid!r}: predecessor {p!r} must be a string or integer"
+                )
+        return cls(
+            id=jid,
+            demand=demand,
+            duration=duration,
+            preds=preds,
+            release=release,
+            key=rec.get("key"),
+            tenant=str(rec.get("tenant", _DEFAULT_TENANT)),
+        )
+
+
+@dataclass
+class _Counters:
+    """Session-lifetime counters (monotone; survive checkpoints)."""
+
+    submitted: int = 0
+    cancelled: int = 0
+    completed: int = 0
+
+
+class SchedulingSession:
+    """A long-running incremental scheduling session (see module docstring).
+
+    Parameters
+    ----------
+    capacities:
+        Per-type platform capacities ``P^(i)``.
+    time_eps:
+        Simultaneous-event batching tolerance (the engine's default).
+    seed:
+        Seed of the session RNG exposed to stochastic clients.
+    """
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        *,
+        time_eps: float = TIME_EPS,
+        seed: int | None = None,
+    ) -> None:
+        self.gi = GrowableCompiledInstance(capacities)
+        self.loop = IncrementalPriorityLoop(
+            self.gi,
+            on_start=self._record_start,
+            on_complete=self._record_finish,
+            time_eps=time_eps,
+        )
+        self.tenants: list[str] = []  # per-job tenant label, submission order
+        self.events: list[dict[str, Any]] = []
+        self.counters = _Counters()
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The session's virtual clock."""
+        return self.loop.now
+
+    @property
+    def capacities(self) -> tuple[int, ...]:
+        return self.gi.capacities
+
+    @property
+    def time_eps(self) -> float:
+        return self.loop.eps
+
+    def available(self) -> tuple[int, ...]:
+        """Per-type resources free at the current clock."""
+        return self.loop.available()
+
+    def state_of(self, job_id: JobId) -> str:
+        """One of ``waiting / queued / running / done / cancelled``."""
+        return STATE_NAMES[self.loop.state[self.gi.index[job_id]]]
+
+    def status(self) -> dict[str, Any]:
+        """A JSON-ready summary of the session."""
+        counts = dict.fromkeys(STATE_NAMES, 0)
+        for s in self.loop.state:
+            counts[STATE_NAMES[s]] += 1
+        return {
+            "clock": self.now,
+            "jobs": len(self.gi.order),
+            "states": counts,
+            "available": list(self.available()),
+            "capacities": list(self.gi.capacities),
+            "pending_events": self.loop.pending,
+            "submitted": self.counters.submitted,
+            "cancelled": self.counters.cancelled,
+            "completed": self.counters.completed,
+        }
+
+    # ------------------------------------------------------------------
+    # event-log callbacks
+    # ------------------------------------------------------------------
+    def _record_start(self, job_id: JobId, t: float, duration: float) -> None:
+        i = self.gi.index[job_id]
+        self.events.append(
+            {
+                "event": "start",
+                "id": job_id,
+                "time": t,
+                "duration": duration,
+                "alloc": list(self.gi.demand[i]),
+            }
+        )
+
+    def _record_finish(self, job_id: JobId, t: float) -> None:
+        self.counters.completed += 1
+        self.events.append({"event": "finish", "id": job_id, "time": t})
+
+    # ------------------------------------------------------------------
+    # the service verbs
+    # ------------------------------------------------------------------
+    def submit(self, jobs: "Iterable[JobSpec | Mapping[str, Any]]") -> list[JobId]:
+        """Admit jobs at the current virtual time; returns their ids.
+
+        Jobs are appended in the given order (which fixes their FIFO
+        tie-break); a job may name earlier jobs of the same call as
+        predecessors.  Validation — unknown predecessors, cancelled
+        predecessors, demand bounds, non-finite durations, non-scalar ids,
+        duplicate ids — raises ``ValueError`` *before* any of the call's
+        jobs are admitted, so a rejected batch leaves the session
+        untouched.
+        """
+        specs = [
+            spec if isinstance(spec, JobSpec) else JobSpec.from_dict(spec)
+            for spec in jobs
+        ]
+        # validate the whole batch first: admission is all-or-nothing
+        gi = self.gi
+        batch_ids: set[JobId] = set()
+        for spec in specs:
+            if isinstance(spec.id, bool) or not isinstance(spec.id, (str, int)):
+                raise ValueError(
+                    f"job id {spec.id!r} must be a string or integer "
+                    "(checkpoints and the wire protocol carry ids verbatim)"
+                )
+            if spec.id in batch_ids:
+                raise ValueError(f"job {spec.id!r} was already submitted")
+            gi.validate_row(spec.id, spec.demand, spec.duration, spec.release)
+            if spec.key is not None and (
+                isinstance(spec.key, bool)
+                or not isinstance(spec.key, (int, float))
+                or spec.key != spec.key  # NaN breaks the (key, index) total order
+            ):
+                raise ValueError(f"job {spec.id!r}: priority key must be numeric")
+            for p in spec.preds:
+                if p in batch_ids:
+                    continue
+                pi = gi.index.get(p)
+                if pi is None:
+                    raise ValueError(f"job {spec.id!r}: unknown predecessor {p!r}")
+                if self.loop.state[pi] == J_CANCELLED:
+                    raise ValueError(
+                        f"job {spec.id!r}: predecessor {p!r} was cancelled"
+                    )
+            batch_ids.add(spec.id)
+
+        ids: list[JobId] = []
+        for spec in specs:
+            i = gi.append(
+                spec.id,
+                [gi.index[p] for p in spec.preds],
+                spec.demand,
+                spec.duration,
+                spec.key if spec.key is not None else len(gi.order),
+                spec.release,
+            )
+            self.loop.admit(i)
+            self.tenants.append(spec.tenant)
+            self.counters.submitted += 1
+            self.events.append(
+                {"event": "submit", "id": spec.id, "time": self.now, "tenant": spec.tenant}
+            )
+            ids.append(spec.id)
+        return ids
+
+    def cancel(self, job_id: JobId) -> tuple[JobId, ...]:
+        """Best-effort cancel: returns the ids withdrawn (cascade order).
+
+        A job that has not started is cancelled together with every
+        pending transitive descendant (they could never run once a
+        predecessor is withdrawn).  Returns ``()`` when the job already
+        started, completed or was cancelled — too late, nothing changes.
+        Unknown ids raise ``KeyError``.
+        """
+        gi = self.gi
+        i = gi.index[job_id]  # KeyError on unknown id is the contract
+        state = self.loop.state
+        if state[i] in (J_RUNNING, J_DONE, J_CANCELLED):
+            return ()
+        cancelled: list[JobId] = []
+        stack = [i]
+        while stack:
+            k = stack.pop()
+            if state[k] == J_CANCELLED:
+                continue
+            # descendants of a not-yet-started job are necessarily pending
+            self.loop.cancel(k)
+            self.counters.cancelled += 1
+            self.events.append(
+                {"event": "cancel", "id": gi.order[k], "time": self.now}
+            )
+            cancelled.append(gi.order[k])
+            stack.extend(reversed(gi.succ[k]))
+        return tuple(cancelled)
+
+    def advance(self, until: float) -> list[dict[str, Any]]:
+        """Advance virtual time to ``until``; returns the events that fired.
+
+        Dispatch passes run at the current clock first (new submissions
+        start as early as possible), then every pending event up to
+        ``until`` is processed; afterwards the clock *is* ``until`` even
+        when nothing happened.  Time only moves forward.
+        """
+        until = float(until)
+        if until < self.now:
+            raise ValueError(f"cannot advance backwards to {until} (clock is {self.now})")
+        n0 = len(self.events)
+        self.loop.run(until)
+        self.loop.advance_clock(until)
+        return self.events[n0:]
+
+    def drain(self) -> "Schedule":
+        """Run to quiescence; returns the realized schedule (completed jobs)."""
+        self.loop.run()
+        leftover = [
+            self.gi.order[i]
+            for i, s in enumerate(self.loop.state)
+            if s in (J_WAITING, J_QUEUED, J_RUNNING)
+        ]
+        if leftover:  # pragma: no cover - admit() bounds validation prevents this
+            raise RuntimeError(f"drain left jobs unfinished: {leftover[:5]}")
+        return self.to_schedule()
+
+    # ------------------------------------------------------------------
+    # realized-schedule view
+    # ------------------------------------------------------------------
+    def cancellations(self) -> list[dict[str, Any]]:
+        """The cancellation events, in the order they happened."""
+        return [e for e in self.events if e["event"] == "cancel"]
+
+    def prune_events(self) -> int:
+        """Drop submit/start/finish records from the event log; returns the
+        number dropped.
+
+        The log exists for clients (``advance`` returns its new slice) and
+        the trace's cancellation records — scheduling never reads it — but
+        it grows with total history, which an indefinitely-running service
+        must bound.  Pruning keeps cancellations (the trace needs them) and
+        leaves checkpoints exact: a restored session replays identically,
+        its log just starts later.  Completed placements are unaffected
+        (they live in the loop state, not the log).
+        """
+        kept = [e for e in self.events if e["event"] == "cancel"]
+        dropped = len(self.events) - len(kept)
+        self.events = kept
+        return dropped
+
+    def to_schedule(self) -> "Schedule":
+        """The completed jobs as a :class:`~repro.sim.schedule.Schedule`.
+
+        The backing instance contains exactly the completed jobs (each
+        pinned to its submitted demand, with a tabulated time function and
+        its release), and the induced precedence edges among them — every
+        predecessor of a completed job completed, so the sub-DAG is
+        closed.  Strictly validatable; used by :meth:`validate`, the
+        service trace and the conformance checks.
+        """
+        from repro.dag.graph import DAG
+        from repro.instance.instance import Instance
+        from repro.jobs.job import Job
+        from repro.jobs.profiles import TabulatedTimeFunction
+        from repro.resources.pool import ResourcePool
+        from repro.resources.vector import ResourceVector
+        from repro.sim.schedule import Schedule, ScheduledJob
+
+        gi = self.gi
+        loop = self.loop
+        jobs: dict[JobId, Job] = {}
+        placements: dict[JobId, ScheduledJob] = {}
+        dag = DAG()
+        for i, jid in enumerate(gi.order):
+            if loop.state[i] != J_DONE:
+                continue
+            v = ResourceVector(gi.demand[i])
+            jobs[jid] = Job(
+                id=jid,
+                time_fn=TabulatedTimeFunction({v: gi.duration[i]}),
+                candidates=(v,),
+                release=gi.release[i],
+            )
+            dag.add_node(jid)
+            for p in gi.preds[i]:
+                dag.add_edge(gi.order[p], jid)
+            placements[jid] = ScheduledJob(
+                job_id=jid, start=loop.start[i], time=gi.duration[i], alloc=v
+            )
+        pool = ResourcePool(ResourceVector(gi.capacities))
+        inst = Instance(jobs=jobs, dag=dag, pool=pool)
+        return Schedule(instance=inst, placements=placements)
+
+    def validate(self) -> None:
+        """Strictly validate the realized schedule (raises on violation)."""
+        from repro.conformance.invariants import validate_schedule
+
+        validate_schedule(self.to_schedule(), strict=True).raise_if_failed()
+
+    def to_trace(self) -> dict:
+        """The version-3 trace of the session (cancellations included)."""
+        from repro.sim.trace import schedule_to_trace
+
+        return schedule_to_trace(
+            self.to_schedule(),
+            cancellations=[
+                {"id": e["id"], "time": e["time"]} for e in self.cancellations()
+            ],
+        )

@@ -15,20 +15,32 @@ from repro.instance.instance import Instance
 from repro.resources.vector import ResourceVector
 from repro.sim.schedule import Schedule, ScheduledJob
 
-__all__ = ["schedule_to_trace", "trace_to_json", "schedule_from_trace"]
+__all__ = [
+    "schedule_to_trace",
+    "trace_to_json",
+    "schedule_from_trace",
+    "cancellations_from_trace",
+]
 
 JobId = Hashable
 
 #: Trace format version (bump on schema change).  Version 2 added the
-#: per-job ``release`` field (online-arrival scenarios); version-1 traces
-#: still load (they carry no releases).
-TRACE_VERSION = 2
+#: per-job ``release`` field (online-arrival scenarios); version 3 added
+#: the optional ``cancelled`` event list (service sessions withdraw jobs,
+#: and a faithful replay must know when) — versions 1 and 2 still load
+#: (they carry no releases / no cancellations).
+TRACE_VERSION = 3
 
-_KNOWN_VERSIONS = (1, 2)
+_KNOWN_VERSIONS = (1, 2, 3)
 
 
-def schedule_to_trace(schedule: Schedule) -> dict:
-    """A JSON-ready dict describing the schedule and its platform."""
+def schedule_to_trace(schedule: Schedule, *, cancellations=None) -> dict:
+    """A JSON-ready dict describing the schedule and its platform.
+
+    ``cancellations`` (service sessions) is a list of ``{"id", "time"}``
+    records — jobs withdrawn before starting, with the virtual time of the
+    withdrawal.  Cancelled ids must be disjoint from the placed jobs.
+    """
     inst = schedule.instance
     jobs = []
     for p in sorted(
@@ -44,7 +56,7 @@ def schedule_to_trace(schedule: Schedule) -> dict:
         if release > 0.0:
             rec["release"] = release
         jobs.append(rec)
-    return {
+    trace = {
         "version": TRACE_VERSION,
         "platform": {
             "capacities": list(inst.pool.capacities),
@@ -54,6 +66,18 @@ def schedule_to_trace(schedule: Schedule) -> dict:
         "jobs": jobs,
         "edges": [[repr(u), repr(v)] for u, v in inst.dag.edges()],
     }
+    if cancellations:
+        placed = {rec["id"] for rec in jobs}
+        out = []
+        for c in cancellations:
+            cid = repr(c["id"])  # the trace's portable key, same as placements
+            if cid in placed:
+                raise ValueError(
+                    f"cancelled job {cid} is also placed in the schedule"
+                )
+            out.append({"id": cid, "time": float(c["time"])})
+        trace["cancelled"] = out
+    return trace
 
 
 def trace_to_json(schedule: Schedule, *, indent: int | None = 2) -> str:
@@ -61,16 +85,35 @@ def trace_to_json(schedule: Schedule, *, indent: int | None = 2) -> str:
     return json.dumps(schedule_to_trace(schedule), indent=indent)
 
 
+def cancellations_from_trace(trace: "dict | str") -> list[dict]:
+    """The ``cancelled`` records of a trace (empty before version 3)."""
+    data = json.loads(trace) if isinstance(trace, str) else trace
+    if data.get("version") not in _KNOWN_VERSIONS:
+        raise ValueError(f"unsupported trace version {data.get('version')!r}")
+    return [dict(rec) for rec in data.get("cancelled", ())]
+
+
 def schedule_from_trace(instance: Instance, trace: dict | str) -> Schedule:
     """Rebuild a :class:`Schedule` for ``instance`` from a trace.
 
     Job ids are matched by ``repr`` (the trace's portable key); raises
     ``ValueError`` when the trace does not cover the instance's jobs or a
-    traced release disagrees with the instance's.
+    traced release disagrees with the instance's.  Version-3 ``cancelled``
+    records describe jobs that never ran — they are not placements and the
+    instance need not contain them, but an id both cancelled and placed is
+    rejected as corrupt.
     """
     data = json.loads(trace) if isinstance(trace, str) else trace
     if data.get("version") not in _KNOWN_VERSIONS:
         raise ValueError(f"unsupported trace version {data.get('version')!r}")
+    cancelled_ids = {rec["id"] for rec in data.get("cancelled", ())}
+    if cancelled_ids:
+        placed_ids = {rec["id"] for rec in data["jobs"]}
+        both = cancelled_ids & placed_ids
+        if both:
+            raise ValueError(
+                f"trace is corrupt: jobs both cancelled and placed: {sorted(both)[:5]}"
+            )
     by_repr = {repr(j): j for j in instance.jobs}
     placements: dict[JobId, ScheduledJob] = {}
     for rec in data["jobs"]:

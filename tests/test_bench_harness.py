@@ -60,6 +60,7 @@ WRAPPER_SPECS = {
     "bench_ablation_priority.py": ["ablation_priority"],
     "bench_ablation_rounding.py": ["ablation_rounding", "robustness"],
     "bench_extended.py": ["capacity_sweep", "epsilon_sweep", "strategy_sweep"],
+    "bench_service.py": ["service"],
 }
 
 

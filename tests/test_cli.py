@@ -74,7 +74,7 @@ class TestCommands:
         assert main(["schedule", "--family", "chain", "--n", "5",
                      "--trace", str(trace_file)]) == 0
         data = json.loads(trace_file.read_text())
-        assert data["version"] == 2
+        assert data["version"] == 3
         assert len(data["jobs"]) == 5
 
     def test_schedule_sp_family_uses_fptas(self, capsys):
@@ -118,3 +118,71 @@ class TestCommands:
     def test_fuzz_unknown_scheduler(self, capsys):
         assert main(["fuzz", "--schedulers", "nope"]) == 2
         assert "unknown" in capsys.readouterr().err
+
+    def test_schedule_follow_streams_events(self, capsys):
+        assert main(["schedule", "--family", "chain", "--n", "6",
+                     "--scheduler", "min_area", "--follow"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("start") >= 6 and out.count("finish") >= 6
+        assert "streamed replay" in out and "makespan=" in out
+        # events are emitted in nondecreasing virtual-time order
+        times = [float(line.split("]")[0].strip("[ "))
+                 for line in out.splitlines() if line.startswith("[")]
+        assert times == sorted(times)
+
+    def test_schedule_follow_needs_fixed_allocation(self, capsys):
+        assert main(["schedule", "--family", "independent", "--n", "6",
+                     "--scheduler", "malleable", "--follow"]) == 2
+        assert "--follow" in capsys.readouterr().err
+
+    def test_serve_stdio_end_to_end(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        requests = [
+            {"op": "submit", "jobs": [
+                {"id": "a", "demand": [2, 1], "duration": 2.0},
+                {"id": "b", "demand": [1, 1], "duration": 1.0, "preds": ["a"]},
+            ]},
+            {"op": "flush"},
+            {"op": "checkpoint", "path": str(tmp_path / "ck.json")},
+            {"op": "drain"},
+            {"op": "validate"},
+            {"op": "shutdown"},
+        ]
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("\n".join(json.dumps(r) for r in requests))
+        )
+        trace_path = tmp_path / "trace.json"
+        assert main(["serve", "--capacities", "4", "4",
+                     "--trace", str(trace_path)]) == 0
+        responses = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert all(r["ok"] for r in responses)
+        drain = next(r for r in responses if r["op"] == "drain")
+        assert drain["completed"] == 2 and drain["makespan"] == 3.0
+        assert next(r for r in responses if r["op"] == "validate")["valid"]
+        assert json.loads(trace_path.read_text())["version"] == 3
+        assert (tmp_path / "ck.json").exists()
+
+    def test_serve_restore_resumes(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        from repro.service import SchedulingSession, save_session
+        from repro.service.session import JobSpec
+
+        s = SchedulingSession([4])
+        s.submit([JobSpec("x", (2,), 2.0)])
+        s.advance(1.0)
+        ck = tmp_path / "resume.json"
+        save_session(s, str(ck))
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(json.dumps({"op": "drain"}) + "\n")
+        )
+        assert main(["serve", "--restore", str(ck)]) == 0
+        resp = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert resp["makespan"] == 2.0 and resp["completed"] == 1
+
+    def test_serve_bad_restore(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["serve", "--restore", str(bad)]) == 2
+        assert "cannot restore" in capsys.readouterr().err

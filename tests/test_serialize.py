@@ -25,7 +25,7 @@ from repro.resources.pool import ResourcePool
 
 # the canonical event list is the conformance harness's definition of
 # schedule identity — share it so the two cannot drift
-from repro.conformance.fuzz import _portable_events as _events
+from repro.conformance.fuzz import portable_events as _events
 
 
 class TestRoundTrip:

@@ -1,0 +1,206 @@
+"""Tests for repro-session/1 checkpoints: the exact-resume guarantee.
+
+The satellite property: ``checkpoint → restore → drain`` is event-for-event
+identical to an uninterrupted run, across workload families × schedulers ×
+d ∈ {1..6} × arrival modes (hypothesis-sampled).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conformance.fuzz import service_specs
+from repro.experiments.workloads import WORKLOAD_FAMILIES, random_instance
+from repro.instance.instance import with_poisson_arrivals
+from repro.jobs.candidates import make_candidates
+from repro.registry import get_scheduler
+from repro.resources.pool import ResourcePool
+from repro.service.checkpoint import (
+    SESSION_FORMAT,
+    checkpoint_session,
+    load_session,
+    restore_session,
+    save_session,
+)
+from repro.service.session import JobSpec, SchedulingSession
+
+_DIAGONAL = make_candidates("diagonal", levels=6)
+
+#: Registered schedulers that keep a fixed allocation to replay (the
+#: malleable relaxation keeps none; the Sun schedulers are independent-only
+#: and are covered through the ``independent`` family draw).
+_SCHEDULERS = ("ours", "min_area", "min_time", "tetris", "heft", "level_shelf", "backfill")
+
+
+def _roundtrip(session):
+    return restore_session(json.loads(json.dumps(checkpoint_session(session))))
+
+
+def _session_case(family, scheduler, d, arrivals, seed):
+    """(instance, allocation) for one sampled configuration, or None when
+    the combination is contractually unsupported."""
+    spec = get_scheduler(scheduler)
+    if spec.graphs == "independent" and family != "independent":
+        return None
+    pool = ResourcePool.uniform(d, 8)
+    inst = random_instance(family, 8, pool, seed=seed).instance
+    if arrivals == "poisson" and scheduler not in ("backfill", "level_shelf"):
+        inst = with_poisson_arrivals(inst, 2.0, seed=seed)
+    strategy = _DIAGONAL if d >= 5 else None
+    try:
+        if scheduler == "ours":
+            result = (
+                spec.schedule(inst, candidate_strategy=strategy)
+                if strategy is not None
+                else spec.schedule(inst)
+            )
+        else:
+            result = (
+                spec.schedule(inst, strategy=strategy)
+                if strategy is not None
+                else spec.schedule(inst)
+            )
+    except ValueError:
+        return None  # contractual rejection (e.g. offline planner + releases)
+    allocation = getattr(result, "allocation", None)
+    if allocation is None:
+        return None
+    return inst, allocation
+
+
+class TestCheckpointBasics:
+    def test_save_load_file(self, tmp_path):
+        s = SchedulingSession([4, 4], seed=3)
+        s.submit([JobSpec("a", (2, 2), 1.0), JobSpec("b", (1, 1), 2.0, preds=("a",))])
+        s.advance(0.5)
+        path = tmp_path / "session.json"
+        save_session(s, str(path))
+        data = json.loads(path.read_text())
+        assert data["format"] == SESSION_FORMAT
+        s2 = load_session(str(path))
+        assert s2.now == s.now
+        assert s.drain().placements == s2.drain().placements
+        assert s.events == s2.events
+
+    def test_rng_stream_resumes(self):
+        s = SchedulingSession([2], seed=11)
+        s.rng.random(3)
+        s2 = _roundtrip(s)
+        assert list(s.rng.random(4)) == list(s2.rng.random(4))
+
+    def test_counters_and_tenants_survive(self):
+        s = SchedulingSession([4])
+        s.submit([JobSpec("a", (1,), 1.0, tenant="acme"), JobSpec("b", (1,), 1.0)])
+        s.cancel("b")
+        s2 = _roundtrip(s)
+        assert s2.counters.submitted == 2 and s2.counters.cancelled == 1
+        assert s2.tenants == ["acme", "default"]
+        assert s2.state_of("b") == "cancelled"
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unsupported session checkpoint format"):
+            restore_session({"format": "repro-session/99"})
+
+    def test_truncated_checkpoint_raises_value_error(self):
+        # a snapshot missing required fields must fail the documented way
+        # (ValueError -> the CLI's clean 'cannot restore' path), not KeyError
+        with pytest.raises(ValueError, match="malformed session checkpoint"):
+            restore_session({"format": SESSION_FORMAT})
+        s = SchedulingSession([4])
+        s.submit([JobSpec("a", (2,), 5.0)])
+        snap = checkpoint_session(s)
+        del snap["jobs"][0]["demand"]
+        with pytest.raises(ValueError, match="malformed session checkpoint"):
+            restore_session(snap)
+
+    def test_corrupt_availability_rejected(self):
+        s = SchedulingSession([4])
+        s.submit([JobSpec("a", (2,), 5.0)])
+        s.advance(1.0)  # a is running, available = [2]
+        snap = checkpoint_session(s)
+        snap["available"] = [4]
+        with pytest.raises(ValueError, match="disagrees"):
+            restore_session(snap)
+
+    def test_corrupt_state_rejected(self):
+        s = SchedulingSession([4])
+        s.submit([JobSpec("a", (2,), 5.0)])
+        snap = checkpoint_session(s)
+        snap["jobs"][0]["state"] = "levitating"
+        with pytest.raises(ValueError, match="unknown state"):
+            restore_session(snap)
+
+    def test_corrupt_heap_rejected(self):
+        s = SchedulingSession([4])
+        s.submit([JobSpec("a", (2,), 5.0, release=1.0)])
+        snap = checkpoint_session(s)
+        snap["heap"].append([2.0, 9, 55])
+        with pytest.raises(ValueError, match="unknown job index"):
+            restore_session(snap)
+
+    def test_overcommit_rejected(self):
+        s = SchedulingSession([4])
+        s.submit([JobSpec("a", (3,), 5.0)])
+        s.advance(1.0)
+        snap = checkpoint_session(s)
+        snap["jobs"].append(
+            {
+                "id": "ghost", "demand": [3], "duration": 1.0, "key": 1,
+                "preds": [], "release": 0.0, "tenant": "default",
+                "state": "running", "remaining": 0, "start": 0.5, "finish": None,
+            }
+        )
+        snap["available"] = [-2]
+        with pytest.raises(ValueError, match="overcommit"):
+            restore_session(snap)
+
+    def test_resume_mid_flight_then_submit_more(self):
+        """The restored session is live: it keeps admitting and cancelling."""
+        s = SchedulingSession([4, 4])
+        s.submit([JobSpec("a", (2, 1), 2.0)])
+        s.advance(1.0)
+        s2 = _roundtrip(s)
+        for sess in (s, s2):
+            sess.submit([JobSpec("b", (1, 1), 1.0, preds=("a",), tenant="t2")])
+            sess.advance(2.5)
+            sess.submit([JobSpec("c", (4, 4), 0.5)])
+            assert sess.cancel("c") == ("c",)
+        assert s.drain().placements == s2.drain().placements
+        assert s.events == s2.events
+
+
+class TestExactResumeProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        family=st.sampled_from(WORKLOAD_FAMILIES),
+        scheduler=st.sampled_from(_SCHEDULERS),
+        d=st.integers(min_value=1, max_value=6),
+        arrivals=st.sampled_from(["offline", "poisson"]),
+        seed=st.integers(min_value=0, max_value=10**6),
+        cut=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_checkpoint_restore_drain_identity(
+        self, family, scheduler, d, arrivals, seed, cut
+    ):
+        case = _session_case(family, scheduler, d, arrivals, seed)
+        if case is None:
+            return
+        inst, allocation = case
+        specs = service_specs(inst, allocation)
+        caps = inst.pool.capacities
+
+        uninterrupted = SchedulingSession(caps)
+        uninterrupted.submit(specs)
+        baseline = uninterrupted.drain()
+
+        interrupted = SchedulingSession(caps)
+        interrupted.submit(specs)
+        interrupted.advance(cut * max(baseline.makespan, 1e-9))
+        resumed = _roundtrip(interrupted)
+        final = resumed.drain()
+        resumed.validate()
+
+        assert final.placements == baseline.placements
+        assert resumed.events == uninterrupted.events

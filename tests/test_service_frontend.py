@@ -1,0 +1,388 @@
+"""Tests for the JSON-lines service front-end: protocol, batching, fairness."""
+
+import io
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service import ServiceFrontend, SchedulingSession, serve_stdio, serve_tcp
+from repro.service.session import JobSpec
+
+
+def job(jid, demand=(1,), duration=1.0, **kw):
+    return {"id": jid, "demand": list(demand), "duration": duration, **kw}
+
+
+def frontend(caps=(4,), **kw):
+    kw.setdefault("batch_size", 100)
+    kw.setdefault("batch_interval", 9999.0)
+    return ServiceFrontend(SchedulingSession(caps), **kw)
+
+
+class TestBatching:
+    def test_submissions_buffer_until_flush(self):
+        fe = frontend()
+        r = fe.handle_request({"op": "submit", "jobs": [job("a"), job("b")]})
+        assert r["ok"] and r["buffered"] == 2 and "admitted" not in r
+        assert fe.session.status()["jobs"] == 0
+        r = fe.handle_request({"op": "flush"})
+        assert r["admitted"] == ["a", "b"]
+        assert fe.session.status()["jobs"] == 2
+
+    def test_batch_size_triggers_admission(self):
+        fe = frontend(batch_size=2)
+        assert "admitted" not in fe.handle_request({"op": "submit", "jobs": [job("a")]})
+        r = fe.handle_request({"op": "submit", "jobs": [job("b")]})
+        assert r["admitted"] == ["a", "b"] and r["buffered"] == 0
+
+    def test_batch_interval_triggers_admission(self):
+        clock = [0.0]
+        fe = ServiceFrontend(
+            SchedulingSession([4]),
+            batch_size=100,
+            batch_interval=1.0,
+            clock=lambda: clock[0],
+        )
+        fe.handle_request({"op": "submit", "jobs": [job("a")]})
+        clock[0] = 0.5
+        assert "admitted" not in fe.handle_request({"op": "submit", "jobs": [job("b")]})
+        clock[0] = 1.25  # the *oldest* buffered job has now waited past the interval
+        r = fe.handle_request({"op": "submit", "jobs": [job("c")]})
+        assert r["admitted"] == ["a", "b", "c"]
+
+    def test_batch_interval_fires_without_another_submit(self):
+        # "whichever comes first" must not depend on further submissions:
+        # any request past the interval admits the due buffer
+        clock = [0.0]
+        fe = ServiceFrontend(
+            SchedulingSession([4]),
+            batch_size=100,
+            batch_interval=1.0,
+            clock=lambda: clock[0],
+        )
+        fe.handle_request({"op": "submit", "jobs": [job("a")]})
+        clock[0] = 5.0
+        r = fe.handle_request({"op": "status"})
+        assert r["admitted_by_batch"] == ["a"]
+        assert r["jobs"] == 1 and r["buffered"] == 0
+
+    def test_time_ops_force_admission(self):
+        fe = frontend()
+        fe.handle_request({"op": "submit", "jobs": [job("a", duration=2.0)]})
+        r = fe.handle_request({"op": "advance", "until": 3.0})
+        assert [e["id"] for e in r["events"] if e["event"] == "start"] == ["a"]
+        fe.handle_request({"op": "submit", "jobs": [job("b")]})
+        r = fe.handle_request({"op": "drain"})
+        assert r["completed"] == 2
+
+    def test_per_job_errors_do_not_block_the_batch(self):
+        fe = frontend()
+        fe.handle_request(
+            {"op": "submit", "jobs": [job("a"), job("bad", demand=(99,)), job("c")]}
+        )
+        r = fe.handle_request({"op": "flush"})
+        assert r["admitted"] == ["a", "c"]
+        assert [e["id"] for e in r["errors"]] == ["bad"]
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError, match="batch size"):
+            frontend(batch_size=0)
+        with pytest.raises(ValueError, match="batch interval"):
+            frontend(batch_interval=-1.0)
+
+
+class TestFairSharing:
+    def test_weighted_admission_interleaving(self):
+        fe = frontend(caps=(1,))
+        fe.handle_request({"op": "tenant", "name": "big", "weight": 2.0})
+        jobs = [job(f"s{i}", tenant="small") for i in range(3)] + [
+            job(f"b{i}", tenant="big") for i in range(6)
+        ]
+        fe.handle_request({"op": "submit", "jobs": jobs})
+        admitted = fe.handle_request({"op": "flush"})["admitted"]
+        # weight 2 tenant admits two jobs per one of the weight-1 tenant,
+        # FIFO within each tenant
+        assert admitted == ["b0", "s0", "b1", "b2", "s1", "b3", "b4", "s2", "b5"]
+        # admission order == dispatch order on a 1-unit platform
+        fe.handle_request({"op": "drain"})
+        sched = fe.session.to_schedule()
+        run_order = sorted(sched.placements, key=lambda j: sched.placements[j].start)
+        assert run_order == admitted
+
+    def test_idle_tenant_cannot_hoard_share(self):
+        fe = frontend()
+        fe.handle_request({"op": "submit", "jobs": [job(f"a{i}", tenant="A") for i in range(4)]})
+        fe.handle_request({"op": "flush"})
+        # B was idle the whole time; it re-enters at the virtual floor, not 0
+        fe.handle_request(
+            {"op": "submit", "jobs": [job("b0", tenant="B"), job("a4", tenant="A")]}
+        )
+        admitted = fe.handle_request({"op": "flush"})["admitted"]
+        # B re-enters level with A (tie broken by name), not with banked debt
+        # that would let it flood the batch
+        assert admitted == ["a4", "b0"]
+        status = fe.handle_request({"op": "status"})
+        assert status["tenants"]["B"]["vtime"] >= status["tenants"]["A"]["vtime"] - 1.0
+
+    def test_invalid_weight(self):
+        fe = frontend()
+        r = fe.handle_request({"op": "tenant", "name": "x", "weight": 0})
+        assert not r["ok"] and "positive" in r["error"]
+
+    def test_cross_tenant_dependency_in_one_call_admits(self):
+        # tenant interleaving puts 'anna' before 'zoe' in the fair order,
+        # but zoe's job is the predecessor — the flush retries the orphan
+        # after the rest instead of rejecting it
+        fe = frontend()
+        fe.handle_request(
+            {
+                "op": "submit",
+                "jobs": [
+                    job("root", tenant="zoe"),
+                    job("kid", tenant="anna", preds=["root"]),
+                ],
+            }
+        )
+        r = fe.handle_request({"op": "flush"})
+        assert sorted(r["admitted"]) == ["kid", "root"] and "errors" not in r
+
+
+class TestProtocol:
+    def test_unknown_op_and_malformed_requests(self):
+        fe = frontend()
+        assert not fe.handle_request({"op": "warp"})["ok"]
+        assert not fe.handle_request({"no": "op"})["ok"]
+        assert not fe.handle_request({"op": "submit", "jobs": "nope"})["ok"]
+
+    def test_structurally_malformed_payloads_never_kill_the_service(self):
+        fe = frontend()
+        for req in (
+            {"op": "submit", "jobs": [{"id": "a", "demand": 3, "duration": 1.0}]},
+            {"op": "submit", "jobs": [None]},
+            {"op": "submit", "jobs": [{"id": ["l"], "demand": [1], "duration": 1.0}]},
+            {"op": "submit", "jobs": [{"id": "p", "demand": [1], "duration": 1.0,
+                                       "preds": [["x"]]}]},
+            {"op": "submit", "jobs": [{"id": "d", "demand": [1], "duration": "soon"}]},
+            {"op": "advance", "until": [1]},
+            {"op": "tenant", "name": "x", "weight": {}},
+            {"op": "cancel", "id": ["a"]},
+            {"op": "submit", "jobs": [{"id": "z", "demand": [1], "duration": 1.0,
+                                       "preds": "j10"}]},
+            {"op": "checkpoint", "path": 1},  # int path = raw fd 1 (stdout!)
+            {"op": "trace", "path": 1},
+            {"op": "restore", "path": 1},
+            {"op": "restore", "snapshot": [1, 2]},
+        ):
+            r = fe.handle_request(req)
+            assert not r["ok"] and "error" in r, req
+            # nothing half-buffered: a rejected submit buffers none of its jobs
+            assert fe.handle_request({"op": "status"})["buffered"] == 0
+        # the service is still alive and consistent afterwards
+        fe.handle_request({"op": "submit", "jobs": [job("ok")]})
+        assert fe.handle_request({"op": "drain"})["completed"] == 1
+
+    def test_malformed_job_after_interval_does_not_crash_later_requests(self):
+        # an unhashable/bad record must never wedge the batch clock: every
+        # subsequent request (incl. the pre-op batch check) keeps answering
+        clock = [0.0]
+        fe = ServiceFrontend(
+            SchedulingSession([4]),
+            batch_size=100,
+            batch_interval=1.0,
+            clock=lambda: clock[0],
+        )
+        r = fe.handle_request(
+            {"op": "submit", "jobs": [{"id": ["weird"], "demand": [1], "duration": 1.0}]}
+        )
+        assert not r["ok"]
+        clock[0] = 5.0
+        for _ in range(2):
+            assert fe.handle_request({"op": "status"})["ok"]
+
+    def test_restore_guard_is_not_bypassed_by_a_due_batch(self, tmp_path):
+        from repro.service import save_session
+
+        ck = tmp_path / "ck.json"
+        save_session(SchedulingSession([4]), str(ck))
+        clock = [0.0]
+        fe = ServiceFrontend(
+            SchedulingSession([4]),
+            batch_size=100,
+            batch_interval=1.0,
+            clock=lambda: clock[0],
+        )
+        fe.handle_request({"op": "submit", "jobs": [job("precious")]})
+        clock[0] = 10.0  # the buffer is long past due
+        r = fe.handle_request({"op": "restore", "path": str(ck)})
+        # the buffered job must NOT be flushed into the session about to be
+        # discarded: restore refuses and the job survives
+        assert not r["ok"] and "buffered" in r["error"]
+        assert fe.handle_request({"op": "flush"})["admitted"] == ["precious"]
+
+    def test_cancel_does_not_age_younger_buffered_jobs(self):
+        clock = [0.0]
+        fe = ServiceFrontend(
+            SchedulingSession([4]),
+            batch_size=100,
+            batch_interval=1.0,
+            clock=lambda: clock[0],
+        )
+        fe.handle_request({"op": "submit", "jobs": [job("old")]})
+        clock[0] = 0.9
+        fe.handle_request({"op": "submit", "jobs": [job("young")]})
+        fe.handle_request({"op": "cancel", "id": "old"})
+        clock[0] = 1.1  # past old's deadline, but young has waited only 0.2
+        r = fe.handle_request({"op": "status"})
+        assert "admitted_by_batch" not in r and r["buffered"] == 1
+        clock[0] = 1.95  # now young itself has waited past the interval
+        r = fe.handle_request({"op": "status"})
+        assert r["admitted_by_batch"] == ["young"]
+
+    def test_cancel_buffered_and_admitted(self):
+        fe = frontend()
+        fe.handle_request({"op": "submit", "jobs": [job("a"), job("kid", preds=["a"])]})
+        r = fe.handle_request({"op": "cancel", "id": "kid"})
+        assert r["cancelled"] == ["kid"] and r["buffered"] is True
+        fe.handle_request({"op": "flush"})
+        r = fe.handle_request({"op": "cancel", "id": "a"})
+        assert r["cancelled"] == ["a"] and r["buffered"] is False
+        assert not fe.handle_request({"op": "cancel", "id": "ghost"})["ok"]
+
+    def test_cancel_admitted_cascades_into_buffers(self):
+        fe = frontend()
+        fe.handle_request({"op": "submit", "jobs": [job("root", duration=5.0)]})
+        fe.handle_request({"op": "flush"})
+        fe.handle_request({"op": "submit", "jobs": [job("kid", preds=["root"])]})
+        r = fe.handle_request({"op": "cancel", "id": "root"})
+        # the admitted root cascades through the still-buffered dependent
+        assert r["cancelled"] == ["root", "kid"] and r["buffered"] is False
+        r = fe.handle_request({"op": "drain"})
+        assert r["completed"] == 0 and "admission_errors" not in r
+
+    def test_prune_events(self):
+        fe = frontend()
+        fe.handle_request({"op": "submit", "jobs": [job("a"), job("b", release=9.0)]})
+        fe.handle_request({"op": "flush"})
+        fe.handle_request({"op": "cancel", "id": "b"})
+        fe.handle_request({"op": "drain"})
+        r = fe.handle_request({"op": "prune"})
+        assert r["dropped"] > 0 and r["events"] == 1  # the cancellation stays
+        trace = fe.handle_request({"op": "trace"})["trace"]
+        assert [c["id"] for c in trace["cancelled"]] == ["'b'"]
+
+    def test_cancel_buffered_cascades_through_buffers(self):
+        fe = frontend()
+        fe.handle_request(
+            {
+                "op": "submit",
+                "jobs": [
+                    job("root"),
+                    job("mid", preds=["root"], tenant="other"),
+                    job("leaf", preds=["mid"]),
+                    job("bystander"),
+                ],
+            }
+        )
+        r = fe.handle_request({"op": "cancel", "id": "root"})
+        assert sorted(r["cancelled"]) == ["leaf", "mid", "root"]
+        r = fe.handle_request({"op": "flush"})
+        assert r["admitted"] == ["bystander"] and "errors" not in r
+
+    def test_implicit_flush_errors_are_surfaced(self):
+        fe = frontend()
+        fe.handle_request({"op": "submit", "jobs": [job("orphan", preds=["ghost"])]})
+        r = fe.handle_request({"op": "advance", "until": 1.0})
+        assert r["ok"] and [e["id"] for e in r["admission_errors"]] == ["orphan"]
+        fe.handle_request({"op": "submit", "jobs": [job("orphan2", preds=["ghost"])]})
+        r = fe.handle_request({"op": "drain"})
+        assert [e["id"] for e in r["admission_errors"]] == ["orphan2"]
+
+    def test_status_validate_trace(self, tmp_path):
+        fe = frontend(caps=(4, 4))
+        fe.handle_request({"op": "submit", "jobs": [job("a", demand=(2, 1))]})
+        fe.handle_request({"op": "drain"})
+        status = fe.handle_request({"op": "status"})
+        assert status["states"]["done"] == 1 and status["buffered"] == 0
+        assert fe.handle_request({"op": "validate"})["valid"]
+        path = tmp_path / "trace.json"
+        fe.handle_request({"op": "trace", "path": str(path)})
+        trace = json.loads(path.read_text())
+        assert trace["version"] == 3 and len(trace["jobs"]) == 1
+        inline = fe.handle_request({"op": "trace"})
+        assert inline["trace"]["makespan"] == trace["makespan"]
+
+    def test_checkpoint_restore_roundtrip(self, tmp_path):
+        fe = frontend(caps=(4,))
+        fe.handle_request({"op": "submit", "jobs": [job("a", duration=2.0)]})
+        fe.handle_request({"op": "advance", "until": 1.0})
+        path = tmp_path / "ck.json"
+        assert fe.handle_request({"op": "checkpoint", "path": str(path)})["ok"]
+        inline = fe.handle_request({"op": "checkpoint"})["snapshot"]
+
+        for req in ({"op": "restore", "path": str(path)}, {"op": "restore", "snapshot": inline}):
+            fe2 = frontend(caps=(4,))
+            r = fe2.handle_request(req)
+            assert r["ok"] and r["clock"] == 1.0 and r["jobs"] == 1
+            assert fe2.handle_request({"op": "drain"})["makespan"] == 2.0
+
+        fe3 = frontend(caps=(4,))
+        fe3.handle_request({"op": "submit", "jobs": [job("pending")]})
+        r = fe3.handle_request({"op": "restore", "path": str(path)})
+        assert not r["ok"] and "buffered" in r["error"]
+        assert not frontend().handle_request({"op": "restore"})["ok"]
+
+
+class TestTransports:
+    def test_stdio_loop(self):
+        requests = [
+            {"op": "submit", "jobs": [job("x", demand=(2,), duration=1.5)]},
+            {"op": "drain"},
+            "this is not json",
+            {"op": "shutdown"},
+            {"op": "never-reached"},
+        ]
+        lines = "\n".join(
+            r if isinstance(r, str) else json.dumps(r) for r in requests
+        ) + "\n"
+        out = io.StringIO()
+        code = serve_stdio(frontend(batch_size=1), io.StringIO(lines), out)
+        assert code == 0
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert len(responses) == 4  # the post-shutdown line is never read
+        assert responses[0]["admitted"] == ["x"]
+        assert responses[1]["makespan"] == 1.5
+        assert not responses[2]["ok"] and "bad JSON" in responses[2]["error"]
+        assert responses[3]["op"] == "shutdown"
+
+    def test_stdio_eof_is_clean(self):
+        out = io.StringIO()
+        assert serve_stdio(frontend(), io.StringIO(""), out) == 0
+        assert out.getvalue() == ""
+
+    def test_tcp_roundtrip(self):
+        fe = frontend(batch_size=1)
+        ready = threading.Event()
+        announced = []
+        t = threading.Thread(target=serve_tcp, args=(fe, "127.0.0.1", 0),
+                             kwargs={"ready": ready, "on_bound": announced.append},
+                             daemon=True)
+        t.start()
+        assert ready.wait(5.0)
+        assert announced == [ready.port]  # port=0: the callback reports the pick
+        with socket.create_connection(("127.0.0.1", ready.port), timeout=5.0) as sock:
+            fh = sock.makefile("rw", encoding="utf-8")
+            for req in (
+                {"op": "submit", "jobs": [job("a", duration=2.5)]},
+                {"op": "drain"},
+                {"op": "shutdown"},
+            ):
+                fh.write(json.dumps(req) + "\n")
+                fh.flush()
+                resp = json.loads(fh.readline())
+                assert resp["ok"], resp
+                if req["op"] == "drain":
+                    assert resp["makespan"] == 2.5
+        t.join(timeout=5.0)
+        assert not t.is_alive()

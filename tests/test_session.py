@@ -1,0 +1,313 @@
+"""Tests for the online scheduling session (service subsystem tentpole).
+
+Covers the growable compiled instance, the incremental re-entrant dispatch
+loop, the session verbs (submit / cancel / advance / drain) and — the
+acceptance criterion — event-for-event identity between a
+submission-order-faithful session and the batch compiled engine.
+"""
+
+import pytest
+
+from repro.conformance.fuzz import drive_session_faithfully, service_specs
+from repro.core.list_scheduler import fifo_priority, list_schedule
+from repro.engine.dispatch import priority_loop
+from repro.experiments.workloads import random_instance
+from repro.instance.compiled import GrowableCompiledInstance
+from repro.instance.instance import with_poisson_arrivals
+from repro.jobs.candidates import make_candidates
+from repro.resources.pool import ResourcePool
+from repro.service.session import JobSpec, SchedulingSession
+
+
+def diamond_session(caps=(4, 4)):
+    s = SchedulingSession(caps)
+    s.submit(
+        [
+            JobSpec("a", (2, 1), 1.0),
+            JobSpec("b", (2, 2), 2.0, preds=("a",)),
+            JobSpec("c", (3, 1), 1.5, preds=("a",)),
+            JobSpec("d", (1, 1), 0.5, preds=("b", "c")),
+        ]
+    )
+    return s
+
+
+def fixed_allocation(inst, d):
+    strat = make_candidates("diagonal", levels=6) if d >= 5 else None
+    table = inst.candidate_table(strat) if strat is not None else inst.candidate_table()
+    return {j: min(es, key=lambda e: e.time * e.area).alloc for j, es in table.items()}
+
+
+class TestGrowableCompiledInstance:
+    def test_append_and_structure(self):
+        gi = GrowableCompiledInstance([4, 4])
+        a = gi.append("a", [], (2, 1), 1.0, 0)
+        b = gi.append("b", [a], (1, 1), 2.0, 1)
+        assert gi.order == ["a", "b"]
+        assert gi.succ[a] == [b]
+        assert gi.preds[b] == (a,)
+        assert gi.packable
+        assert gi.packed[a] == (1 << 16) + 2
+
+    def test_unpackable_platforms(self):
+        assert not GrowableCompiledInstance([2] * 5).packable
+        assert not GrowableCompiledInstance([1 << 15]).packable
+        assert GrowableCompiledInstance([(1 << 15) - 1]).packable
+
+    def test_validation_errors(self):
+        gi = GrowableCompiledInstance([4, 4])
+        gi.append("a", [], (1, 1), 1.0, 0)
+        with pytest.raises(ValueError, match="already submitted"):
+            gi.append("a", [], (1, 1), 1.0, 0)
+        with pytest.raises(ValueError, match="dimension"):
+            gi.append("b", [], (1,), 1.0, 0)
+        with pytest.raises(ValueError, match="exceeds capacities"):
+            gi.append("b", [], (5, 1), 1.0, 0)
+        with pytest.raises(ValueError, match="at least one unit"):
+            gi.append("b", [], (0, 0), 1.0, 0)
+        with pytest.raises(ValueError, match="duration"):
+            gi.append("b", [], (1, 1), 0.0, 0)
+        with pytest.raises(ValueError, match="duration"):
+            gi.append("b", [], (1, 1), float("inf"), 0)
+        with pytest.raises(ValueError, match="release"):
+            gi.append("b", [], (1, 1), 1.0, 0, release=-1.0)
+        with pytest.raises(ValueError, match="release"):
+            gi.append("b", [], (1, 1), 1.0, 0, release=float("inf"))
+        with pytest.raises(ValueError, match="predecessor index"):
+            gi.append("b", [7], (1, 1), 1.0, 0)
+        with pytest.raises(ValueError, match="capacities must be a positive"):
+            GrowableCompiledInstance([])
+
+
+class TestSessionBasics:
+    def test_diamond_drain(self):
+        s = diamond_session()
+        sched = s.drain()
+        assert len(sched.placements) == 4
+        # a at 0; b at 1; c waits for b's type-0 units (2+3 > 4)
+        assert sched.placements["a"].start == 0.0
+        assert sched.placements["b"].start == 1.0
+        assert sched.placements["c"].start == 3.0
+        assert sched.placements["d"].start == 4.5
+        s.validate()
+        assert s.state_of("d") == "done"
+
+    def test_advance_semantics(self):
+        s = diamond_session()
+        events = s.advance(1.0)
+        kinds = [(e["event"], e["id"]) for e in events]
+        assert ("start", "a") in kinds and ("finish", "a") in kinds
+        assert s.now == 1.0
+        # time only moves forward, even to a no-event point
+        s.advance(1.25)
+        assert s.now == 1.25
+        with pytest.raises(ValueError, match="backwards"):
+            s.advance(1.0)
+
+    def test_submit_all_or_nothing(self):
+        s = SchedulingSession([4])
+        with pytest.raises(ValueError, match="unknown predecessor"):
+            s.submit(
+                [
+                    JobSpec("ok", (1,), 1.0),
+                    JobSpec("bad", (1,), 1.0, preds=("missing",)),
+                ]
+            )
+        assert s.status()["jobs"] == 0  # the valid job was not admitted either
+        # row-level problems (demand bounds, durations, releases) must also
+        # reject before any admission, not mid-loop
+        for bad in (
+            JobSpec("bad", (9,), 1.0),
+            JobSpec("bad", (1,), -2.0),
+            JobSpec("bad", (1,), 1.0, release=float("inf")),
+        ):
+            with pytest.raises(ValueError):
+                s.submit([JobSpec("ok", (1,), 1.0), bad])
+            assert s.status()["jobs"] == 0
+        s.submit([JobSpec("ok", (1,), 1.0)])  # the batch retries cleanly
+
+    def test_submit_validation(self):
+        s = SchedulingSession([4])
+        with pytest.raises(ValueError, match="string or integer"):
+            s.submit([JobSpec(("tuple", "id"), (1,), 1.0)])
+        with pytest.raises(ValueError, match="key must be numeric"):
+            s.submit([JobSpec("k", (1,), 1.0, key="high")])
+        s.submit([JobSpec("a", (1,), 1.0)])
+        with pytest.raises(ValueError, match="already submitted"):
+            s.submit([JobSpec("a", (1,), 1.0)])
+
+    def test_submit_from_protocol_dicts(self):
+        s = SchedulingSession([4, 4])
+        s.submit([{"id": "x", "demand": [2, 1], "duration": 1.5}])
+        assert s.state_of("x") == "queued"
+        with pytest.raises(ValueError, match="unknown job fields"):
+            s.submit([{"id": "y", "demand": [1, 1], "duration": 1.0, "nope": 1}])
+        with pytest.raises(ValueError, match="missing required field"):
+            s.submit([{"id": "y", "demand": [1, 1]}])
+
+    def test_release_gating(self):
+        s = SchedulingSession([4])
+        s.submit([JobSpec("late", (1,), 1.0, release=5.0)])
+        s.advance(4.0)
+        assert s.state_of("late") == "waiting"
+        s.advance(5.0)
+        assert s.state_of("late") == "running"
+        sched = s.drain()
+        assert sched.placements["late"].start == 5.0
+
+    def test_release_in_the_past_is_available_now(self):
+        s = SchedulingSession([4])
+        s.advance(10.0)
+        s.submit([JobSpec("old", (1,), 1.0, release=2.0)])
+        sched = s.drain()
+        assert sched.placements["old"].start == 10.0
+
+    def test_priority_keys_order_queue(self):
+        # one unit: jobs run one at a time, in key order, FIFO on ties
+        s = SchedulingSession([1])
+        s.submit(
+            [
+                JobSpec("low", (1,), 1.0, key=2.0),
+                JobSpec("high", (1,), 1.0, key=-1.0),
+                JobSpec("mid", (1,), 1.0, key=0.5),
+            ]
+        )
+        sched = s.drain()
+        order = sorted(sched.placements, key=lambda j: sched.placements[j].start)
+        assert order == ["high", "mid", "low"]
+
+    def test_empty_session(self):
+        s = SchedulingSession([2, 2])
+        sched = s.drain()
+        assert len(sched.placements) == 0 and sched.makespan == 0.0
+        s.validate()
+        assert s.status()["states"]["done"] == 0
+
+
+class TestCancellation:
+    def test_cancel_pending_cascades(self):
+        s = diamond_session()
+        s.advance(0.5)  # a running, b/c/d pending
+        cancelled = s.cancel("b")
+        assert cancelled == ("b", "d")
+        sched = s.drain()
+        assert set(sched.placements) == {"a", "c"}
+        s.validate()
+        assert [e["id"] for e in s.cancellations()] == ["b", "d"]
+
+    def test_cancel_running_or_done_is_too_late(self):
+        s = diamond_session()
+        s.advance(0.5)
+        assert s.cancel("a") == ()  # running
+        s.drain()
+        assert s.cancel("d") == ()  # done
+
+    def test_cancel_unknown_raises(self):
+        s = diamond_session()
+        with pytest.raises(KeyError):
+            s.cancel("nope")
+
+    def test_cancelled_predecessor_rejects_submission(self):
+        s = SchedulingSession([4])
+        s.submit([JobSpec("a", (1,), 1.0, release=1.0)])
+        s.cancel("a")
+        with pytest.raises(ValueError, match="was cancelled"):
+            s.submit([JobSpec("b", (1,), 1.0, preds=("a",))])
+
+    def test_cancel_frees_nothing_but_unblocks_queue_slot(self):
+        s = SchedulingSession([1])
+        s.submit([JobSpec("r", (1,), 1.0, release=2.0), JobSpec("x", (1,), 5.0)])
+        s.cancel("r")
+        sched = s.drain()
+        assert set(sched.placements) == {"x"}
+        s.validate()
+
+    def test_cancel_purges_pending_release_from_the_clock(self):
+        # a cancelled far-future arrival must not drag the session clock
+        s = SchedulingSession([4])
+        s.submit([JobSpec("a", (2,), 1.0), JobSpec("late", (1,), 1.0, release=1000.0)])
+        s.cancel("late")
+        s.drain()
+        assert s.now == 1.0  # the last completion, not the phantom release
+        s.advance(5.0)  # and time still moves forward normally
+        assert s.now == 5.0
+
+    def test_nan_priority_key_rejected(self):
+        # NaN would corrupt the sorted (key, index) queue order
+        s = SchedulingSession([4])
+        with pytest.raises(ValueError, match="key must be numeric"):
+            s.submit([JobSpec("a", (1,), 1.0, key=float("nan"))])
+        assert s.status()["jobs"] == 0
+
+
+class TestBatchIdentity:
+    """The acceptance criterion: faithful sessions == batch engine."""
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 5, 6])
+    @pytest.mark.parametrize("arrivals", ["offline", "poisson"])
+    def test_faithful_interleaving_identity(self, d, arrivals):
+        pool = ResourcePool.uniform(d, 8)
+        inst = random_instance("layered", 18, pool, seed=d).instance
+        if arrivals == "poisson":
+            inst = with_poisson_arrivals(inst, 2.0, seed=d)
+        alloc = fixed_allocation(inst, d)
+        batch = list_schedule(inst, alloc, fifo_priority)
+        session = drive_session_faithfully(inst, alloc, seed=17 * d, checkpoint=False,
+                                           batch=batch)
+        sched = session.to_schedule()
+        session.validate()
+        assert len(sched.placements) == inst.n
+        for j, p in batch.placements.items():
+            q = sched.placements[repr(j)]
+            assert (q.start, q.time, tuple(q.alloc)) == (p.start, p.time, tuple(p.alloc))
+
+    def test_single_shot_submit_equals_batch(self):
+        pool = ResourcePool.uniform(3, 8)
+        inst = random_instance("cholesky", 20, pool, seed=5).instance
+        alloc = fixed_allocation(inst, 3)
+        batch = list_schedule(inst, alloc, fifo_priority)
+        session = SchedulingSession(pool.capacities)
+        session.submit(service_specs(inst, alloc))
+        sched = session.drain()
+        assert {j: (p.start, p.time) for j, p in sched.placements.items()} == {
+            repr(j): (p.start, p.time) for j, p in batch.placements.items()
+        }
+
+
+class TestReentrantBatchLoops:
+    """priority_loop: stepping run(until) must equal one run() to completion."""
+
+    @pytest.mark.parametrize("d", [2, 5])
+    def test_stepped_run_matches_full_run(self, d):
+        pool = ResourcePool.uniform(d, 8)
+        inst = random_instance("layered", 16, pool, seed=2).instance
+        inst = with_poisson_arrivals(inst, 3.0, seed=2)
+        alloc = fixed_allocation(inst, d)
+        durations = {j: inst.time(j, alloc[j]) for j in inst.jobs}
+        keys = {j: i for i, j in enumerate(inst.dag.topological_order())}
+
+        full: dict = {}
+        loop = priority_loop(inst, alloc, keys, durations,
+                             lambda j, t, dur: full.__setitem__(j, (t, dur)))
+        assert loop.run() is True
+
+        stepped: dict = {}
+        loop2 = priority_loop(inst, alloc, keys, durations,
+                              lambda j, t, dur: stepped.__setitem__(j, (t, dur)))
+        steps = 0
+        while not loop2.run(until=loop2.next_time):
+            steps += 1
+            assert loop2.now <= loop2.next_time
+        assert steps > 1  # the stepping actually resumed mid-schedule
+        assert stepped == full
+        assert loop2.kernel.now == loop.kernel.now
+
+    def test_empty_instance_loop(self):
+        from repro.dag.graph import DAG
+        from repro.instance.instance import Instance
+
+        inst = Instance(jobs={}, dag=DAG(), pool=ResourcePool.uniform(2, 4))
+        loop = priority_loop(inst, {}, {}, {}, lambda *a: None)
+        assert loop.run() is True
+        assert loop.kernel.now == 0.0
+        assert tuple(loop.kernel.available) == (4, 4)

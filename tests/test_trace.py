@@ -10,6 +10,7 @@ from repro.instance.instance import with_poisson_arrivals
 from repro.jobs.candidates import full_grid
 from repro.sim.trace import (
     TRACE_VERSION,
+    cancellations_from_trace,
     schedule_from_trace,
     schedule_to_trace,
     trace_to_json,
@@ -38,7 +39,7 @@ class TestTrace:
         inst, sched = make_schedule(1)
         s = trace_to_json(sched)
         data = json.loads(s)
-        assert data["version"] == TRACE_VERSION == 2
+        assert data["version"] == TRACE_VERSION == 3
         rebuilt = schedule_from_trace(inst, s)
         assert rebuilt.makespan == pytest.approx(sched.makespan)
 
@@ -99,3 +100,47 @@ class TestTrace:
         trace["jobs"] = trace["jobs"][:-1]
         with pytest.raises(ValueError, match="cover"):
             schedule_from_trace(inst, trace)
+
+
+class TestTraceV3Cancellations:
+    def test_version2_traces_still_load(self):
+        inst, sched = make_schedule(5)
+        trace = schedule_to_trace(sched)
+        trace["version"] = 2  # a v2 archive: no cancelled list
+        rebuilt = schedule_from_trace(inst, trace)
+        assert rebuilt.placements == sched.placements
+        assert cancellations_from_trace(trace) == []
+
+    def test_cancellations_carried_and_extracted(self):
+        from repro.service.session import JobSpec, SchedulingSession
+
+        s = SchedulingSession([4])
+        s.submit(
+            [
+                JobSpec("run", (2,), 1.0),
+                JobSpec("drop", (1,), 1.0, release=5.0),
+            ]
+        )
+        s.cancel("drop")
+        s.drain()
+        trace = s.to_trace()
+        assert trace["version"] == 3
+        assert cancellations_from_trace(trace) == [{"id": "'drop'", "time": 0.0}]
+        # the loader rebuilds the completed placements, ignoring cancellations
+        sched = s.to_schedule()
+        rebuilt = schedule_from_trace(sched.instance, trace)
+        assert rebuilt.placements == sched.placements
+
+    def test_cancelled_and_placed_is_corrupt(self):
+        inst, sched = make_schedule(6)
+        placed = next(iter(sched.placements))
+        with pytest.raises(ValueError, match="also placed"):
+            schedule_to_trace(sched, cancellations=[{"id": placed, "time": 0.0}])
+        trace = schedule_to_trace(sched)
+        trace["cancelled"] = [{"id": repr(placed), "time": 0.0}]
+        with pytest.raises(ValueError, match="both cancelled and placed"):
+            schedule_from_trace(inst, trace)
+
+    def test_unknown_version_in_extractor(self):
+        with pytest.raises(ValueError, match="version"):
+            cancellations_from_trace({"version": 99})
