@@ -1,28 +1,41 @@
 """Service benchmark: sustained online-session throughput vs the batch engine.
 
 An open-loop Poisson client submits a rigid layered workload to a live
-:class:`~repro.service.session.SchedulingSession` — advance virtual time
-to the next arrival, submit, repeat, drain — while the same job set with
-the same arrival times runs through the batch compiled engine
-(:func:`~repro.core.list_scheduler.list_schedule`).  Because the client is
-submission-order-faithful (each job is submitted at its release), the two
-schedules must be identical event for event; the benchmark asserts that,
-plus strict validity, before timing anything.
+:class:`~repro.service.session.SchedulingSession` — draw a chunk of
+inter-arrival times from the session RNG, submit the chunk, advance
+virtual time to its last arrival, repeat, drain — while the same job set
+with the same arrival times runs through the batch compiled engine
+(:func:`~repro.core.list_scheduler.list_schedule`).  The client is
+submission-order-faithful (every job is submitted at or before its
+release, and releases gate starts), so the two schedules must be
+identical event for event; the benchmark asserts that, plus strict
+validity and that the session compacted mid-stream, before timing
+anything.
+
+The arrival rate is calibrated just under the workload's service rate
+(~0.95 utilization), the regime a long-lived scheduling service actually
+runs in: jobs flow through steadily, the live row count stays bounded,
+and periodic compaction genuinely archives finished work mid-stream
+rather than after the fact.
 
 The gated metric is ``session_vs_batch`` — the session's sustained jobs/s
 as a fraction of the batch engine's on the identical workload.  It is
 machine-relative (both sides run on the same host in the same process),
 so CI can gate it across hardware; the absolute ``service_throughput``
 jobs/s figure is reported informationally.  A third case replays the
-stream with a checkpoint → JSON → restore round-trip at the halfway
-point — the client's remaining arrivals are drawn from the *restored*
-session RNG, pinning the checkpoint's exact-resume guarantee (scheduler
-state and client stream both) under benchmark load.
+stream with a checkpoint → restore round trip at a chunk boundary past
+the halfway point — the client's remaining arrivals are drawn from the
+*restored* session RNG, pinning the checkpoint's exact-resume guarantee
+(scheduler state and client stream both) under benchmark load; its ratio
+is reported as ``session_vs_batch_checkpointed``.  The round trip goes
+through the in-memory checkpoint document and the hot restore path
+(``strict=False``: the stored ready queue is loaded directly, nothing is
+re-verified) — JSON (de)serialization of the same document is covered by
+the checkpoint tests, and the identity check here confirms the hot
+restore was exact.
 """
 
 from __future__ import annotations
-
-import json
 
 import numpy as np
 
@@ -34,53 +47,70 @@ from repro.instance.instance import with_release_times
 
 D = 4
 CAPACITY = 24
-ARRIVAL_RATE = 200.0
+#: Jobs per client round trip: one RNG draw, one submit, one advance.
+CHUNK = 64
+#: Poisson arrival rate (jobs/s of virtual time) per config, calibrated
+#: to ~0.95 of the measured batch service rate (quick 6x40 completes at
+#: ~1.93 jobs/s, full 10x200 at ~2.08) so the session runs at stable
+#: high utilization instead of an ever-growing backlog.
+ARRIVAL_RATE_QUICK = 1.8
+ARRIVAL_RATE_FULL = 2.0
+#: Session compaction floor per config — low enough that the stream
+#: compacts mid-run (quick keeps ~100 live rows, full ~500).
+COMPACT_MIN_ROWS_QUICK = 96
+COMPACT_MIN_ROWS_FULL = 512
 
 
-def _arrivals(order, seed: int) -> dict:
+def _arrivals(order, seed: int, rate: float) -> dict:
     """Cumulative exponential inter-arrivals in topological order — the
-    exact draws the open-loop client makes from the session RNG."""
+    exact draws the open-loop client makes from the session RNG (batched
+    ``Generator.exponential`` draws are stream-identical to sequential
+    scalar draws)."""
     rng = np.random.default_rng(seed)
     t = 0.0
     out = {}
     for j in order:
-        t += float(rng.exponential(1.0 / ARRIVAL_RATE))
+        t += float(rng.exponential(1.0 / rate))
         out[j] = t
     return out
 
 
-def _drive_open_loop(capacities, specs, seed: int):
-    """The open-loop Poisson client: advance to each arrival, submit, drain.
+def _drive_open_loop(
+    capacities,
+    specs,
+    seed: int,
+    rate: float,
+    min_rows: int,
+    *,
+    restore_at: int | None = None,
+):
+    """The open-loop Poisson client: batch-submit a chunk, advance, repeat.
 
-    Inter-arrival times are drawn from the session RNG (seeded like
-    :func:`_arrivals`), so a checkpointed client resumes the same stream.
+    Inter-arrival times come from the session RNG (seeded like
+    :func:`_arrivals`), one vectorized draw per chunk.  Submitting a chunk
+    ahead of its arrivals is still submission-order-faithful: the specs
+    carry the arrival times as releases, and releases gate starts, so the
+    event stream matches the one-job-at-a-time client exactly.  Advancing
+    with ``events=False`` polls the counters without materializing a
+    protocol dict per event, the embedded-client mode.  With
+    ``restore_at``, the session round-trips through the in-memory
+    checkpoint document and a hot restore (``strict=False``) at that
+    chunk boundary.
     """
-    from repro.service.session import SchedulingSession
-
-    session = SchedulingSession(capacities, seed=seed)
-    t = 0.0
-    for spec in specs:
-        t += float(session.rng.exponential(1.0 / ARRIVAL_RATE))
-        session.advance(t)
-        session.submit([spec])
-    session.drain()
-    return session
-
-
-def _drive_with_checkpoint(capacities, specs, seed: int):
-    """The same client, checkpoint → JSON → restored at the halfway point."""
     from repro.service.checkpoint import checkpoint_session, restore_session
     from repro.service.session import SchedulingSession
 
-    session = SchedulingSession(capacities, seed=seed)
-    half = len(specs) // 2
+    session = SchedulingSession(capacities, seed=seed, compact_min_rows=min_rows)
     t = 0.0
-    for k, spec in enumerate(specs):
-        if k == half:
-            session = restore_session(json.loads(json.dumps(checkpoint_session(session))))
-        t += float(session.rng.exponential(1.0 / ARRIVAL_RATE))
-        session.advance(t)
-        session.submit([spec])
+    n = len(specs)
+    for k in range(0, n, CHUNK):
+        if restore_at is not None and k == restore_at:
+            session = restore_session(checkpoint_session(session), strict=False)
+        chunk = specs[k:k + CHUNK]
+        for g in session.rng.exponential(1.0 / rate, size=len(chunk)).tolist():
+            t += g
+        session.submit(chunk)
+        session.advance(t, events=False)
     session.drain()
     return session
 
@@ -96,18 +126,22 @@ def service_benchmark(config: BenchConfig) -> BenchPlan:
     from repro.conformance.fuzz import service_specs
 
     layers, width = (6, 40) if config.quick else (10, 200)
+    rate = ARRIVAL_RATE_QUICK if config.quick else ARRIVAL_RATE_FULL
+    min_rows = COMPACT_MIN_ROWS_QUICK if config.quick else COMPACT_MIN_ROWS_FULL
     inst, alloc = rigid_layered(
         layers, width, d=D, capacity=CAPACITY, seed=config.seed, edge_prob=0.15
     )
     order = inst.dag.topological_order()
-    arrivals = _arrivals(order, config.seed)
+    arrivals = _arrivals(order, config.seed, rate)
     online = with_release_times(inst, arrivals)
     # the shared (instance, allocation) -> JobSpec lowering the conformance
     # service family uses; releases come from the online instance
     specs = service_specs(online, alloc)
     capacities = inst.pool.capacities
     n = inst.n
-    repeats = 3
+    repeats = 5
+    # restore at the first chunk boundary past the halfway point
+    restore_at = ((n // 2 + CHUNK - 1) // CHUNK) * CHUNK
 
     cases = [
         BenchCase(
@@ -119,16 +153,19 @@ def service_benchmark(config: BenchConfig) -> BenchPlan:
         ),
         BenchCase(
             name="session:open_loop",
-            fn=lambda: _drive_open_loop(capacities, specs, config.seed),
+            fn=lambda: _drive_open_loop(capacities, specs, config.seed, rate, min_rows),
             repeats=repeats,
             warmup=1,
             metrics=lambda value, seconds: {"jobs_per_sec": n / seconds},
         ),
         BenchCase(
             name="session:checkpointed",
-            fn=lambda: _drive_with_checkpoint(capacities, specs, config.seed),
-            repeats=1,
-            warmup=0,
+            fn=lambda: _drive_open_loop(
+                capacities, specs, config.seed, rate, min_rows,
+                restore_at=restore_at,
+            ),
+            repeats=repeats,
+            warmup=1,
             metrics=lambda value, seconds: {"jobs_per_sec": n / seconds},
         ),
     ]
@@ -158,14 +195,22 @@ def service_benchmark(config: BenchConfig) -> BenchPlan:
                 len(sched.placements) == n,
                 f"completed {len(sched.placements)} of {n}",
             )
+            c.check(
+                f"{label}:compacted",
+                session.compactions >= 1,
+                "session must compact at least once under benchmark load "
+                f"(compactions={session.compactions})",
+            )
         return c.results
 
     def derived(by_name):
         batch = by_name["batch:compiled"]
         session = by_name["session:open_loop"]
+        ckpt = by_name["session:checkpointed"]
         return {
             "service_throughput": session.metrics["jobs_per_sec"],
             "session_vs_batch": batch.seconds / session.seconds,
+            "session_vs_batch_checkpointed": batch.seconds / ckpt.seconds,
         }
 
     def tables(by_name):
@@ -182,14 +227,16 @@ def service_benchmark(config: BenchConfig) -> BenchPlan:
                 name="service",
                 title=(
                     f"Online session vs batch engine ({layers}x{width} rigid "
-                    f"layered DAG, d={D}, Poisson rate {ARRIVAL_RATE:g})"
+                    f"layered DAG, d={D}, Poisson rate {rate:g}, ~0.95 "
+                    "utilization)"
                 ),
                 rows=rows,
                 precision=4,
                 footer=(
-                    "Schedules asserted identical event for event; the "
-                    "checkpointed driver restores mid-stream from a JSON "
-                    "snapshot (scheduler state + client RNG)."
+                    "Schedules asserted identical event for event, through "
+                    "mid-stream compaction; the checkpointed driver restores "
+                    "from the in-memory checkpoint document (scheduler state "
+                    "+ client RNG) via the strict=False hot path."
                 ),
             )
         ]
@@ -199,9 +246,16 @@ def service_benchmark(config: BenchConfig) -> BenchPlan:
         checks=checks,
         derived=derived,
         tables=tables,
-        # the ratio pits python-tuple dispatch against the SWAR batch loop,
-        # whose relative speed swings more across hosts than the engine
-        # benchmark's like-for-like ratio — gate with extra headroom so CI
-        # catches real regressions (2x+) without flaking on runner noise
-        gates=[Gate("session_vs_batch", direction="higher", max_regression=0.50)],
+        # the session runs the same array-native dispatch as the batch
+        # loop and batch-lowers whole chunks, so the ratio sits close to
+        # 1 and is steadier across hosts than the old python-tuple
+        # dispatch was — gate both ratios tightly
+        gates=[
+            Gate("session_vs_batch", direction="higher", max_regression=0.20),
+            Gate(
+                "session_vs_batch_checkpointed",
+                direction="higher",
+                max_regression=0.20,
+            ),
+        ],
     )

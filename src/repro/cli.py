@@ -120,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "fail the run")
     be.add_argument("--list", action="store_true", dest="list_only",
                     help="list registered benchmarks and exit")
+    be.add_argument("--profile", metavar="NAME", default=None,
+                    help="run one registered benchmark under cProfile and "
+                         "print the top 25 functions by cumulative time "
+                         "(no document emission or gating)")
 
     fz = sub.add_parser(
         "fuzz",
@@ -183,12 +187,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="...or once the oldest has waited this long "
                          "(default 0.05s); whichever comes first")
     sv.add_argument("--restore", metavar="FILE", default=None,
-                    help="resume from a repro-session/1 checkpoint")
+                    help="resume from a repro-session/2 (or legacy /1) "
+                         "checkpoint")
     sv.add_argument("--trace", metavar="FILE", default=None,
                     help="write the session trace (v3, cancellations "
                          "included) on shutdown")
     sv.add_argument("--seed", type=int, default=0,
                     help="session RNG seed (stochastic clients)")
+    sv.add_argument("--compact-threshold", type=float, default=None,
+                    metavar="FRACTION",
+                    help="archive finished rows once this fraction of the "
+                         "live table is dead (session default 0.5; 0 or "
+                         "negative disables compaction; overrides a "
+                         "restored checkpoint's setting when given)")
+    sv.add_argument("--compact-min-rows", type=int, default=None,
+                    metavar="N",
+                    help="never compact below this many live rows "
+                         "(session default 512; overrides a restored "
+                         "checkpoint's setting when given)")
 
     return p
 
@@ -252,6 +268,30 @@ def _cmd_bench(args) -> int:
         return 0
 
     registered = [s.name for s in benchmark_specs()]
+    if args.profile is not None:
+        if args.profile not in registered:
+            print(f"error: unknown benchmark {args.profile!r}; registered: "
+                  f"{', '.join(registered)}", file=sys.stderr)
+            return 2
+        import cProfile
+        import pstats
+
+        quick = args.quick or os.environ.get("REPRO_BENCH_QUICK") == "1"
+        config = BenchConfig(quick=quick, seed=args.seed)
+        label = "quick" if quick else "full"
+        print(f"bench: profiling {args.profile} ({label} config, "
+              f"seed {args.seed})", flush=True)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        records = run_benchmarks([args.profile], config)
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+        failed = failed_checks(records)
+        for name, check in failed:
+            detail = f": {check['detail']}" if check["detail"] else ""
+            print(f"  CHECK FAILED {name}:{check['name']}{detail}")
+        return 1 if failed else 0
+
     names = [s.name for s in benchmark_specs(kind=args.kind)]
     if args.only is not None:
         unknown = set(args.only) - set(registered)
@@ -444,18 +484,38 @@ def _cmd_serve(args) -> int:
         write_trace,
     )
 
+    # None = "not given": fresh sessions use the SchedulingSession
+    # defaults, restored sessions keep their checkpoint's settings
+    compact_kw = {}
+    if args.compact_threshold is not None:
+        ct = None if args.compact_threshold <= 0 else args.compact_threshold
+        if ct is not None and ct > 1.0:
+            print(f"error: --compact-threshold must be <= 1, got {ct}",
+                  file=sys.stderr)
+            return 2
+        compact_kw["compact_threshold"] = ct
+    if args.compact_min_rows is not None:
+        if args.compact_min_rows < 1:
+            print("error: --compact-min-rows must be >= 1, got "
+                  f"{args.compact_min_rows}", file=sys.stderr)
+            return 2
+        compact_kw["compact_min_rows"] = args.compact_min_rows
     if args.restore:
         try:
             session = load_session(args.restore)
         except (OSError, json.JSONDecodeError, ValueError) as exc:
             print(f"error: cannot restore {args.restore}: {exc}", file=sys.stderr)
             return 2
+        if "compact_threshold" in compact_kw:
+            session.compact_threshold = compact_kw["compact_threshold"]
+        if "compact_min_rows" in compact_kw:
+            session.compact_min_rows = int(compact_kw["compact_min_rows"])
         print(f"serve: resumed {len(session.gi.order)} job(s) at clock "
               f"{session.now:g} from {args.restore}", file=sys.stderr)
     else:
         caps = args.capacities if args.capacities else [args.capacity] * args.d
         try:
-            session = SchedulingSession(caps, seed=args.seed)
+            session = SchedulingSession(caps, seed=args.seed, **compact_kw)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -61,7 +61,6 @@ in the differential tests.
 from __future__ import annotations
 
 import heapq
-from bisect import insort
 from typing import Callable, Hashable, Mapping, Sequence
 
 import numpy as np
@@ -485,8 +484,18 @@ class GeneralPriorityLoop:
             else:
                 new_ranks = None
             if new_ranks is not None and new_ranks.size:
+                # parallel-buffer block insert (the packed path's merge):
+                # one searchsorted + two scatters instead of np.insert's
+                # O(queue) per-entry memmove — keeps deep DAGs linear
                 new_ranks.sort()
-                q = np.insert(q, np.searchsorted(q, new_ranks), new_ranks)
+                nk = new_ranks.size
+                idx = q.searchsorted(new_ranks) + np.arange(nk)
+                merged = np.empty(q.size + nk, dtype=np.int64)
+                mask = np.ones(q.size + nk, dtype=bool)
+                mask[idx] = False
+                merged[idx] = new_ranks
+                merged[mask] = q
+                q = merged
                 state["q"] = q
 
             if not q.size:
@@ -569,14 +578,26 @@ class IncrementalPriorityLoop:
     """Algorithm 2's discipline over a growing job set, resumable.
 
     The online form of the priority loops above: jobs are admitted with
-    :meth:`admit` *at any point* — including between :meth:`run` calls
-    with the clock mid-schedule — and not-yet-started jobs can be
-    cancelled.  The ready queue is a list sorted by ``(key, index)``
-    (python tuple order), the exact total order the batch rank lowering
-    realizes, and event batching anchors on the first popped event with
-    the same ``time_eps`` horizon, so an admission pattern that presents
-    every job before the clock reaches its batch start time reproduces
-    the batch schedule event for event.
+    :meth:`admit` / :meth:`admit_batch` *at any point* — including between
+    :meth:`run` calls with the clock mid-schedule — and not-yet-started
+    jobs can be cancelled.  The ready queue is array-native in the style
+    of :class:`PackedPriorityLoop`'s rank buffers: parallel sorted buffers
+    of float64 key images, int64 row indices and (on packable platforms)
+    packed uint64 demands, maintained incrementally with
+    ``searchsorted``-based block insertion.  Lexicographic ``(key image,
+    index)`` over the buffers is *exactly* the ``(key, index)`` total
+    order the batch rank lowering realizes — keys are validated to be
+    exactly float64-representable at submission, so the image is an order
+    isomorphism — and event batching anchors on the first popped event
+    with the same ``time_eps`` horizon.  A session driven
+    submission-order-faithfully therefore reproduces the batch schedule
+    event for event (the conformance service family asserts this at every
+    step, including through :meth:`compact`).
+
+    Instead of per-event callbacks, the loop appends event tuples to
+    :attr:`log` (shared with the owning session): ``("start", id, t,
+    duration, demand)`` and ``("finish", id, t)`` — ids, not row indices,
+    so records stay valid across compactions.
 
     Heap codes: ``code >= 0`` is the completion of job index ``code``;
     ``code < 0`` is the release of index ``~code`` (the bitwise-complement
@@ -585,16 +606,16 @@ class IncrementalPriorityLoop:
     """
 
     __slots__ = (
-        "gi", "now", "eps", "heap", "seq", "state", "remaining", "ready",
-        "start", "finish", "avh", "avail", "on_start", "on_complete",
+        "gi", "now", "eps", "heap", "seq", "state", "remaining",
+        "start", "finish", "avh", "avail", "log", "ncompleted",
+        "rk", "ri", "rp", "sk", "si", "sp", "L",
     )
 
     def __init__(
         self,
         gi,
         *,
-        on_start: Callable[[JobId, float, float], None] | None = None,
-        on_complete: Callable[[JobId, float], None] | None = None,
+        log: list | None = None,
         time_eps: float = TIME_EPS,
     ) -> None:
         self.gi = gi
@@ -604,15 +625,24 @@ class IncrementalPriorityLoop:
         self.seq = 0
         self.state: list[int] = []
         self.remaining: list[int] = []
-        self.ready: list[tuple[object, int]] = []  # sorted by (key, index)
         self.start: list[float | None] = []
         self.finish: list[float | None] = []
         # availability: packed with headroom pre-added (packable) and the
         # per-type vector (authoritative in general mode, derived otherwise)
         self.avh = gi.packed_capacities + gi.fit_mask
         self.avail = list(gi.capacities)
-        self.on_start = on_start
-        self.on_complete = on_complete
+        self.log: list[tuple] = log if log is not None else []
+        self.ncompleted = 0  # lifetime completions (survives compaction)
+        # the ready queue: parallel sorted-by-(key, index) buffers plus
+        # spares for the batched insertion merge; L is the live length
+        cap = 16
+        self.rk = np.empty(cap, dtype=np.float64)
+        self.ri = np.empty(cap, dtype=np.int64)
+        self.rp = np.empty(cap, dtype=np.uint64)
+        self.sk = np.empty(cap, dtype=np.float64)
+        self.si = np.empty(cap, dtype=np.int64)
+        self.sp = np.empty(cap, dtype=np.uint64)
+        self.L = 0
 
     # ------------------------------------------------------------------
     @property
@@ -631,39 +661,210 @@ class IncrementalPriorityLoop:
             return tuple((av >> (PACK_BITS * r)) & field for r in range(self.gi.d))
         return tuple(self.avail)
 
+    def ready_items(self) -> list[tuple[object, int]]:
+        """The ready queue as ``(key, index)`` tuples in dispatch order —
+        by construction the sorted ``(key, index)`` list of queued jobs
+        (the PR-5 ``insort`` representation; tests and checkpoints pin the
+        buffers to it)."""
+        key = self.gi.key
+        return [(key[i], i) for i in self.ri[:self.L].tolist()]
+
+    # ------------------------------------------------------------------
+    # ready-queue maintenance
+    # ------------------------------------------------------------------
+    def _reserve(self, need: int) -> None:
+        cap = self.rk.shape[0]
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        for name in ("rk", "ri", "rp", "sk", "si", "sp"):
+            buf = getattr(self, name)
+            new = np.empty(cap, dtype=buf.dtype)
+            new[:self.L] = buf[:self.L]
+            setattr(self, name, new)
+
+    def _position(self, k: float, i: int) -> int:
+        """Insertion position of ``(k, i)`` in the lexicographic order."""
+        L = self.L
+        rk = self.rk
+        lo = int(rk[:L].searchsorted(k, side="left"))
+        hi = int(rk[:L].searchsorted(k, side="right"))
+        if lo == hi:
+            return lo
+        return lo + int(self.ri[lo:hi].searchsorted(i))
+
+    def _push_ready(self, i: int) -> None:
+        """Insert one queued row: binary search plus one block move."""
+        L = self.L
+        self._reserve(L + 1)
+        gi = self.gi
+        k = float(gi.key[i])
+        p = self._position(k, i)
+        rk = self.rk
+        ri = self.ri
+        rk[p + 1:L + 1] = rk[p:L]
+        rk[p] = k
+        ri[p + 1:L + 1] = ri[p:L]
+        ri[p] = i
+        if gi.packable:
+            rp = self.rp
+            rp[p + 1:L + 1] = rp[p:L]
+            rp[p] = gi.packed[i]
+        self.L = L + 1
+
+    def _push_ready_block(self, items: list[int]) -> None:
+        """Insert a batch of queued rows with one searchsorted merge."""
+        k = len(items)
+        if k == 1:
+            self._push_ready(items[0])
+            return
+        L = self.L
+        self._reserve(L + k)
+        gi = self.gi
+        key = gi.key
+        bi = np.asarray(items, dtype=np.int64)
+        bk = np.array([float(key[i]) for i in items], dtype=np.float64)
+        srt = np.lexsort((bi, bk))
+        bi = bi[srt]
+        bk = bk[srt]
+        rk = self.rk
+        ri = self.ri
+        pos = rk[:L].searchsorted(bk, side="left")
+        hi = rk[:L].searchsorted(bk, side="right")
+        ties = np.flatnonzero(pos != hi)
+        for t in ties.tolist():
+            lo = int(pos[t])
+            pos[t] = lo + int(ri[lo:int(hi[t])].searchsorted(int(bi[t])))
+        idx = pos + np.arange(k)
+        total = L + k
+        mask = np.ones(total, dtype=bool)
+        mask[idx] = False
+        vk = self.sk[:total]
+        vi = self.si[:total]
+        vk[idx] = bk
+        vk[mask] = rk[:L]
+        vi[idx] = bi
+        vi[mask] = ri[:L]
+        self.rk, self.sk = self.sk, self.rk
+        self.ri, self.si = self.si, self.ri
+        if gi.packable:
+            packed = gi.packed
+            vp = self.sp[:total]
+            vp[idx] = np.array([packed[i] for i in bi.tolist()], dtype=np.uint64)
+            vp[mask] = self.rp[:L]
+            self.rp, self.sp = self.sp, self.rp
+        self.L = total
+
+    def _pop_ready(self, i: int) -> None:
+        """Remove row ``i`` from the ready queue (cancellation path)."""
+        L = self.L
+        p = self._position(float(self.gi.key[i]), i)
+        if not (p < L and self.ri[p] == i):  # pragma: no cover - defensive
+            raise RuntimeError(f"ready queue lost row {i}")
+        rk = self.rk
+        ri = self.ri
+        rk[p:L - 1] = rk[p + 1:L]
+        ri[p:L - 1] = ri[p + 1:L]
+        if self.gi.packable:
+            self.rp[p:L - 1] = self.rp[p + 1:L]
+        self.L = L - 1
+
+    def load_ready(self, items: Sequence[int]) -> None:
+        """Restore the ready queue from stored row indices (already in
+        dispatch order) — the checkpoint hot-restore path: no rebuild from
+        per-job states, just a bulk gather of the key/packed images."""
+        k = len(items)
+        self.L = 0
+        self._reserve(k)
+        gi = self.gi
+        key = gi.key
+        idx = np.asarray(items, dtype=np.int64) if k else _EMPTY_QUEUE
+        self.ri[:k] = idx
+        self.rk[:k] = np.array([float(key[i]) for i in items], dtype=np.float64)
+        if gi.packable:
+            packed = gi.packed
+            self.rp[:k] = np.array([packed[i] for i in items], dtype=np.uint64)
+        self.L = k
+
     # ------------------------------------------------------------------
     def admit(self, i: int) -> None:
         """Register appended row ``i`` with the loop (once, in row order).
 
         Readiness counts predecessors not yet completed plus — when the
         job's release lies in the future — one virtual release
-        predecessor whose event is pushed on the heap.
+        predecessor.  The release event is only pushed on the heap when
+        it is the *last* outstanding predecessor (here, or later when the
+        final real predecessor completes): a release that fires while
+        real predecessors are still pending could neither queue the job
+        nor free capacity, so deferring it keeps those no-op events (and
+        their dispatch passes) off the heap entirely.
         """
-        gi = self.gi
         if i != len(self.state):
             raise ValueError(f"admit out of order: row {i}, expected {len(self.state)}")
-        rem = 0
-        for p in gi.preds[i]:
-            st = self.state[p]
-            if st == J_CANCELLED:
-                raise ValueError(
-                    f"job {gi.order[i]!r} depends on cancelled job {gi.order[p]!r}"
-                )
-            if st != J_DONE:
-                rem += 1
-        r = gi.release[i]
-        if r > self.now:
-            rem += 1  # the release acts as one extra virtual predecessor
-            heapq.heappush(self.heap, (r, self.seq, ~i))
-            self.seq += 1
-        self.remaining.append(rem)
-        self.start.append(None)
-        self.finish.append(None)
-        if rem == 0:
-            self.state.append(J_QUEUED)
-            insort(self.ready, (gi.key[i], i))
-        else:
-            self.state.append(J_WAITING)
+        self.admit_batch(i)
+
+    def admit_batch(self, lo: int, rem_counts: "Sequence[int] | None" = None) -> None:
+        """Register every appended row from ``lo`` to the end of the
+        instance — the vectorized batch-admission entry point: readiness
+        is counted per row, but all newly queued rows enter the ready
+        buffers through one block insertion.
+
+        ``rem_counts`` optionally supplies the per-row count of
+        not-yet-completed predecessors (the session's ``submit`` already
+        walks every predecessor to resolve ids, so it passes the counts
+        along rather than having this method re-scan the rows).
+        """
+        gi = self.gi
+        state = self.state
+        remaining = self.remaining
+        n = len(gi.order)
+        if lo != len(state):
+            raise ValueError(
+                f"admit out of order: row {lo}, expected {len(state)}"
+            )
+        now = self.now
+        heap = self.heap
+        seq = self.seq
+        push = heapq.heappush
+        newly: list[int] = []
+        preds = gi.preds
+        release = gi.release
+        self.start.extend([None] * (n - lo))
+        self.finish.extend([None] * (n - lo))
+        for i in range(lo, n):
+            if rem_counts is not None:
+                rem = rem_counts[i - lo]
+            else:
+                rem = 0
+                for p in preds[i]:
+                    st = state[p]
+                    if st != J_DONE:
+                        if st == J_CANCELLED:
+                            raise ValueError(
+                                f"job {gi.order[i]!r} depends on cancelled job "
+                                f"{gi.order[p]!r}"
+                            )
+                        rem += 1
+            if rem == 0:
+                if release[i] > now:
+                    # the release is the one outstanding virtual predecessor
+                    push(heap, (release[i], seq, ~i))
+                    seq += 1
+                    remaining.append(1)
+                    state.append(J_WAITING)
+                else:
+                    remaining.append(0)
+                    state.append(J_QUEUED)
+                    newly.append(i)
+            else:
+                # future release deferred: the last completing predecessor
+                # pushes the release event if it is still in the future then
+                remaining.append(rem)
+                state.append(J_WAITING)
+        self.seq = seq
+        if newly:
+            self._push_ready_block(newly)
 
     def cancel(self, i: int) -> bool:
         """Cancel job index ``i`` if it has not started; returns success.
@@ -678,7 +879,7 @@ class IncrementalPriorityLoop:
         if st == J_CANCELLED:
             return True
         if st == J_QUEUED:
-            self.ready.remove((self.gi.key[i], i))
+            self._pop_ready(i)
         elif self.gi.release[i] > self.now:
             # purge the pending release event: a leftover entry would drag
             # the clock out to the cancelled job's release on drain
@@ -690,78 +891,161 @@ class IncrementalPriorityLoop:
         self.state[i] = J_CANCELLED
         return True
 
+    def compact(self, keep: Sequence[int], old2new: np.ndarray) -> None:
+        """Remap the loop's parallel state after the instance compacted.
+
+        ``keep``/``old2new`` come from
+        :meth:`~repro.instance.compiled.GrowableCompiledInstance.compact`.
+        Every heap code and ready entry references a live (kept) row —
+        completions point at running jobs, releases at waiting ones, the
+        ready queue at queued ones — and ``old2new`` is increasing on
+        survivors, so remapping indices preserves both the heap order
+        (codes don't participate in it) and the ready queue's
+        ``(key, index)`` order.
+        """
+        state = self.state
+        self.state = [state[i] for i in keep]
+        remaining = self.remaining
+        self.remaining = [remaining[i] for i in keep]
+        start = self.start
+        self.start = [start[i] for i in keep]
+        finish = self.finish
+        self.finish = [finish[i] for i in keep]
+        L = self.L
+        if L:
+            self.ri[:L] = old2new[self.ri[:L]]
+        o2n = old2new.tolist()
+        self.heap = [
+            (t, s, o2n[c] if c >= 0 else ~o2n[~c]) for (t, s, c) in self.heap
+        ]
+
     # ------------------------------------------------------------------
-    def _start_job(self, i: int, now: float) -> None:
-        self.state[i] = J_RUNNING
-        self.start[i] = now
-        t = self.gi.duration[i]
-        heapq.heappush(self.heap, (now + t, self.seq, i))
-        self.seq += 1
-        if self.on_start is not None:
-            self.on_start(self.gi.order[i], now, t)
-
-    def _mark_ready(self, i: int) -> None:
-        self.state[i] = J_QUEUED
-        insort(self.ready, (self.gi.key[i], i))
-
     def run(self, until: float | None = None) -> bool:
         """Dispatch and process events up to ``until`` (see the batch loops).
 
         Returns ``True`` when the event heap is empty after the final
         dispatch pass — queued jobs may remain only if the platform can
         never fit them concurrently with nothing running, which
-        :meth:`admit`'s bounds validation rules out, so an empty heap
-        means every admitted, uncancelled job has completed.
+        admission's bounds validation rules out, so an empty heap means
+        every admitted, uncancelled job has completed.
         """
+        # load the loop state into locals, PackedPriorityLoop-style: the
+        # per-event path below is the hot loop the service benchmark times
         gi = self.gi
         packable = gi.packable
         heap = self.heap
-        ready = self.ready
         state = self.state
         remaining = self.remaining
+        start_l = self.start
+        finish_l = self.finish
+        packed = gi.packed
+        demand = gi.demand
+        dur = gi.duration
+        order = gi.order
+        key = gi.key
+        succ = gi.succ
+        release_a = gi.release
+        log = self.log
+        append_log = log.append
+        ncompleted = self.ncompleted
         H = gi.fit_mask
+        H_u = np.uint64(H)
+        uint64 = np.uint64
+        avh = self.avh
         eps = self.eps
         now = self.now
+        seq = self.seq
+        rk = self.rk
+        ri = self.ri
+        rp = self.rp
+        L = self.L
         pop = heapq.heappop
+        push = heapq.heappush
+        done = False
+        # The pass below leaves only non-fitting jobs in the ready queue,
+        # and availability only grows on completions — so between passes
+        # the invariant "no queued job fits the current availability"
+        # holds, and an event batch with no completion cannot make an
+        # *old* queued job startable.  need_pass tracks exactly that.
+        need_pass = True
 
         while True:
             # ------------------------- dispatch pass -------------------------
-            if ready:
+            if need_pass and L:
                 started: list[int] | None = None
                 if packable:
-                    avh = self.avh
-                    packed = gi.packed
-                    for pos, (_, i) in enumerate(ready):
-                        a = packed[i]
-                        if (avh - a) & H == H:
-                            avh -= a
-                            self._start_job(i, now)
-                            if started is None:
-                                started = [pos]
-                            else:
-                                started.append(pos)
-                    self.avh = avh
+                    if L <= 8:
+                        # short queue (the steady-state service regime):
+                        # a python scan beats the fixed cost of the numpy
+                        # machinery below, and the sequential packed test
+                        # is exactly the vector pass (availability only
+                        # shrinks, so snapshot-hits + recheck == in-order
+                        # scan against the current availability)
+                        for pos, i in enumerate(ri[:L].tolist()):
+                            a = packed[i]
+                            if (avh - a) & H == H:
+                                avh -= a
+                                state[i] = J_RUNNING
+                                start_l[i] = now
+                                t = dur[i]
+                                push(heap, (now + t, seq, i))
+                                seq += 1
+                                append_log(("start", order[i], now, t, demand[i]))
+                                if started is None:
+                                    started = [pos]
+                                else:
+                                    started.append(pos)
+                    else:
+                        # whole-queue feasibility: one SWAR comparison over
+                        # uint64s
+                        hits = (((uint64(avh) - rp[:L]) & H_u) == H_u).nonzero()[0]
+                        for pos, i in zip(hits.tolist(), ri[hits].tolist()):
+                            a = packed[i]
+                            if (avh - a) & H == H:  # availability shrinks
+                                avh -= a
+                                state[i] = J_RUNNING
+                                start_l[i] = now
+                                t = dur[i]
+                                push(heap, (now + t, seq, i))
+                                seq += 1
+                                append_log(("start", order[i], now, t, demand[i]))
+                                if started is None:
+                                    started = [pos]
+                                else:
+                                    started.append(pos)
                 else:
                     av = self.avail
-                    for pos, (_, i) in enumerate(ready):
-                        dem = gi.demand[i]
+                    for pos, i in enumerate(ri[:L].tolist()):
+                        dem = demand[i]
                         if all(x <= y for x, y in zip(dem, av)):
                             for r, x in enumerate(dem):
                                 av[r] -= x
-                            self._start_job(i, now)
+                            state[i] = J_RUNNING
+                            start_l[i] = now
+                            t = dur[i]
+                            push(heap, (now + t, seq, i))
+                            seq += 1
+                            append_log(("start", order[i], now, t, dem))
                             if started is None:
                                 started = [pos]
                             else:
                                 started.append(pos)
                 if started is not None:
-                    for pos in reversed(started):
-                        del ready[pos]
+                    if len(started) == L:
+                        L = 0
+                    else:
+                        for p in reversed(started):
+                            rk[p:L - 1] = rk[p + 1:L]
+                            ri[p:L - 1] = ri[p + 1:L]
+                            if packable:
+                                rp[p:L - 1] = rp[p + 1:L]
+                            L -= 1
+            need_pass = False
             if not heap:
-                self.now = now
-                return True
+                done = True
+                break
             if until is not None and heap[0][0] > until:
-                self.now = now
-                return False
+                break
             # -------------------------- event batch --------------------------
             t0, _, c = pop(heap)
             now = t0
@@ -769,6 +1053,8 @@ class IncrementalPriorityLoop:
             batch = [c]
             while heap and heap[0][0] <= horizon:
                 batch.append(pop(heap)[2])
+            newly: list[int] | None = None
+            freed = False
             for c in batch:
                 if c < 0:  # release event: one virtual predecessor satisfied
                     i = ~c
@@ -777,26 +1063,128 @@ class IncrementalPriorityLoop:
                     m = remaining[i] - 1
                     remaining[i] = m
                     if not m and state[i] == J_WAITING:
-                        self._mark_ready(i)
+                        state[i] = J_QUEUED
+                        if newly is None:
+                            newly = [i]
+                        else:
+                            newly.append(i)
                     continue
                 i = c
+                freed = True
                 state[i] = J_DONE
-                self.finish[i] = now
+                finish_l[i] = now
+                ncompleted += 1
                 if packable:
-                    self.avh += gi.packed[i]
+                    avh += packed[i]
                 else:
                     av = self.avail
-                    for r, x in enumerate(gi.demand[i]):
+                    for r, x in enumerate(demand[i]):
                         av[r] += x
-                if self.on_complete is not None:
-                    self.on_complete(gi.order[i], now)
-                for s in gi.succ[i]:
+                append_log(("finish", order[i], now))
+                for s in succ[i]:
                     if state[s] != J_WAITING:
                         continue
                     m = remaining[s] - 1
-                    remaining[s] = m
-                    if not m:
-                        self._mark_ready(s)
+                    if m:
+                        remaining[s] = m
+                        continue
+                    r = release_a[s]
+                    if r > now:
+                        # deferred release: now that the last real
+                        # predecessor finished, it becomes the one
+                        # outstanding virtual predecessor
+                        remaining[s] = 1
+                        push(heap, (r, seq, ~s))
+                        seq += 1
+                        continue
+                    remaining[s] = 0
+                    state[s] = J_QUEUED
+                    if newly is None:
+                        newly = [s]
+                    else:
+                        newly.append(s)
+            if freed:
+                need_pass = True
+            elif newly is not None:
+                # Release-only batch: no capacity was freed, so by the
+                # invariant no *old* queued job became startable — only
+                # the newly released jobs need a fit test.  Scan them in
+                # (key, index) order (the order the full pass would reach
+                # them in, old jobs being guaranteed misses) and start
+                # the fits in place; only the leftovers touch the queue.
+                if len(newly) > 1:
+                    newly.sort(key=lambda s, _k=key: (_k[s], s))
+                leftovers: list[int] | None = None
+                if packable:
+                    for i in newly:
+                        a = packed[i]
+                        if (avh - a) & H == H:
+                            avh -= a
+                            state[i] = J_RUNNING
+                            start_l[i] = now
+                            t = dur[i]
+                            push(heap, (now + t, seq, i))
+                            seq += 1
+                            append_log(("start", order[i], now, t, demand[i]))
+                        elif leftovers is None:
+                            leftovers = [i]
+                        else:
+                            leftovers.append(i)
+                else:
+                    av = self.avail
+                    for i in newly:
+                        dem = demand[i]
+                        if all(x <= y for x, y in zip(dem, av)):
+                            for r, x in enumerate(dem):
+                                av[r] -= x
+                            state[i] = J_RUNNING
+                            start_l[i] = now
+                            t = dur[i]
+                            push(heap, (now + t, seq, i))
+                            seq += 1
+                            append_log(("start", order[i], now, t, dem))
+                        elif leftovers is None:
+                            leftovers = [i]
+                        else:
+                            leftovers.append(i)
+                newly = leftovers
+            if newly is not None:
+                if len(newly) == 1:
+                    # inline single insertion on the loaded locals
+                    i = newly[0]
+                    k = float(key[i])
+                    lo = int(rk[:L].searchsorted(k, side="left"))
+                    hi_p = int(rk[:L].searchsorted(k, side="right"))
+                    p = lo if lo == hi_p else lo + int(ri[lo:hi_p].searchsorted(i))
+                    if L == rk.shape[0]:
+                        self.L = L
+                        self._reserve(L + 1)
+                        rk = self.rk
+                        ri = self.ri
+                        rp = self.rp
+                    rk[p + 1:L + 1] = rk[p:L]
+                    rk[p] = k
+                    ri[p + 1:L + 1] = ri[p:L]
+                    ri[p] = i
+                    if packable:
+                        rp[p + 1:L + 1] = rp[p:L]
+                        rp[p] = packed[i]
+                    L += 1
+                else:
+                    self.L = L
+                    self._push_ready_block(newly)
+                    rk = self.rk
+                    ri = self.ri
+                    rp = self.rp
+                    L = self.L
+
+        # store the loop state back
+        self.avh = avh
+        self.seq = seq
+        self.now = now
+        self.ncompleted = ncompleted
+        self.L = L
+        return done
 
     def advance_clock(self, until: float) -> None:
         """Move the clock forward to ``until`` with no events in between

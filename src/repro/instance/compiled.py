@@ -474,11 +474,20 @@ class GrowableCompiledInstance:
       keys must be mutually comparable (the service protocol uses floats);
     * demand rows are validated against the capacities at append time, so
       the dispatch loop's admission test never sees an infeasible row.
+
+    **Compaction.**  Long-lived sessions accumulate rows for jobs that are
+    finished or cancelled; :meth:`compact` rebuilds the contiguous layout
+    over a surviving subset, preserving relative order (so the ``(key,
+    index)`` total order over survivors is unchanged) and returning the
+    old→new index mapping for the owner to remap its own structures.
+    Predecessors that were dropped are recorded by *id* in
+    :attr:`ext_preds` — they were satisfied before being dropped, so the
+    surviving row owes them no readiness bookkeeping, only provenance.
     """
 
     __slots__ = (
         "d", "capacities", "packable", "fit_mask", "packed_capacities",
-        "order", "index", "succ", "preds", "demand", "packed",
+        "order", "index", "succ", "preds", "ext_preds", "demand", "packed",
         "duration", "key", "release",
     )
 
@@ -493,6 +502,7 @@ class GrowableCompiledInstance:
         self.index: dict[JobId, int] = {}     # id -> topological index
         self.succ: list[list[int]] = []       # successor indices per job
         self.preds: list[tuple[int, ...]] = []  # predecessor indices per job
+        self.ext_preds: list[tuple[JobId, ...]] = []  # satisfied preds dropped by compact()
         self.demand: list[tuple[int, ...]] = []
         self.packed: list[int] = []           # packed uint64 demand (packable only)
         self.duration: list[float] = []
@@ -578,6 +588,7 @@ class GrowableCompiledInstance:
         self.index[job_id] = i
         self.succ.append([])
         self.preds.append(pred_idx)
+        self.ext_preds.append(())
         self.demand.append(dem)
         self.packed.append(self.pack(dem) if self.packable else 0)
         self.duration.append(duration)
@@ -586,3 +597,96 @@ class GrowableCompiledInstance:
         for p in pred_idx:
             self.succ[p].append(i)
         return i
+
+    def append_batch(
+        self,
+        ids: Sequence[JobId],
+        preds_idx: Sequence[tuple[int, ...]],
+        demands: Sequence[tuple[int, ...]],
+        durations: Sequence[float],
+        keys: Sequence[object],
+        releases: Sequence[float],
+        ext_preds: "Sequence[tuple[JobId, ...]] | None" = None,
+    ) -> int:
+        """Append a pre-validated batch of rows in one shot; returns the
+        first new index.
+
+        The batch-lowering fast path: the caller (the session's ``submit``
+        or the checkpoint restorer) has already validated every row — this
+        method only extends the column lists in bulk and packs the demand
+        matrix with one vectorized shift-and-sum instead of ``k`` python
+        packs.  ``preds_idx`` rows may reference earlier rows of the same
+        batch (indices are absolute), and double as the successor wiring
+        source — callers that already know a dependency is satisfied pass
+        it through ``ext_preds`` by id instead, keeping the wiring loop
+        proportional to the dependencies that can still fire.
+        """
+        k = len(ids)
+        if k == 0:
+            return len(self.order)
+        base = len(self.order)
+        self.order.extend(ids)
+        index = self.index
+        for off, jid in enumerate(ids):
+            index[jid] = base + off
+        succ = self.succ
+        succ.extend([] for _ in range(k))
+        self.preds.extend(preds_idx)
+        self.ext_preds.extend(
+            ext_preds if ext_preds is not None else ((),) * k
+        )
+        self.demand.extend(demands)
+        if self.packable:
+            dm = np.asarray(demands, dtype=np.uint64).reshape(k, self.d)
+            shifts = np.arange(self.d, dtype=np.uint64) * np.uint64(PACK_BITS)
+            self.packed.extend((dm << shifts).sum(axis=1, dtype=np.uint64).tolist())
+        else:
+            self.packed.extend([0] * k)
+        self.duration.extend(durations)
+        self.key.extend(keys)
+        self.release.extend(releases)
+        for off, pt in enumerate(preds_idx):
+            if pt:
+                i = base + off
+                for p in pt:
+                    succ[p].append(i)
+        return base
+
+    def compact(self, keep: Sequence[int]) -> np.ndarray:
+        """Rebuild the contiguous layout over the surviving rows ``keep``.
+
+        ``keep`` must be strictly increasing (relative order — and with it
+        the ``(key, index)`` total order over survivors — is preserved).
+        Dropped predecessors of a surviving row move into its
+        :attr:`ext_preds` by id; dropped successors simply disappear.
+        Returns the old→new index map as an int64 array with ``-1`` for
+        dropped rows, so owners (the incremental loop, the session) can
+        remap their parallel state.
+        """
+        n = len(self.order)
+        old2new = np.full(n, -1, dtype=np.int64)
+        old2new[np.asarray(keep, dtype=np.int64)] = np.arange(len(keep))
+        o2n = old2new.tolist()
+        old_order = self.order
+        self.order = [old_order[i] for i in keep]
+        self.index = {j: k for k, j in enumerate(self.order)}
+        new_preds: list[tuple[int, ...]] = []
+        new_ext: list[tuple[JobId, ...]] = []
+        for i in keep:
+            surv = tuple(o2n[p] for p in self.preds[i] if o2n[p] >= 0)
+            dropped = tuple(old_order[p] for p in self.preds[i] if o2n[p] < 0)
+            new_preds.append(surv)
+            new_ext.append(self.ext_preds[i] + dropped)
+        self.preds = new_preds
+        self.ext_preds = new_ext
+        succ: list[list[int]] = [[] for _ in range(len(keep))]
+        for i, pt in enumerate(new_preds):
+            for p in pt:
+                succ[p].append(i)
+        self.succ = succ
+        self.demand = [self.demand[i] for i in keep]
+        self.packed = [self.packed[i] for i in keep]
+        self.duration = [self.duration[i] for i in keep]
+        self.key = [self.key[i] for i in keep]
+        self.release = [self.release[i] for i in keep]
+        return old2new

@@ -1,13 +1,15 @@
 """Versioned session snapshots with an exact-resume guarantee.
 
-A checkpoint (format ``repro-session/1``) captures the *complete* state of
-a :class:`~repro.service.session.SchedulingSession`: every submitted job
-(demand, duration, priority key, predecessors, release, tenant, state,
-start/finish times, readiness count), the resumable event heap, the
-virtual clock and event-sequence counter, the availability vector, the
-session event log and the RNG state.  The guarantee — validated the same
-way the instance serializer's round-trips are, by the conformance fuzz
-family and the hypothesis suite — is **exact resume**:
+A checkpoint (format ``repro-session/2``) captures the *complete* state
+of a :class:`~repro.service.session.SchedulingSession` in
+struct-of-arrays form: one column per per-job field (demand, duration,
+priority key, predecessor indices, release, tenant, state, start/finish,
+readiness count), plus the resumable event heap, the ready queue's index
+array *in dispatch order*, the virtual clock and event-sequence counter,
+the availability vector, the compaction archive and policy, the session
+event log and the RNG state.  The guarantee — validated the same way the
+instance serializer's round-trips are, by the conformance fuzz family and
+the hypothesis suite — is **exact resume**:
 
     ``restore_session(checkpoint_session(s))`` continues event-for-event
     identically to ``s`` itself, for any interleaving of further
@@ -15,12 +17,19 @@ family and the hypothesis suite — is **exact resume**:
 
 Two properties make this hold: all scheduler state is plain python
 scalars (floats survive JSON round-trips exactly; heap entries, keys and
-ids are carried verbatim), and nothing is re-derived on load that could
-disagree with the running session — the ready queue is rebuilt from the
-stored states (it is *exactly* the sorted ``(key, index)`` list of queued
-jobs) and the availability vector is recomputed from running jobs' demands
-and cross-checked against the stored one, so a corrupted checkpoint fails
-loudly instead of resuming subtly wrong.
+ids are carried verbatim), and the ready queue is stored as its index
+array rather than re-derived — restore loads it straight back into the
+loop's sorted buffers (one bulk gather of the key/packed images), so a
+hot restore does no per-job queue rebuilding.  ``strict=True`` (the
+default) additionally cross-checks the snapshot's redundant state — the
+availability vector against the running jobs' demands, the ready array
+against the queued states — so a corrupted checkpoint fails loudly
+instead of resuming subtly wrong; hot paths (the throughput benchmark's
+mid-stream restore, the conformance round-trips) pass ``strict=False``
+to skip the re-verification.
+
+Format ``repro-session/1`` (per-job record list, no archive) is still
+loaded; new snapshots are always written as v2.
 """
 
 from __future__ import annotations
@@ -30,11 +39,12 @@ from typing import Any
 
 import numpy as np
 
-from repro.engine.dispatch import J_DONE, J_RUNNING, J_WAITING
+from repro.engine.dispatch import J_DONE, J_QUEUED, J_RUNNING, J_WAITING
 from repro.service.session import STATE_NAMES, SchedulingSession
 
 __all__ = [
     "SESSION_FORMAT",
+    "SESSION_FORMAT_V1",
     "checkpoint_session",
     "restore_session",
     "save_session",
@@ -42,42 +52,58 @@ __all__ = [
 ]
 
 #: Checkpoint format tag (bump on schema change).
-SESSION_FORMAT = "repro-session/1"
+SESSION_FORMAT = "repro-session/2"
+#: The PR-5 format, still accepted by :func:`restore_session`.
+SESSION_FORMAT_V1 = "repro-session/1"
 
 _STATE_INDEX = {name: i for i, name in enumerate(STATE_NAMES)}
+
+_JOB_COLUMNS = (
+    "id", "preds", "ext_preds", "demand", "duration", "key",
+    "release", "tenant", "state", "remaining", "start", "finish",
+)
 
 
 def checkpoint_session(session: SchedulingSession) -> dict[str, Any]:
     """Snapshot the full session state as a JSON-ready dict."""
     gi = session.gi
     loop = session.loop
-    jobs = []
-    for i, jid in enumerate(gi.order):
-        jobs.append(
-            {
-                "id": jid,
-                "demand": list(gi.demand[i]),
-                "duration": gi.duration[i],
-                "key": gi.key[i],
-                "preds": list(gi.preds[i]),
-                "release": gi.release[i],
-                "tenant": session.tenants[i],
-                "state": STATE_NAMES[loop.state[i]],
-                "remaining": loop.remaining[i],
-                "start": loop.start[i],
-                "finish": loop.finish[i],
-            }
-        )
     return {
         "format": SESSION_FORMAT,
         "capacities": list(gi.capacities),
         "time_eps": loop.eps,
         "clock": loop.now,
         "seq": loop.seq,
-        "available": list(loop.available()),
-        "jobs": jobs,
+        "compact": {
+            "threshold": session.compact_threshold,
+            "min_rows": session.compact_min_rows,
+        },
+        "compactions": session.compactions,
+        "jobs": {
+            "id": list(gi.order),
+            "preds": [list(p) for p in gi.preds],
+            "ext_preds": [list(p) for p in gi.ext_preds],
+            "demand": [list(d) for d in gi.demand],
+            "duration": list(gi.duration),
+            "key": list(gi.key),
+            "release": list(gi.release),
+            "tenant": list(session.tenants),
+            "state": [STATE_NAMES[s] for s in loop.state],
+            "remaining": list(loop.remaining),
+            "start": list(loop.start),
+            "finish": list(loop.finish),
+        },
+        "ready": loop.ri[:loop.L].tolist(),
         "heap": [[t, s, c] for (t, s, c) in loop.heap],
-        "events": [dict(e) for e in session.events],
+        "available": list(loop.available()),
+        # archive records are append-only and frozen once written (restore
+        # and compaction only ever build new dicts), so the snapshot can
+        # share them instead of copying ~everything the session ever ran
+        "archive": list(session.archive),
+        # a shallow copy: event tuples are immutable and JSON serializes
+        # tuples as arrays, so the rows need no per-event conversion (and
+        # an in-memory round trip can adopt them back untouched)
+        "events": list(session.events),
         "counters": {
             "submitted": session.counters.submitted,
             "cancelled": session.counters.cancelled,
@@ -87,40 +113,271 @@ def checkpoint_session(session: SchedulingSession) -> dict[str, Any]:
     }
 
 
-def restore_session(data: "dict[str, Any] | str") -> SchedulingSession:
+def restore_session(
+    data: "dict[str, Any] | str", *, strict: bool = True
+) -> SchedulingSession:
     """Rebuild a session from a checkpoint; exact resume (see module doc).
 
-    Raises ``ValueError`` on an unknown format, malformed records, or a
-    stored availability vector that disagrees with the running jobs'
-    demands (a corrupted snapshot must never resume silently wrong).
+    Raises ``ValueError`` on an unknown format or malformed records.
+    With ``strict`` (the default) the snapshot's redundant state is
+    cross-checked too — stored availability against the running jobs'
+    demands, the stored ready queue against the queued states — so a
+    corrupted snapshot must never resume silently wrong; hot restores
+    pass ``strict=False`` to skip the re-verification.
     """
     snap = json.loads(data) if isinstance(data, str) else data
     if not isinstance(snap, dict):
         raise ValueError(
             f"session checkpoint must be a JSON object, got {type(snap).__name__}"
         )
-    if snap.get("format") != SESSION_FORMAT:
+    fmt = snap.get("format")
+    if fmt not in (SESSION_FORMAT, SESSION_FORMAT_V1):
         raise ValueError(
-            f"unsupported session checkpoint format {snap.get('format')!r} "
+            f"unsupported session checkpoint format {fmt!r} "
             f"(expected {SESSION_FORMAT!r})"
         )
     try:
-        return _restore_checked(snap)
-    except (KeyError, TypeError) as exc:
+        if fmt == SESSION_FORMAT_V1:
+            return _restore_v1(snap)
+        return _restore_v2(snap, strict=strict)
+    except (KeyError, TypeError, IndexError) as exc:
         # truncated or hand-edited snapshots must fail the documented way
         # (ValueError), not leak KeyError/TypeError to the caller
         raise ValueError(f"malformed session checkpoint: {exc!r}") from exc
 
 
-def _restore_checked(snap: dict[str, Any]) -> SchedulingSession:
+def _event_tuple(e) -> tuple:
+    """Normalize one serialized event row back to its in-memory tuple."""
+    kind = e[0]
+    if kind == "start":
+        return ("start", e[1], float(e[2]), float(e[3]),
+                tuple(int(a) for a in e[4]))
+    if kind == "finish":
+        return ("finish", e[1], float(e[2]))
+    if kind == "submit":
+        return ("submit", e[1], float(e[2]), e[3])
+    if kind == "cancel":
+        return ("cancel", e[1], float(e[2]))
+    raise ValueError(f"unknown event kind {kind!r}")
+
+
+def _load_loop_state(
+    session: SchedulingSession,
+    snap: dict[str, Any],
+    states: list[int],
+    *,
+    strict: bool,
+) -> None:
+    """Shared tail of both restore paths: clock, heap, ready, availability,
+    archive, events, counters, RNG — the rows are already appended."""
+    gi = session.gi
+    loop = session.loop
+    n = len(gi.order)
+
+    loop.now = float(snap["clock"])
+    loop.seq = int(snap["seq"])
+    heap = []
+    for t, s, c in snap["heap"]:
+        c = int(c)
+        i = ~c if c < 0 else c
+        if not 0 <= i < n:
+            raise ValueError(f"heap entry references unknown job index {c}")
+        heap.append((float(t), int(s), c))
+    heap.sort()  # a valid checkpoint is already heap-ordered; sorting is a superset
+    loop.heap = heap
+
+    ready_idx = snap.get("ready")
+    if ready_idx is None:
+        # v1 stores no queue: it IS the sorted (key, index) list of queued jobs
+        order_key = gi.key
+        ready_idx = [
+            i for _, i in sorted(
+                (order_key[i], i) for i, s in enumerate(states) if s == J_QUEUED
+            )
+        ]
+    else:
+        ready_idx = [int(i) for i in ready_idx]
+        for i in ready_idx:
+            if not 0 <= i < n:
+                raise ValueError(f"ready queue references unknown job index {i}")
+        if strict:
+            expected = sorted(
+                (gi.key[i], i) for i, s in enumerate(states) if s == J_QUEUED
+            )
+            if [i for _, i in expected] != ready_idx:
+                raise ValueError(
+                    "stored ready queue disagrees with the queued job states"
+                )
+    loop.load_ready(ready_idx)
+
+    stored_avail = [int(a) for a in snap["available"]]
+    if len(stored_avail) != gi.d:
+        raise ValueError(
+            f"availability vector has dimension {len(stored_avail)}, "
+            f"platform has {gi.d}"
+        )
+    if strict:
+        # recompute availability from running demands and cross-check
+        avail = list(gi.capacities)
+        for i, s in enumerate(states):
+            if s == J_RUNNING:
+                for r, a in enumerate(gi.demand[i]):
+                    avail[r] -= a
+        if any(a < 0 for a in avail):
+            raise ValueError("running jobs overcommit the platform capacities")
+        if avail != stored_avail:
+            raise ValueError(
+                f"stored availability {snap['available']} disagrees with the "
+                f"running jobs' demands (recomputed {avail})"
+            )
+        # waiting jobs must still have a satisfiable readiness count
+        for i, s in enumerate(states):
+            if s == J_WAITING and loop.remaining[i] <= 0:
+                raise ValueError(
+                    f"job {gi.order[i]!r}: waiting with no outstanding predecessors"
+                )
+    if any(a < 0 or a > c for a, c in zip(stored_avail, gi.capacities)):
+        raise ValueError(f"availability {stored_avail} is out of bounds")
+    loop.avail = stored_avail
+    if gi.packable:
+        from repro.instance.compiled import PACK_BITS
+
+        loop.avh = gi.fit_mask + sum(
+            a << (PACK_BITS * r) for r, a in enumerate(stored_avail)
+        )
+
+    archive_src = snap.get("archive", [])
+    if strict:
+        for rec in archive_src:
+            if rec["state"] not in _STATE_INDEX:
+                raise ValueError(
+                    f"archived job {rec['id']!r}: unknown state {rec['state']!r}"
+                )
+            session.archive.append(
+                {
+                    "id": rec["id"],
+                    "state": rec["state"],
+                    "demand": [int(a) for a in rec["demand"]],
+                    "duration": float(rec["duration"]),
+                    "key": rec["key"],
+                    "preds": list(rec["preds"]),
+                    "release": float(rec["release"]),
+                    "tenant": rec["tenant"],
+                    "start": None if rec["start"] is None else float(rec["start"]),
+                    "finish": None if rec["finish"] is None else float(rec["finish"]),
+                }
+            )
+    else:
+        # hot path: archived records are append-only and frozen once
+        # written, so sharing them between sessions is safe by design
+        session.archive.extend(archive_src)
+    arch = session.archive
+    session.archive_index = {rec["id"]: pos for pos, rec in enumerate(arch)}
+    # every finished job, archived or still a live row (see
+    # SchedulingSession.done_ids)
+    done_ids = {rec["id"] for rec in arch if rec["state"] == "done"}
+    order = session.gi.order
+    done_ids.update(
+        order[i] for i, st in enumerate(states) if st == J_DONE
+    )
+    session.done_ids = done_ids
+    session.compactions = int(snap.get("compactions", 0))
+
+    # rows that survived an in-memory round trip are already the exact
+    # in-memory tuples — only JSON-decoded rows (lists) need normalizing
+    session.events[:] = [
+        e if type(e) is tuple else _event_tuple(e) for e in snap["events"]
+    ]
+    counters = snap.get("counters", {})
+    session.counters.submitted = int(counters.get("submitted", n))
+    session.counters.cancelled = int(counters.get("cancelled", 0))
+    session.counters.completed = int(counters.get("completed", 0))
+    loop.ncompleted = session.counters.completed
+    if snap.get("rng") is not None:
+        rng = np.random.default_rng()
+        rng.bit_generator.state = snap["rng"]
+        session.rng = rng
+
+
+def _restore_v2(snap: dict[str, Any], *, strict: bool) -> SchedulingSession:
+    compact = snap.get("compact", {})
+    thr = compact.get("threshold", 0.5)
+    session = SchedulingSession(
+        snap["capacities"],
+        time_eps=float(snap["time_eps"]),
+        compact_threshold=None if thr is None else float(thr),
+        compact_min_rows=int(compact.get("min_rows", 512)),
+    )
+    gi = session.gi
+    loop = session.loop
+
+    jobs = snap["jobs"]
+    cols = {name: jobs[name] for name in _JOB_COLUMNS}
+    k = len(cols["id"])
+    if any(len(c) != k for c in cols.values()):
+        raise ValueError("job columns have inconsistent lengths")
+
+    states = []
+    for jid, name in zip(cols["id"], cols["state"]):
+        if name not in _STATE_INDEX:
+            raise ValueError(f"job {jid!r}: unknown state {name!r}")
+        states.append(_STATE_INDEX[name])
+    demands = []
+    for jid, dem in zip(cols["id"], cols["demand"]):
+        dem = tuple(int(a) for a in dem)
+        if len(dem) != gi.d or any(a < 0 for a in dem) or any(
+            a > c for a, c in zip(dem, gi.capacities)
+        ):
+            raise ValueError(f"job {jid!r}: demand {dem} is out of bounds")
+        demands.append(dem)
+    preds = []
+    for row, (jid, pt) in enumerate(zip(cols["id"], cols["preds"])):
+        pt = tuple(int(p) for p in pt)
+        if any(not 0 <= p < row for p in pt):
+            raise ValueError(f"job {jid!r}: predecessor indices {pt} out of order")
+        preds.append(pt)
+    durations = [float(t) for t in cols["duration"]]
+    if any(not 0.0 < t < float("inf") for t in durations):
+        raise ValueError("durations must be positive and finite")
+    releases = [float(r) for r in cols["release"]]
+    if any(not 0.0 <= r < float("inf") for r in releases):
+        raise ValueError("releases must be finite and >= 0")
+
+    gi.append_batch(
+        cols["id"],
+        preds,
+        demands,
+        durations,
+        list(cols["key"]),
+        releases,
+        [tuple(p) for p in cols["ext_preds"]],
+    )
+    loop.state = states
+    loop.remaining = [int(r) for r in cols["remaining"]]
+    loop.start = [None if t is None else float(t) for t in cols["start"]]
+    loop.finish = [None if t is None else float(t) for t in cols["finish"]]
+    session.tenants = list(cols["tenant"])
+    for i, s in enumerate(states):
+        if s == J_RUNNING and loop.start[i] is None:
+            raise ValueError(f"job {cols['id'][i]!r}: running but has no start time")
+        if s == J_DONE and (loop.start[i] is None or loop.finish[i] is None):
+            raise ValueError(f"job {cols['id'][i]!r}: done but missing start/finish")
+
+    _load_loop_state(session, snap, states, strict=strict)
+    return session
+
+
+def _restore_v1(snap: dict[str, Any]) -> SchedulingSession:
+    """Load a PR-5 per-record snapshot (always cross-checked, as it was)."""
     session = SchedulingSession(snap["capacities"], time_eps=float(snap["time_eps"]))
     gi = session.gi
     loop = session.loop
 
+    states: list[int] = []
     for rec in snap["jobs"]:
-        state = rec["state"]
-        if state not in _STATE_INDEX:
-            raise ValueError(f"job {rec['id']!r}: unknown state {state!r}")
+        name = rec["state"]
+        if name not in _STATE_INDEX:
+            raise ValueError(f"job {rec['id']!r}: unknown state {name!r}")
         i = gi.append(
             rec["id"],
             [int(p) for p in rec["preds"]],
@@ -129,7 +386,8 @@ def _restore_checked(snap: dict[str, Any]) -> SchedulingSession:
             rec["key"],
             rec["release"],
         )
-        loop.state.append(_STATE_INDEX[state])
+        states.append(_STATE_INDEX[name])
+        loop.state.append(_STATE_INDEX[name])
         loop.remaining.append(int(rec["remaining"]))
         loop.start.append(None if rec["start"] is None else float(rec["start"]))
         loop.finish.append(None if rec["finish"] is None else float(rec["finish"]))
@@ -141,63 +399,27 @@ def _restore_checked(snap: dict[str, Any]) -> SchedulingSession:
         ):
             raise ValueError(f"job {rec['id']!r}: done but missing start/finish")
 
-    loop.now = float(snap["clock"])
-    loop.seq = int(snap["seq"])
-    heap = []
-    n = gi.n
-    for t, s, c in snap["heap"]:
-        c = int(c)
-        i = ~c if c < 0 else c
-        if not 0 <= i < n:
-            raise ValueError(f"heap entry references unknown job index {c}")
-        heap.append((float(t), int(s), c))
-    heap.sort()  # a valid checkpoint is already heap-ordered; sorting is a superset
-    loop.heap = heap
-
-    # the ready queue IS the sorted (key, index) list of queued jobs
-    loop.ready = sorted(
-        (gi.key[i], i)
-        for i, s in enumerate(loop.state)
-        if s == _STATE_INDEX["queued"]
-    )
-
-    # recompute availability from running demands and cross-check
-    avail = list(gi.capacities)
-    for i, s in enumerate(loop.state):
-        if s == J_RUNNING:
-            for r, a in enumerate(gi.demand[i]):
-                avail[r] -= a
-    if any(a < 0 for a in avail):
-        raise ValueError("running jobs overcommit the platform capacities")
-    if avail != [int(a) for a in snap["available"]]:
-        raise ValueError(
-            f"stored availability {snap['available']} disagrees with the "
-            f"running jobs' demands (recomputed {avail})"
-        )
-    if gi.packable:
-        loop.avh = gi.packed_capacities + gi.fit_mask
-        for i, s in enumerate(loop.state):
-            if s == J_RUNNING:
-                loop.avh -= gi.packed[i]
-    loop.avail = avail
-
-    # waiting jobs must still have a satisfiable readiness count
-    for i, s in enumerate(loop.state):
-        if s == J_WAITING and loop.remaining[i] <= 0:
-            raise ValueError(
-                f"job {gi.order[i]!r}: waiting with no outstanding predecessors"
-            )
-
-    session.events = [dict(e) for e in snap["events"]]
-    counters = snap.get("counters", {})
-    session.counters.submitted = int(counters.get("submitted", gi.n))
-    session.counters.cancelled = int(counters.get("cancelled", 0))
-    session.counters.completed = int(counters.get("completed", 0))
-    if snap.get("rng") is not None:
-        rng = np.random.default_rng()
-        rng.bit_generator.state = snap["rng"]
-        session.rng = rng
+    # v1 event logs are per-event dicts; lower them to the tuple form
+    snap = dict(snap)
+    snap["events"] = [
+        _dict_event_row(e) for e in snap["events"]
+    ]
+    snap.setdefault("ready", None)
+    _load_loop_state(session, snap, states, strict=True)
     return session
+
+
+def _dict_event_row(e: dict[str, Any]) -> list:
+    kind = e["event"]
+    if kind == "start":
+        return ["start", e["id"], e["time"], e["duration"], e["alloc"]]
+    if kind == "finish":
+        return ["finish", e["id"], e["time"]]
+    if kind == "submit":
+        return ["submit", e["id"], e["time"], e.get("tenant", "default")]
+    if kind == "cancel":
+        return ["cancel", e["id"], e["time"]]
+    raise ValueError(f"unknown event kind {kind!r}")
 
 
 def save_session(session: SchedulingSession, path: str, *, indent: int | None = 1) -> None:

@@ -307,12 +307,12 @@ class ServiceFrontend:
 
     def _op_drain(self, req: dict[str, Any]) -> dict[str, Any]:
         _, errors = self.flush()
-        schedule = self.session.drain()
+        self.session.drain()
         return self._with_flush_errors(
             {
                 "clock": self.session.now,
-                "makespan": schedule.makespan,
-                "completed": len(schedule.placements),
+                "makespan": self.session.makespan(),
+                "completed": self.session.counters.completed,
             },
             errors,
         )
@@ -367,7 +367,10 @@ class ServiceFrontend:
             self.session = restore_session(req["snapshot"])
         else:
             raise ValueError("restore needs a 'path' or an inline 'snapshot'")
-        return {"clock": self.session.now, "jobs": len(self.session.gi.order)}
+        return {
+            "clock": self.session.now,
+            "jobs": len(self.session.gi.order) + len(self.session.archive),
+        }
 
     def _op_trace(self, req: dict[str, Any]) -> dict[str, Any]:
         path = self._path_arg(req)

@@ -6,19 +6,21 @@ completion, it owns a
 :class:`~repro.instance.compiled.GrowableCompiledInstance` (submissions
 append rows, never recompile) and an
 :class:`~repro.engine.dispatch.IncrementalPriorityLoop` (a resumable heap
-plus readiness state), and exposes the service verbs:
+plus readiness state over array-native ready buffers), and exposes the
+service verbs:
 
 * :meth:`~SchedulingSession.submit` — admit jobs (with chosen demands,
   durations, precedences, releases and priority keys) at the current
-  virtual time;
+  virtual time; a whole batch is validated with vectorized bounds checks
+  and lowered into the growable rows in one shot;
 * :meth:`~SchedulingSession.cancel` — best-effort cancellation: a job
   that has not started is withdrawn together with its pending descendants
   (their precedence constraint became unsatisfiable); a running or
   completed job is too late to cancel;
 * :meth:`~SchedulingSession.advance` — move virtual time forward,
   dispatching and completing work on the way;
-* :meth:`~SchedulingSession.drain` — run to quiescence and return the
-  realized :class:`~repro.sim.schedule.Schedule`.
+* :meth:`~SchedulingSession.drain` — run to quiescence (the realized
+  schedule is available via :meth:`~SchedulingSession.to_schedule`).
 
 **Batch identity.**  Dispatch order inside the session is exactly the
 batch discipline — the ready queue is totally ordered by ``(key,
@@ -30,6 +32,17 @@ event-for-event identical to
 :func:`repro.core.list_scheduler.list_schedule` on the same job set.  The
 conformance fuzz family (``scenario="service"``) and the hypothesis suite
 assert this across every registered scheduler's allocations.
+
+**Compaction.**  A long-lived session accumulates rows for finished and
+cancelled jobs.  When the dead-row fraction crosses
+``compact_threshold`` (and at least ``compact_min_rows`` rows exist),
+``advance``/``drain`` compact the instance: dead rows move into the
+session *archive* (full records, keyed by id — completed history is never
+lost, only moved out of the hot arrays) and the growable layout is
+rebuilt contiguous.  Compaction is semantically invisible: schedules,
+traces, duplicate-id checks, predecessor resolution and checkpoints all
+see through it, and the conformance family drives sessions with
+aggressive compaction settings to pin that.
 
 Sessions carry an RNG (:attr:`SchedulingSession.rng`) for stochastic
 clients — e.g. the service-throughput benchmark's open-loop Poisson
@@ -145,6 +158,24 @@ class _Counters:
     completed: int = 0
 
 
+def _event_dict(e: tuple) -> dict[str, Any]:
+    """Materialize one compact event tuple into its protocol dict."""
+    kind = e[0]
+    if kind == "start":
+        return {
+            "event": "start",
+            "id": e[1],
+            "time": e[2],
+            "duration": e[3],
+            "alloc": list(e[4]),
+        }
+    if kind == "finish":
+        return {"event": "finish", "id": e[1], "time": e[2]}
+    if kind == "submit":
+        return {"event": "submit", "id": e[1], "time": e[2], "tenant": e[3]}
+    return {"event": "cancel", "id": e[1], "time": e[2]}
+
+
 class SchedulingSession:
     """A long-running incremental scheduling session (see module docstring).
 
@@ -156,6 +187,12 @@ class SchedulingSession:
         Simultaneous-event batching tolerance (the engine's default).
     seed:
         Seed of the session RNG exposed to stochastic clients.
+    compact_threshold:
+        Dead-row fraction at which ``advance``/``drain`` compact the
+        instance (``None`` disables compaction).
+    compact_min_rows:
+        Minimum row count before compaction is considered — keeps small
+        sessions from churning.
     """
 
     def __init__(
@@ -164,18 +201,37 @@ class SchedulingSession:
         *,
         time_eps: float = TIME_EPS,
         seed: int | None = None,
+        compact_threshold: float | None = 0.5,
+        compact_min_rows: int = 512,
     ) -> None:
+        if compact_threshold is not None and not 0.0 < compact_threshold <= 1.0:
+            raise ValueError(
+                f"compact_threshold must be in (0, 1] or None, got {compact_threshold}"
+            )
+        if compact_min_rows < 1:
+            raise ValueError(f"compact_min_rows must be >= 1, got {compact_min_rows}")
         self.gi = GrowableCompiledInstance(capacities)
+        self.events: list[tuple] = []
         self.loop = IncrementalPriorityLoop(
-            self.gi,
-            on_start=self._record_start,
-            on_complete=self._record_finish,
-            time_eps=time_eps,
+            self.gi, log=self.events, time_eps=time_eps
         )
-        self.tenants: list[str] = []  # per-job tenant label, submission order
-        self.events: list[dict[str, Any]] = []
+        self.tenants: list[str] = []  # per-job tenant label, row order
         self.counters = _Counters()
         self.rng = np.random.default_rng(seed)
+        self.compact_threshold = compact_threshold
+        self.compact_min_rows = int(compact_min_rows)
+        self.compactions = 0
+        # dead rows compacted away: full records by id (the cold store)
+        self.archive: list[dict[str, Any]] = []
+        self.archive_index: dict[JobId, int] = {}
+        #: ids of every *completed* job, live row or archived — the
+        #: one-hash membership test ``submit`` uses to accept a batch
+        #: whose predecessors have all finished without resolving them
+        #: one by one (archived-cancelled ids fail it and take the
+        #: precise-error path through :attr:`archive_index`).  Maintained
+        #: from the finish entries of the event log as :meth:`advance` /
+        #: :meth:`drain` consume it, and rebuilt whole on restore.
+        self.done_ids: set[JobId] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -197,16 +253,24 @@ class SchedulingSession:
 
     def state_of(self, job_id: JobId) -> str:
         """One of ``waiting / queued / running / done / cancelled``."""
-        return STATE_NAMES[self.loop.state[self.gi.index[job_id]]]
+        i = self.gi.index.get(job_id)
+        if i is not None:
+            return STATE_NAMES[self.loop.state[i]]
+        pos = self.archive_index.get(job_id)
+        if pos is not None:
+            return self.archive[pos]["state"]
+        raise KeyError(job_id)
 
     def status(self) -> dict[str, Any]:
         """A JSON-ready summary of the session."""
         counts = dict.fromkeys(STATE_NAMES, 0)
         for s in self.loop.state:
             counts[STATE_NAMES[s]] += 1
+        for rec in self.archive:
+            counts[rec["state"]] += 1
         return {
             "clock": self.now,
-            "jobs": len(self.gi.order),
+            "jobs": len(self.gi.order) + len(self.archive),
             "states": counts,
             "available": list(self.available()),
             "capacities": list(self.gi.capacities),
@@ -214,26 +278,21 @@ class SchedulingSession:
             "submitted": self.counters.submitted,
             "cancelled": self.counters.cancelled,
             "completed": self.counters.completed,
+            "compactions": self.compactions,
+            "archived": len(self.archive),
         }
 
-    # ------------------------------------------------------------------
-    # event-log callbacks
-    # ------------------------------------------------------------------
-    def _record_start(self, job_id: JobId, t: float, duration: float) -> None:
-        i = self.gi.index[job_id]
-        self.events.append(
-            {
-                "event": "start",
-                "id": job_id,
-                "time": t,
-                "duration": duration,
-                "alloc": list(self.gi.demand[i]),
-            }
-        )
-
-    def _record_finish(self, job_id: JobId, t: float) -> None:
-        self.counters.completed += 1
-        self.events.append({"event": "finish", "id": job_id, "time": t})
+    def makespan(self) -> float:
+        """Latest finish time over every completed job (0.0 when none)."""
+        best = 0.0
+        finish = self.loop.finish
+        for i, s in enumerate(self.loop.state):
+            if s == J_DONE and finish[i] > best:
+                best = finish[i]
+        for rec in self.archive:
+            if rec["state"] == "done" and rec["finish"] > best:
+                best = rec["finish"]
+        return best
 
     # ------------------------------------------------------------------
     # the service verbs
@@ -247,60 +306,177 @@ class SchedulingSession:
         predecessors, demand bounds, non-finite durations, non-scalar ids,
         duplicate ids — raises ``ValueError`` *before* any of the call's
         jobs are admitted, so a rejected batch leaves the session
-        untouched.
+        untouched.  The whole batch is lowered into the growable rows in
+        one vectorized shot (demands bounds-checked and packed as a
+        matrix, rows extended in bulk, newly ready jobs block-inserted
+        into the ready buffers).
         """
         specs = [
             spec if isinstance(spec, JobSpec) else JobSpec.from_dict(spec)
             for spec in jobs
         ]
-        # validate the whole batch first: admission is all-or-nothing
+        if not specs:
+            return []
         gi = self.gi
-        batch_ids: set[JobId] = set()
-        for spec in specs:
-            if isinstance(spec.id, bool) or not isinstance(spec.id, (str, int)):
+        loop_state = self.loop.state
+        base = len(gi.order)
+        # validate the whole batch first: admission is all-or-nothing
+        batch_pos: dict[JobId, int] = {}
+        preds_idx: list[tuple[int, ...]] = []  # outstanding deps, as row indices
+        ext_preds: list[tuple[JobId, ...]] = []  # satisfied deps, by id
+        rem_counts: list[int] = []  # not-yet-done preds per row, for admit_batch
+        ids: list[JobId] = []
+        keys: list[float] = []
+        sub0 = self.counters.submitted
+        index = gi.index
+        index_get = index.get
+        batch_pos_get = batch_pos.get
+        archive_index = self.archive_index
+        arch_get = archive_index.get
+        done_ids = self.done_ids
+        for off, spec in enumerate(specs):
+            sid = spec.id
+            if isinstance(sid, bool) or not isinstance(sid, (str, int)):
                 raise ValueError(
-                    f"job id {spec.id!r} must be a string or integer "
+                    f"job id {sid!r} must be a string or integer "
                     "(checkpoints and the wire protocol carry ids verbatim)"
                 )
-            if spec.id in batch_ids:
-                raise ValueError(f"job {spec.id!r} was already submitted")
-            gi.validate_row(spec.id, spec.demand, spec.duration, spec.release)
-            if spec.key is not None and (
-                isinstance(spec.key, bool)
-                or not isinstance(spec.key, (int, float))
-                or spec.key != spec.key  # NaN breaks the (key, index) total order
-            ):
-                raise ValueError(f"job {spec.id!r}: priority key must be numeric")
-            for p in spec.preds:
-                if p in batch_ids:
-                    continue
-                pi = gi.index.get(p)
-                if pi is None:
-                    raise ValueError(f"job {spec.id!r}: unknown predecessor {p!r}")
-                if self.loop.state[pi] == J_CANCELLED:
+            if sid in batch_pos or sid in index or sid in archive_index:
+                raise ValueError(f"job {sid!r} was already submitted")
+            skey = spec.key
+            if skey is not None:
+                if (
+                    isinstance(skey, bool)
+                    or not isinstance(skey, (int, float))
+                    or skey != skey  # NaN breaks the (key, index) total order
+                ):
+                    raise ValueError(f"job {sid!r}: priority key must be numeric")
+                if float(skey) != skey:
                     raise ValueError(
-                        f"job {spec.id!r}: predecessor {p!r} was cancelled"
+                        f"job {sid!r}: priority key {skey!r} is not exactly "
+                        "representable as float64 (the checkpoint and ready-queue "
+                        "image type)"
                     )
-            batch_ids.add(spec.id)
+            preds_s = spec.preds
+            if preds_s and done_ids.issuperset(preds_s):
+                # every predecessor already finished (the steady-state
+                # case): one C-speed set test, nothing outstanding.  The
+                # preds are recorded as external provenance ids — even
+                # the ones still held as live rows — so no per-pred index
+                # resolution happens at all; ``ext_preds`` means
+                # "satisfied by-id reference", archived or not, and
+                # :meth:`to_schedule` resolves both alike
+                preds_idx.append(())
+                ext_preds.append(tuple(preds_s))
+                rem_counts.append(0)
+                batch_pos[sid] = off
+                ids.append(sid)
+                keys.append(skey if skey is not None else float(sub0 + off))
+                continue
+            elif preds_s:
+                # some predecessor is still outstanding (or invalid).
+                # Finished preds — the bulk, in steady state — cost one
+                # set-membership each and stay by-id references; only the
+                # outstanding ones are resolved to row indices.  That
+                # makes ``preds_idx`` exactly the set of dependencies
+                # that can still fire, so it doubles as the successor
+                # wiring source with no dead edges (done is terminal: an
+                # edge from a finished predecessor can never fire again)
+                pt2: list[int] = []
+                et: list[JobId] = []
+                for p in preds_s:
+                    if p in done_ids:
+                        et.append(p)
+                        continue
+                    pi = index_get(p)
+                    if pi is not None:  # a live, unfinished row
+                        st = loop_state[pi]
+                        if st == J_CANCELLED:
+                            raise ValueError(
+                                f"job {sid!r}: predecessor {p!r} was "
+                                "cancelled"
+                            )
+                        if st == J_DONE:  # pragma: no cover - done_ids holds
+                            et.append(p)  # every finished id; stay safe if not
+                            continue
+                        pt2.append(pi)
+                        continue
+                    bp = batch_pos_get(p)
+                    if bp is not None:  # earlier row of this batch
+                        pt2.append(base + bp)
+                        continue
+                    if arch_get(p) is None:
+                        raise ValueError(
+                            f"job {sid!r}: unknown predecessor {p!r}"
+                        )
+                    # archived but not done: necessarily cancelled
+                    raise ValueError(
+                        f"job {sid!r}: predecessor {p!r} was cancelled"
+                    )
+                preds_idx.append(tuple(pt2))
+                ext_preds.append(tuple(et))
+                rem = len(pt2)
+            else:
+                preds_idx.append(())
+                ext_preds.append(())
+                rem = 0
+            rem_counts.append(rem)
+            batch_pos[sid] = off
+            ids.append(sid)
+            keys.append(skey if skey is not None else float(sub0 + off))
 
-        ids: list[JobId] = []
-        for spec in specs:
-            i = gi.append(
-                spec.id,
-                [gi.index[p] for p in spec.preds],
-                spec.demand,
-                spec.duration,
-                spec.key if spec.key is not None else len(gi.order),
-                spec.release,
-            )
-            self.loop.admit(i)
-            self.tenants.append(spec.tenant)
-            self.counters.submitted += 1
-            self.events.append(
-                {"event": "submit", "id": spec.id, "time": self.now, "tenant": spec.tenant}
-            )
-            ids.append(spec.id)
+        demands, durations, releases = self._validate_numeric(specs)
+        gi.append_batch(
+            ids, preds_idx, demands, durations, keys, releases, ext_preds
+        )
+        self.loop.admit_batch(base, rem_counts)
+        now = self.now
+        tenants = [spec.tenant for spec in specs]
+        self.tenants.extend(tenants)
+        self.events.extend(
+            ("submit", jid, now, tn) for jid, tn in zip(ids, tenants)
+        )
+        self.counters.submitted = sub0 + len(specs)
         return ids
+
+    def _validate_numeric(
+        self, specs: list[JobSpec]
+    ) -> tuple[list[tuple[int, ...]], list[float], list[float]]:
+        """Vectorized demand/duration/release bounds checks for a batch.
+
+        The fast path is three whole-batch numpy comparisons; any failure
+        (or a structurally malformed batch numpy cannot even lower) falls
+        back to the scalar :meth:`GrowableCompiledInstance.validate_row`
+        per row, which raises the precise historical error message.
+        """
+        gi = self.gi
+        try:
+            # numpy lowers the whole batch in C; .tolist() converts back to
+            # builtin ints/floats, so the stored rows never hold numpy scalars
+            dm = np.array([spec.demand for spec in specs], dtype=np.int64)
+            dr = np.array([spec.duration for spec in specs], dtype=np.float64)
+            rl = np.array([spec.release for spec in specs], dtype=np.float64)
+            demands = list(map(tuple, dm.tolist()))
+            durations = dr.tolist()
+            releases = rl.tolist()
+            ok = (
+                dm.ndim == 2
+                and dm.shape[1] == gi.d
+                and bool((dm >= 0).all())
+                and bool((dm.sum(axis=1) > 0).all())
+                and bool((dm <= np.asarray(gi.capacities, dtype=np.int64)).all())
+                and bool((dr > 0.0).all())
+                and bool(np.isfinite(dr).all())
+                and bool((rl >= 0.0).all())
+                and bool(np.isfinite(rl).all())
+            )
+        except (TypeError, ValueError, OverflowError):
+            ok = False
+        if ok:
+            return demands, durations, releases
+        for spec in specs:  # scalar path: raise the precise message
+            gi.validate_row(spec.id, spec.demand, spec.duration, spec.release)
+        raise ValueError("malformed submission batch")  # pragma: no cover
 
     def cancel(self, job_id: JobId) -> tuple[JobId, ...]:
         """Best-effort cancel: returns the ids withdrawn (cascade order).
@@ -312,7 +488,11 @@ class SchedulingSession:
         Unknown ids raise ``KeyError``.
         """
         gi = self.gi
-        i = gi.index[job_id]  # KeyError on unknown id is the contract
+        i = gi.index.get(job_id)
+        if i is None:
+            if job_id in self.archive_index:  # archived: done or cancelled
+                return ()
+            raise KeyError(job_id)
         state = self.loop.state
         if state[i] in (J_RUNNING, J_DONE, J_CANCELLED):
             return ()
@@ -325,20 +505,27 @@ class SchedulingSession:
             # descendants of a not-yet-started job are necessarily pending
             self.loop.cancel(k)
             self.counters.cancelled += 1
-            self.events.append(
-                {"event": "cancel", "id": gi.order[k], "time": self.now}
-            )
+            self.events.append(("cancel", gi.order[k], self.now))
             cancelled.append(gi.order[k])
             stack.extend(reversed(gi.succ[k]))
         return tuple(cancelled)
 
-    def advance(self, until: float) -> list[dict[str, Any]]:
+    def advance(
+        self, until: float, *, events: bool = True
+    ) -> "list[dict[str, Any]] | int":
         """Advance virtual time to ``until``; returns the events that fired.
 
         Dispatch passes run at the current clock first (new submissions
         start as early as possible), then every pending event up to
         ``until`` is processed; afterwards the clock *is* ``until`` even
         when nothing happened.  Time only moves forward.
+
+        With ``events=False`` the fired events are *not* materialized as
+        protocol dicts — the count of new log entries is returned instead
+        (they stay readable via :meth:`event_dicts`).  Embedded callers
+        that only poll counters (the benchmark client, bulk replays) skip
+        a dict allocation per event that way; the streaming front-end
+        keeps the default.
         """
         until = float(until)
         if until < self.now:
@@ -346,26 +533,120 @@ class SchedulingSession:
         n0 = len(self.events)
         self.loop.run(until)
         self.loop.advance_clock(until)
-        return self.events[n0:]
+        self.counters.completed = self.loop.ncompleted
+        done_add = self.done_ids.add
+        new = self.events[n0:]
+        for e in new:
+            if e[0] == "finish":
+                done_add(e[1])
+        out: "list[dict[str, Any]] | int"
+        if events:
+            out = [_event_dict(e) for e in new]
+        else:
+            out = len(new)
+        self._maybe_compact()
+        return out
 
-    def drain(self) -> "Schedule":
-        """Run to quiescence; returns the realized schedule (completed jobs)."""
+    def drain(self) -> None:
+        """Run to quiescence: every admitted, uncancelled job completes.
+
+        Deliberately does *not* materialize the realized schedule — that
+        is :meth:`to_schedule`'s job, off the timed path; front-ends that
+        only need the headline numbers read :meth:`makespan` and the
+        counters instead.
+        """
+        n0 = len(self.events)
         self.loop.run()
+        done_add = self.done_ids.add
+        for e in self.events[n0:]:
+            if e[0] == "finish":
+                done_add(e[1])
         leftover = [
             self.gi.order[i]
             for i, s in enumerate(self.loop.state)
             if s in (J_WAITING, J_QUEUED, J_RUNNING)
         ]
-        if leftover:  # pragma: no cover - admit() bounds validation prevents this
+        if leftover:  # pragma: no cover - admission bounds validation prevents this
             raise RuntimeError(f"drain left jobs unfinished: {leftover[:5]}")
-        return self.to_schedule()
+        self.counters.completed = self.loop.ncompleted
+        self._maybe_compact()
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def _maybe_compact(self) -> None:
+        thr = self.compact_threshold
+        if thr is None:
+            return
+        rows = len(self.gi.order)
+        if rows < self.compact_min_rows:
+            return
+        dead = self.counters.completed + self.counters.cancelled - len(self.archive)
+        if dead >= thr * rows:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Archive every done/cancelled row and rebuild the hot arrays."""
+        gi = self.gi
+        loop = self.loop
+        state = loop.state
+        start = loop.start
+        finish = loop.finish
+        order = gi.order
+        demand = gi.demand
+        duration = gi.duration
+        key = gi.key
+        preds = gi.preds
+        ext = gi.ext_preds
+        release = gi.release
+        tenants = self.tenants
+        keep: list[int] = []
+        keep_append = keep.append
+        archive = self.archive
+        arch_append = archive.append
+        archive_index = self.archive_index
+        done_ids = self.done_ids
+        for i, s in enumerate(state):
+            if s <= J_RUNNING:  # waiting / queued / running stay hot
+                keep_append(i)
+                continue
+            jid = order[i]
+            archive_index[jid] = len(archive)
+            if s == J_DONE:
+                done_ids.add(jid)  # already there via the event log; cheap belt
+            pr = [order[p] for p in preds[i]]
+            ep = ext[i]
+            if ep:
+                pr.extend(ep)
+            arch_append(
+                {
+                    "id": jid,
+                    "state": STATE_NAMES[s],
+                    "demand": demand[i],
+                    "duration": duration[i],
+                    "key": key[i],
+                    "preds": pr,
+                    "release": release[i],
+                    "tenant": tenants[i],
+                    "start": start[i],
+                    "finish": finish[i],
+                }
+            )
+        old2new = gi.compact(keep)
+        loop.compact(keep, old2new)
+        self.tenants = [tenants[i] for i in keep]
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # realized-schedule view
     # ------------------------------------------------------------------
     def cancellations(self) -> list[dict[str, Any]]:
         """The cancellation events, in the order they happened."""
-        return [e for e in self.events if e["event"] == "cancel"]
+        return [_event_dict(e) for e in self.events if e[0] == "cancel"]
+
+    def event_dicts(self, events: "Sequence[tuple] | None" = None) -> list[dict[str, Any]]:
+        """Materialize event tuples (default: the whole log) as protocol dicts."""
+        return [_event_dict(e) for e in (self.events if events is None else events)]
 
     def prune_events(self) -> int:
         """Drop submit/start/finish records from the event log; returns the
@@ -377,22 +658,23 @@ class SchedulingSession:
         must bound.  Pruning keeps cancellations (the trace needs them) and
         leaves checkpoints exact: a restored session replays identically,
         its log just starts later.  Completed placements are unaffected
-        (they live in the loop state, not the log).
+        (they live in the loop state and the archive, not the log).
         """
-        kept = [e for e in self.events if e["event"] == "cancel"]
+        kept = [e for e in self.events if e[0] == "cancel"]
         dropped = len(self.events) - len(kept)
-        self.events = kept
+        self.events[:] = kept  # in place: the loop holds the same list
         return dropped
 
     def to_schedule(self) -> "Schedule":
         """The completed jobs as a :class:`~repro.sim.schedule.Schedule`.
 
-        The backing instance contains exactly the completed jobs (each
-        pinned to its submitted demand, with a tabulated time function and
-        its release), and the induced precedence edges among them — every
-        predecessor of a completed job completed, so the sub-DAG is
-        closed.  Strictly validatable; used by :meth:`validate`, the
-        service trace and the conformance checks.
+        The backing instance contains exactly the completed jobs — active
+        done rows *and* archived ones (compaction moves rows, it never
+        forgets them) — each pinned to its submitted demand, with a
+        tabulated time function and its release, plus the induced
+        precedence edges among them: every predecessor of a completed job
+        completed, so the sub-DAG is closed.  Strictly validatable; used
+        by :meth:`validate`, the service trace and the conformance checks.
         """
         from repro.dag.graph import DAG
         from repro.instance.instance import Instance
@@ -407,6 +689,23 @@ class SchedulingSession:
         jobs: dict[JobId, Job] = {}
         placements: dict[JobId, ScheduledJob] = {}
         dag = DAG()
+        edges: list[tuple[JobId, JobId]] = []
+        for rec in self.archive:
+            if rec["state"] != "done":
+                continue
+            jid = rec["id"]
+            v = ResourceVector(rec["demand"])
+            jobs[jid] = Job(
+                id=jid,
+                time_fn=TabulatedTimeFunction({v: rec["duration"]}),
+                candidates=(v,),
+                release=rec["release"],
+            )
+            dag.add_node(jid)
+            edges.extend((p, jid) for p in rec["preds"])
+            placements[jid] = ScheduledJob(
+                job_id=jid, start=rec["start"], time=rec["duration"], alloc=v
+            )
         for i, jid in enumerate(gi.order):
             if loop.state[i] != J_DONE:
                 continue
@@ -418,11 +717,13 @@ class SchedulingSession:
                 release=gi.release[i],
             )
             dag.add_node(jid)
-            for p in gi.preds[i]:
-                dag.add_edge(gi.order[p], jid)
+            edges.extend((gi.order[p], jid) for p in gi.preds[i])
+            edges.extend((p, jid) for p in gi.ext_preds[i])
             placements[jid] = ScheduledJob(
                 job_id=jid, start=loop.start[i], time=gi.duration[i], alloc=v
             )
+        for u, w in edges:
+            dag.add_edge(u, w)
         pool = ResourcePool(ResourceVector(gi.capacities))
         inst = Instance(jobs=jobs, dag=dag, pool=pool)
         return Schedule(instance=inst, placements=placements)

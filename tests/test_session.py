@@ -82,7 +82,8 @@ class TestGrowableCompiledInstance:
 class TestSessionBasics:
     def test_diamond_drain(self):
         s = diamond_session()
-        sched = s.drain()
+        s.drain()
+        sched = s.to_schedule()
         assert len(sched.placements) == 4
         # a at 0; b at 1; c waits for b's type-0 units (2+3 > 4)
         assert sched.placements["a"].start == 0.0
@@ -152,14 +153,16 @@ class TestSessionBasics:
         assert s.state_of("late") == "waiting"
         s.advance(5.0)
         assert s.state_of("late") == "running"
-        sched = s.drain()
+        s.drain()
+        sched = s.to_schedule()
         assert sched.placements["late"].start == 5.0
 
     def test_release_in_the_past_is_available_now(self):
         s = SchedulingSession([4])
         s.advance(10.0)
         s.submit([JobSpec("old", (1,), 1.0, release=2.0)])
-        sched = s.drain()
+        s.drain()
+        sched = s.to_schedule()
         assert sched.placements["old"].start == 10.0
 
     def test_priority_keys_order_queue(self):
@@ -172,13 +175,15 @@ class TestSessionBasics:
                 JobSpec("mid", (1,), 1.0, key=0.5),
             ]
         )
-        sched = s.drain()
+        s.drain()
+        sched = s.to_schedule()
         order = sorted(sched.placements, key=lambda j: sched.placements[j].start)
         assert order == ["high", "mid", "low"]
 
     def test_empty_session(self):
         s = SchedulingSession([2, 2])
-        sched = s.drain()
+        s.drain()
+        sched = s.to_schedule()
         assert len(sched.placements) == 0 and sched.makespan == 0.0
         s.validate()
         assert s.status()["states"]["done"] == 0
@@ -190,7 +195,8 @@ class TestCancellation:
         s.advance(0.5)  # a running, b/c/d pending
         cancelled = s.cancel("b")
         assert cancelled == ("b", "d")
-        sched = s.drain()
+        s.drain()
+        sched = s.to_schedule()
         assert set(sched.placements) == {"a", "c"}
         s.validate()
         assert [e["id"] for e in s.cancellations()] == ["b", "d"]
@@ -218,7 +224,8 @@ class TestCancellation:
         s = SchedulingSession([1])
         s.submit([JobSpec("r", (1,), 1.0, release=2.0), JobSpec("x", (1,), 5.0)])
         s.cancel("r")
-        sched = s.drain()
+        s.drain()
+        sched = s.to_schedule()
         assert set(sched.placements) == {"x"}
         s.validate()
 
@@ -268,7 +275,8 @@ class TestBatchIdentity:
         batch = list_schedule(inst, alloc, fifo_priority)
         session = SchedulingSession(pool.capacities)
         session.submit(service_specs(inst, alloc))
-        sched = session.drain()
+        session.drain()
+        sched = session.to_schedule()
         assert {j: (p.start, p.time) for j, p in sched.placements.items()} == {
             repr(j): (p.start, p.time) for j, p in batch.placements.items()
         }
