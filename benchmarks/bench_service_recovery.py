@@ -1,0 +1,15 @@
+"""Service recovery — durable-session crash restart vs rerun from scratch.
+
+Thin wrapper over the registered ``service_recovery`` benchmark
+(:mod:`repro.bench.suites.recovery`): the open-loop client is killed
+mid-stream through a journaled session, and the snapshot + journal-replay
+restart path races rerunning the whole stream; all drivers must converge
+on the uninterrupted schedule event for event.  The gated metrics are the
+recovery-vs-rerun time ratio and the steady-state journaling overhead.
+"""
+
+from conftest import run_registered
+
+
+def test_service_recovery(results_dir):
+    run_registered("service_recovery", results_dir)

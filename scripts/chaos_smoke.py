@@ -1,0 +1,286 @@
+#!/usr/bin/env python
+"""CI chaos smoke: SIGKILL a supervised `repro serve` worker mid-stream.
+
+Launches ``repro serve --supervise`` with a durable journal on a TCP
+port, streams a deterministic job set one submit at a time, SIGKILLs the
+worker process partway through the stream, and keeps submitting through
+the restart window (reconnect + resubmit; a duplicate-id error counts as
+an ack — the crashed worker journaled the job before dying).  At the end
+the script asserts, against an in-process reference run of the same
+stream:
+
+* every admitted job completed exactly once (no job lost, none run
+  twice) and the final schedule is *event for event* identical to the
+  uninterrupted reference;
+* the recovered schedule strict-validates on the server side;
+* the supervisor restarted the worker at least once (new pid, restart
+  counter exported into the worker environment);
+* a clean ``shutdown`` ends the supervisor with exit code 0.
+
+Exits non-zero on any violation.  Needs only the stdlib plus ``repro``
+on ``PYTHONPATH``; no third-party packages.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+CAPACITIES = (4, 4)
+SEED = 0
+
+
+class Disconnected(Exception):
+    """The worker went away mid-request (crash window)."""
+
+
+class Client:
+    """Line-protocol TCP client that survives worker restarts."""
+
+    def __init__(self, port: int, timeout: float = 5.0) -> None:
+        self.port = port
+        self.timeout = timeout
+        self.sock: socket.socket | None = None
+        self.rfile = None
+
+    def connect(self, deadline: float) -> None:
+        self.close()
+        while True:
+            try:
+                sock = socket.create_connection(
+                    ("127.0.0.1", self.port), timeout=self.timeout
+                )
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise SystemExit(
+                        "chaos smoke: FAIL — worker never came (back) up on "
+                        f"port {self.port}"
+                    )
+                time.sleep(0.1)
+                continue
+            sock.settimeout(self.timeout)
+            self.sock = sock
+            self.rfile = sock.makefile("rb")
+            return
+
+    def close(self) -> None:
+        if self.rfile is not None:
+            try:
+                self.rfile.close()
+            except OSError:
+                pass
+            self.rfile = None
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+    def request(self, payload: dict) -> dict:
+        """One request/response; raises Disconnected on any transport
+        failure (including a timeout: the caller's ops are idempotent or
+        deduplicated server-side, so blind retry is safe)."""
+        if self.sock is None:
+            raise Disconnected
+        try:
+            self.sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+            line = self.rfile.readline()
+        except OSError as exc:  # includes socket.timeout
+            raise Disconnected from exc
+        if not line:
+            raise Disconnected
+        return json.loads(line)
+
+    def call(self, payload: dict, deadline: float) -> dict:
+        """Request with reconnect-and-retry across the crash window."""
+        while True:
+            try:
+                return self.request(payload)
+            except Disconnected:
+                if time.monotonic() > deadline:
+                    raise SystemExit(
+                        f"chaos smoke: FAIL — no response to {payload.get('op')!r} "
+                        "before the deadline"
+                    )
+                self.connect(deadline)
+
+
+def job_stream(n: int) -> list[dict]:
+    """A deterministic moldable job set: mixed demands against (4, 4),
+    every fourth job chained onto its predecessor."""
+    jobs = []
+    for i in range(n):
+        rec = {
+            "id": f"j{i:03d}",
+            "demand": [1 + i % 3, 1 + (i * 2) % 4],
+            "duration": 1.0 + (i % 5) * 0.5,
+        }
+        if i % 4 == 3:
+            rec["preds"] = [f"j{i - 1:03d}"]
+        jobs.append(rec)
+    return jobs
+
+
+def reference_events(jobs: list[dict]):
+    """The uninterrupted baseline: the same stream, submitted in the same
+    order, through an in-process session."""
+    from repro.conformance.fuzz import portable_events
+    from repro.service.session import JobSpec, SchedulingSession
+
+    session = SchedulingSession(CAPACITIES, seed=SEED)
+    for rec in jobs:
+        session.submit([JobSpec.from_dict(rec)])
+    session.drain()
+    return portable_events(session.to_schedule(), reprify=False)
+
+
+def submit_until_acked(client: Client, rec: dict, deadline: float) -> None:
+    """Submit one job until the server acknowledges admission.  A
+    duplicate-id error means a previous attempt was journaled before the
+    crash — at-least-once submission, exactly-once admission."""
+    jid = rec["id"]
+    while True:
+        resp = client.call({"op": "submit", "jobs": [rec]}, deadline)
+        if jid in resp.get("backpressure", []):
+            time.sleep(0.05)
+            continue
+        if jid in resp.get("admitted", []):
+            return
+        if any(
+            err.get("id") == jid and "already submitted" in str(err.get("error"))
+            for err in resp.get("errors", [])
+        ):
+            return
+        raise SystemExit(f"chaos smoke: FAIL — submit of {jid} not admitted: {resp}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=60)
+    parser.add_argument("--kill-at", type=int, default=None,
+                        help="SIGKILL the worker after this many acked submits "
+                        "(default: a third of the stream)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="overall deadline in seconds")
+    parser.add_argument("--workdir", default=None,
+                        help="journal/snapshot directory (default: a tempdir)")
+    args = parser.parse_args()
+    kill_at = args.kill_at if args.kill_at is not None else max(1, args.jobs // 3)
+    deadline = time.monotonic() + args.timeout
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="chaos-smoke-")
+    os.makedirs(workdir, exist_ok=True)
+    journal = os.path.join(workdir, "journal.jsonl")
+
+    # a free port for the worker (picked here so the client knows it)
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--supervise", "--backoff-base", "0.2", "--backoff-cap", "1",
+        "--max-restarts", "8",
+        "--tcp", str(port),
+        "--capacities", *map(str, CAPACITIES),
+        "--seed", str(SEED),
+        "--journal", journal, "--checkpoint-every", "8",
+        "--batch-size", "1", "--max-pending", "128",
+    ]
+    print(f"chaos smoke: starting supervisor: {' '.join(cmd)}", flush=True)
+    proc = subprocess.Popen(cmd)
+    try:
+        jobs = job_stream(args.jobs)
+        client = Client(port)
+        client.connect(deadline)
+
+        killed_pid = None
+        for i, rec in enumerate(jobs):
+            submit_until_acked(client, rec, deadline)
+            if i + 1 == kill_at:
+                status = client.call({"op": "status"}, deadline)
+                killed_pid = status["pid"]
+                assert killed_pid != proc.pid, "status pid is the supervisor?"
+                print(
+                    f"chaos smoke: SIGKILL worker pid {killed_pid} after "
+                    f"{i + 1}/{args.jobs} submits",
+                    flush=True,
+                )
+                os.kill(killed_pid, signal.SIGKILL)
+        assert killed_pid is not None, "stream shorter than --kill-at"
+
+        drain = client.call({"op": "drain"}, deadline)
+        validate = client.call({"op": "validate"}, deadline)
+        status = client.call({"op": "status"}, deadline)
+        snapshot = client.call({"op": "checkpoint"}, deadline)["snapshot"]
+        shutdown = client.call({"op": "shutdown"}, deadline)
+        client.close()
+
+        failures = []
+        if drain.get("completed") != args.jobs:
+            failures.append(
+                f"drain completed {drain.get('completed')} of {args.jobs} jobs"
+            )
+        if not validate.get("valid"):
+            failures.append(f"strict validation failed: {validate.get('violations')}")
+        if status["pid"] == killed_pid:
+            failures.append("worker pid unchanged after SIGKILL")
+        if status.get("restarts", 0) < 1:
+            failures.append(f"supervisor reports restarts={status.get('restarts')}")
+        if status.get("journal", {}).get("applied_seq", 0) < 1:
+            failures.append(f"journal status missing/empty: {status.get('journal')}")
+        if not shutdown.get("ok"):
+            failures.append(f"shutdown refused: {shutdown}")
+
+        # the recovered schedule must match the uninterrupted reference
+        # event for event: no admitted job lost, none duplicated
+        from repro.conformance.fuzz import portable_events
+        from repro.service.checkpoint import restore_session
+
+        recovered = restore_session(snapshot)
+        got = portable_events(recovered.to_schedule(), reprify=False)
+        want = reference_events(jobs)
+        if got != want:
+            failures.append(
+                "recovered schedule diverges from the uninterrupted reference "
+                f"({len(got)} vs {len(want)} events)"
+            )
+
+        code = proc.wait(timeout=30)
+        if code != 0:
+            failures.append(f"supervisor exited {code} after clean shutdown")
+
+        if failures:
+            for f in failures:
+                print(f"chaos smoke: FAIL — {f}", flush=True)
+            return 1
+        print(
+            "chaos smoke: OK — "
+            f"{args.jobs} jobs, worker {killed_pid} SIGKILLed after {kill_at} "
+            f"submits, restarts={status.get('restarts')}, "
+            f"replayed={status.get('journal', {}).get('replayed')}, "
+            f"makespan={drain.get('makespan'):.3f}, schedule identical to the "
+            "uninterrupted reference",
+            flush=True,
+        )
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

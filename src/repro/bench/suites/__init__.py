@@ -6,4 +6,11 @@ Each ``benchmarks/bench_*.py`` pytest wrapper maps onto one or more specs
 here; the mapping is asserted by ``tests/test_bench_harness.py``.
 """
 
-from repro.bench.suites import ablations, engine, extensions, paper, service  # noqa: F401
+from repro.bench.suites import (  # noqa: F401
+    ablations,
+    engine,
+    extensions,
+    paper,
+    recovery,
+    service,
+)

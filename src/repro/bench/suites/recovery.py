@@ -1,0 +1,295 @@
+"""Service recovery benchmark: crash-restart cost of the durable session.
+
+The open-loop Poisson client of the ``service`` benchmark drives a
+*durable* :class:`~repro.service.journal.JournaledSession` (write-ahead
+journal + periodic snapshots, ``fsync=False`` — what is measured is the
+journal/replay machinery, not the disk) and is killed ~60% of the way
+through the stream, right after a journaled chunk, leaving a snapshot
+plus a journal suffix on disk — the artifact set a supervised
+``repro serve`` worker restarts from.  Three timed drivers then complete
+the same workload:
+
+``rerun:scratch``
+    the no-durability baseline: a plain session replays the entire
+    stream from zero — what a crash costs without a journal;
+``recover:replay``
+    restore the snapshot, replay the journal suffix, and finish the
+    remaining ~40% of the stream (the supervised-restart path; the
+    recovered RNG cursor continues the client's arrival draws exactly);
+``durable:open_loop``
+    the full stream through the journaled session, no crash — the
+    steady-state overhead of write-ahead journaling itself.
+
+Every driver's final schedule is asserted identical event for event to
+the plain uninterrupted run and strict-validated before timing counts.
+
+Gated metrics, both machine-relative: ``recovery_vs_rerun`` — recovery
+time as a fraction of rerunning from scratch (*lower* is better; replay
+loads the snapshot instead of re-scheduling the completed prefix) — and
+``durable_vs_plain`` — the journaled stream's slowdown over the plain
+session (lower is better; dominated not by the journal appends, one
+JSON line per chunk verb, but by the full session snapshot + rotation
+every ``CHECKPOINT_EVERY`` records that bounds the journal's length).
+Absolute recovery jobs/s is reported informationally.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.bench.core import BenchCase, BenchConfig, BenchPlan, Checker, Gate, Table
+from repro.bench.registry import register_benchmark
+from repro.bench.suites.service import (
+    ARRIVAL_RATE_FULL,
+    ARRIVAL_RATE_QUICK,
+    CAPACITY,
+    CHUNK,
+    COMPACT_MIN_ROWS_FULL,
+    COMPACT_MIN_ROWS_QUICK,
+    D,
+    _arrivals,
+    _drive_open_loop,
+)
+from repro.bench.workloads import rigid_layered
+from repro.instance.instance import with_release_times
+
+#: Snapshot after this many journaled records (2 per chunk: submit +
+#: advance).  Coprime with the per-chunk record count, so the kill
+#: points of both configs (6 and 19 chunks: 12 and 38 records) fall
+#: mid-interval and a journal suffix is always left to replay on top of
+#: the snapshot — the ``replayed >= 1`` check enforces it.
+CHECKPOINT_EVERY = 5
+
+
+def _drive_durable(
+    journal_path: str,
+    snapshot_path: str,
+    capacities,
+    specs,
+    seed: int,
+    rate: float,
+    min_rows: int,
+    *,
+    stop_at: "int | None" = None,
+):
+    """The open-loop client through a journaled session.
+
+    ``stop_at`` kills the client at that chunk boundary — the journal and
+    snapshot are left exactly as a SIGKILLed worker would leave them (no
+    final drain, no trailing checkpoint).  Returns the journaled session.
+    """
+    from repro.service.journal import JournaledSession
+    from repro.service.session import SchedulingSession
+
+    session = SchedulingSession(capacities, seed=seed, compact_min_rows=min_rows)
+    js = JournaledSession(
+        session, journal_path, snapshot_path,
+        checkpoint_every=CHECKPOINT_EVERY, fsync=False,
+    )
+    t = 0.0
+    n = len(specs)
+    for k in range(0, n, CHUNK):
+        if stop_at is not None and k >= stop_at:
+            js.close()
+            return js
+        chunk = specs[k:k + CHUNK]
+        for g in session.rng.exponential(1.0 / rate, size=len(chunk)).tolist():
+            t += g
+        js.submit(chunk)
+        js.advance(t, events=False)
+    js.drain()
+    js.close()
+    return js
+
+
+def _recover_and_finish(journal_path, snapshot_path, specs, rate, resume_at):
+    """The supervised-restart path: snapshot + journal replay, then the
+    client finishes the stream.  ``checkpoint=False`` and plain-session
+    verbs afterwards keep the on-disk artifacts untouched, so every timed
+    repeat replays the identical recovery.  Returns the journaled session
+    (its ``.session`` holds the completed schedule)."""
+    from repro.service.journal import JournaledSession
+
+    js = JournaledSession.recover(
+        journal_path, snapshot_path, fsync=False, checkpoint=False
+    )
+    session = js.session
+    t = session.now  # the last journaled advance target = last arrival
+    n = len(specs)
+    for k in range(resume_at, n, CHUNK):
+        chunk = specs[k:k + CHUNK]
+        for g in session.rng.exponential(1.0 / rate, size=len(chunk)).tolist():
+            t += g
+        session.submit(chunk)
+        session.advance(t, events=False)
+    session.drain()
+    js.close()
+    return js
+
+
+@register_benchmark(
+    "service_recovery",
+    kind="extension",
+    description="Durable-session crash recovery (snapshot + journal replay) "
+    "vs rerunning from scratch, plus steady-state journaling overhead",
+)
+def service_recovery_benchmark(config: BenchConfig) -> BenchPlan:
+    from repro.conformance.fuzz import service_specs
+
+    # the quick stream is bigger than the service benchmark's (the gated
+    # quantity is a ratio of two runs that must stay well above timer
+    # noise on a busy CI host)
+    layers, width = (8, 80) if config.quick else (10, 200)
+    rate = ARRIVAL_RATE_QUICK if config.quick else ARRIVAL_RATE_FULL
+    min_rows = COMPACT_MIN_ROWS_QUICK if config.quick else COMPACT_MIN_ROWS_FULL
+    inst, alloc = rigid_layered(
+        layers, width, d=D, capacity=CAPACITY, seed=config.seed, edge_prob=0.15
+    )
+    order = inst.dag.topological_order()
+    arrivals = _arrivals(order, config.seed, rate)
+    online = with_release_times(inst, arrivals)
+    specs = service_specs(online, alloc)
+    capacities = inst.pool.capacities
+    n = inst.n
+    repeats = 5
+    # kill at the first chunk boundary past 60% of the stream
+    stop_at = -(-int(n * 0.6) // CHUNK) * CHUNK
+
+    # the crash artifacts every `recover:replay` repeat restarts from,
+    # produced once (untimed) by killing the durable client mid-stream
+    workdir = tempfile.mkdtemp(prefix="repro-bench-recovery-")
+    journal_path = os.path.join(workdir, "journal.jsonl")
+    snapshot_path = os.path.join(workdir, "snapshot.json")
+    _drive_durable(
+        journal_path, snapshot_path, capacities, specs, config.seed, rate,
+        min_rows, stop_at=stop_at,
+    )
+    # the durable no-crash driver needs its own scratch paths per repeat
+    fresh = os.path.join(workdir, "fresh")
+    os.mkdir(fresh)
+
+    def durable_full():
+        for name in os.listdir(fresh):
+            os.unlink(os.path.join(fresh, name))
+        return _drive_durable(
+            os.path.join(fresh, "journal.jsonl"),
+            os.path.join(fresh, "snapshot.json"),
+            capacities, specs, config.seed, rate, min_rows,
+        )
+
+    cases = [
+        BenchCase(
+            name="rerun:scratch",
+            fn=lambda: _drive_open_loop(capacities, specs, config.seed, rate, min_rows),
+            repeats=repeats,
+            warmup=1,
+            metrics=lambda value, seconds: {"jobs_per_sec": n / seconds},
+        ),
+        BenchCase(
+            name="recover:replay",
+            fn=lambda: _recover_and_finish(
+                journal_path, snapshot_path, specs, rate, stop_at
+            ),
+            repeats=repeats,
+            warmup=1,
+            metrics=lambda value, seconds: {"jobs_per_sec": n / seconds},
+        ),
+        BenchCase(
+            name="durable:open_loop",
+            fn=durable_full,
+            repeats=repeats,
+            warmup=1,
+            metrics=lambda value, seconds: {"jobs_per_sec": n / seconds},
+        ),
+    ]
+
+    def checks(by_name):
+        from repro.conformance.fuzz import portable_events
+
+        c = Checker()
+        baseline = by_name["rerun:scratch"].value
+        ref = portable_events(baseline.to_schedule(), reprify=False)
+        recovered = by_name["recover:replay"].value
+        c.check(
+            "recover:restored_snapshot_and_replayed_journal",
+            recovered.recovered and recovered.replayed >= 1,
+            f"recovered={recovered.recovered} replayed={recovered.replayed}",
+        )
+        c.check(
+            "recover:no_duplicate_admissions",
+            recovered.deduped == 0,
+            f"deduped={recovered.deduped}",
+        )
+        for label in ("recover:replay", "durable:open_loop"):
+            session = by_name[label].value.session
+            sched = session.to_schedule()
+            c.check(
+                f"{label}:identical_vs_uninterrupted",
+                portable_events(sched, reprify=False) == ref,
+                "crash recovery must converge on the uninterrupted schedule "
+                "event for event",
+            )
+            c.check(
+                f"{label}:complete",
+                len(sched.placements) == n,
+                f"completed {len(sched.placements)} of {n}",
+            )
+            try:
+                session.validate()
+                c.check(f"{label}:strict_valid", True)
+            except Exception as exc:
+                c.check(f"{label}:strict_valid", False, str(exc))
+        return c.results
+
+    def derived(by_name):
+        rerun = by_name["rerun:scratch"]
+        recover = by_name["recover:replay"]
+        durable = by_name["durable:open_loop"]
+        return {
+            "recovery_throughput": recover.metrics["jobs_per_sec"],
+            "recovery_vs_rerun": recover.seconds / rerun.seconds,
+            "durable_vs_plain": durable.seconds / rerun.seconds,
+        }
+
+    def tables(by_name):
+        rows = [
+            {
+                "driver": result.name,
+                "seconds": result.seconds,
+                "jobs_per_sec": result.metrics["jobs_per_sec"],
+            }
+            for result in by_name.values()
+        ]
+        return [
+            Table(
+                name="service_recovery",
+                title=(
+                    f"Durable-session crash recovery ({layers}x{width} rigid "
+                    f"layered DAG, d={D}, kill at job {stop_at}/{n}, "
+                    f"checkpoint every {CHECKPOINT_EVERY} records)"
+                ),
+                rows=rows,
+                precision=4,
+                footer=(
+                    "All drivers asserted identical event for event to the "
+                    "uninterrupted run; recover:replay restores the snapshot "
+                    "and replays the journal suffix a SIGKILLed worker left "
+                    "behind, then finishes the remaining stream."
+                ),
+            )
+        ]
+
+    return BenchPlan(
+        cases=cases,
+        checks=checks,
+        derived=derived,
+        tables=tables,
+        # both ratios are machine-relative (same host, same process);
+        # recovery_vs_rerun moves with replay cost, durable_vs_plain with
+        # journaling overhead — 'lower' is better for both
+        gates=[
+            Gate("recovery_vs_rerun", direction="lower", max_regression=0.30),
+            Gate("durable_vs_plain", direction="lower", max_regression=0.30),
+        ],
+    )

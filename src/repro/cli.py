@@ -205,6 +205,43 @@ def build_parser() -> argparse.ArgumentParser:
                     help="never compact below this many live rows "
                          "(session default 512; overrides a restored "
                          "checkpoint's setting when given)")
+    sv.add_argument("--journal", metavar="FILE", default=None,
+                    help="durable mode: write-ahead journal every mutating "
+                         "op before acknowledging it; on start, recover "
+                         "from the latest snapshot + journal suffix")
+    sv.add_argument("--snapshot", metavar="FILE", default=None,
+                    help="durable snapshot path (default: "
+                         "<journal>.snapshot.json)")
+    sv.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                    help="auto-checkpoint (and rotate the journal) every N "
+                         "journaled records; requires --journal")
+    sv.add_argument("--max-pending", type=int, default=None, metavar="N",
+                    help="bound each tenant's submission buffer: jobs past "
+                         "the bound are refused with an explicit "
+                         "'backpressure' response field")
+    sv.add_argument("--max-request-bytes", type=int, default=1 << 20,
+                    metavar="N",
+                    help="reject request lines longer than this with an "
+                         "error response (default 1 MiB)")
+    sv.add_argument("--chaos", metavar="SPEC", default=None,
+                    help="deterministic fault injection: 'point:rate,...' "
+                         "(e.g. 'op-applied:0.05,mid-drain:0.2'; also via "
+                         "REPRO_CHAOS); an injected crash exits 137")
+    sv.add_argument("--chaos-seed", type=int, default=0,
+                    help="seed of the chaos injector's RNG")
+    sv.add_argument("--supervise", action="store_true",
+                    help="run the worker as a child process and restart it "
+                         "from snapshot+journal on abnormal exit, with "
+                         "bounded exponential backoff")
+    sv.add_argument("--backoff-base", type=float, default=0.5, metavar="SECONDS",
+                    help="initial restart backoff (doubles per consecutive "
+                         "failure; default 0.5s)")
+    sv.add_argument("--backoff-cap", type=float, default=10.0, metavar="SECONDS",
+                    help="maximum restart backoff (default 10s)")
+    sv.add_argument("--max-restarts", type=int, default=5, metavar="N",
+                    help="give up after this many consecutive abnormal "
+                         "exits (a worker healthy for 30s resets the "
+                         "budget; default 5)")
 
     return p
 
@@ -472,10 +509,68 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
+#: serve flags consumed by the supervisor itself and stripped from the
+#: child command line (value = number of following value arguments).
+_SUPERVISE_FLAGS = {
+    "--supervise": 0,
+    "--backoff-base": 1,
+    "--backoff-cap": 1,
+    "--max-restarts": 1,
+}
+
+
+def _strip_supervise_flags(argv: "list[str]") -> "list[str]":
+    """The child worker's argv: the supervisor's own flags removed
+    (both ``--flag value`` and ``--flag=value`` forms)."""
+    out: list[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        name = arg.split("=", 1)[0]
+        if name in _SUPERVISE_FLAGS:
+            if "=" not in arg:
+                i += _SUPERVISE_FLAGS[name]
+            i += 1
+            continue
+        out.append(arg)
+        i += 1
+    return out
+
+
+def _cmd_supervise(args, argv: "Sequence[str] | None") -> int:
+    from repro.service.supervisor import BackoffPolicy, supervise
+
+    try:
+        policy = BackoffPolicy(
+            base=args.backoff_base, cap=args.backoff_cap,
+            max_restarts=args.max_restarts,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    child_argv = _strip_supervise_flags(
+        list(argv) if argv is not None else sys.argv[1:]
+    )
+    cmd = [sys.executable, "-m", "repro", *child_argv]
+
+    def note(restarts: int, code: int, delay: float) -> None:
+        print(f"serve: worker exited with code {code}; "
+              f"restart #{restarts} in {delay:.2f}s", file=sys.stderr, flush=True)
+
+    code = supervise(cmd, policy=policy, on_restart=note)
+    if code != 0:
+        print(f"serve: giving up after {policy.max_restarts} consecutive "
+              f"failures (last exit code {code})", file=sys.stderr)
+    return code
+
+
+def _cmd_serve(args, argv: "Sequence[str] | None" = None) -> int:
     import json
+    import os
 
     from repro.service import (
+        ChaosInjector,
+        JournaledSession,
         ServiceFrontend,
         SchedulingSession,
         load_session,
@@ -483,6 +578,9 @@ def _cmd_serve(args) -> int:
         serve_tcp,
         write_trace,
     )
+
+    if args.supervise:
+        return _cmd_supervise(args, argv)
 
     # None = "not given": fresh sessions use the SchedulingSession
     # defaults, restored sessions keep their checkpoint's settings
@@ -500,6 +598,33 @@ def _cmd_serve(args) -> int:
                   f"{args.compact_min_rows}", file=sys.stderr)
             return 2
         compact_kw["compact_min_rows"] = args.compact_min_rows
+    if args.checkpoint_every is not None and not args.journal:
+        print("error: --checkpoint-every requires --journal", file=sys.stderr)
+        return 2
+    if args.max_request_bytes < 1:
+        print(f"error: --max-request-bytes must be >= 1, got "
+              f"{args.max_request_bytes}", file=sys.stderr)
+        return 2
+
+    chaos = None
+    chaos_spec = args.chaos or os.environ.get("REPRO_CHAOS")
+    if chaos_spec:
+        def _chaos_exit(point: str) -> None:
+            # die the way SIGKILL would: no cleanup, no atexit, exit 137
+            print(f"serve: chaos crash at {point}", file=sys.stderr, flush=True)
+            os._exit(137)
+
+        try:
+            chaos = ChaosInjector.from_spec(
+                chaos_spec, seed=args.chaos_seed, on_crash=_chaos_exit
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    caps = args.capacities if args.capacities else [args.capacity] * args.d
+    session = None
+    durable = None
     if args.restore:
         try:
             session = load_session(args.restore)
@@ -512,8 +637,38 @@ def _cmd_serve(args) -> int:
             session.compact_min_rows = int(compact_kw["compact_min_rows"])
         print(f"serve: resumed {len(session.gi.order)} job(s) at clock "
               f"{session.now:g} from {args.restore}", file=sys.stderr)
-    else:
-        caps = args.capacities if args.capacities else [args.capacity] * args.d
+    if args.journal:
+        snapshot = args.snapshot or args.journal + ".snapshot.json"
+        try:
+            if session is not None:
+                # an explicit --restore starts a new durable lineage:
+                # snapshot it and rotate whatever journal was there
+                durable = JournaledSession(
+                    session, args.journal, snapshot,
+                    checkpoint_every=args.checkpoint_every, chaos=chaos,
+                )
+                durable.checkpoint()
+            else:
+                durable = JournaledSession.recover(
+                    args.journal, snapshot, capacities=caps,
+                    checkpoint_every=args.checkpoint_every, chaos=chaos,
+                    session_kwargs={"seed": args.seed, **compact_kw},
+                )
+                session = durable.session
+                if durable.recovered:
+                    if "compact_threshold" in compact_kw:
+                        session.compact_threshold = compact_kw["compact_threshold"]
+                    if "compact_min_rows" in compact_kw:
+                        session.compact_min_rows = int(compact_kw["compact_min_rows"])
+                    print(f"serve: recovered {len(session.gi.order)} job(s) at "
+                          f"clock {session.now:g} from {snapshot} "
+                          f"(+{durable.replayed} journal record(s) replayed, "
+                          f"{durable.deduped} deduplicated)", file=sys.stderr)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"error: cannot recover from {args.journal}: {exc}",
+                  file=sys.stderr)
+            return 2
+    if session is None:
         try:
             session = SchedulingSession(caps, seed=args.seed, **compact_kw)
         except ValueError as exc:
@@ -521,7 +676,9 @@ def _cmd_serve(args) -> int:
             return 2
     try:
         frontend = ServiceFrontend(
-            session, batch_size=args.batch_size, batch_interval=args.batch_interval
+            session, batch_size=args.batch_size,
+            batch_interval=args.batch_interval,
+            max_pending=args.max_pending, durable=durable,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -532,9 +689,11 @@ def _cmd_serve(args) -> int:
                   f"(batch {args.batch_size} jobs / {args.batch_interval}s)",
                   file=sys.stderr, flush=True)
 
-        code = serve_tcp(frontend, args.host, args.tcp, on_bound=announce)
+        code = serve_tcp(frontend, args.host, args.tcp, on_bound=announce,
+                         max_request_bytes=args.max_request_bytes)
     else:
-        code = serve_stdio(frontend, sys.stdin, sys.stdout)
+        code = serve_stdio(frontend, sys.stdin, sys.stdout,
+                           max_request_bytes=args.max_request_bytes)
     if args.trace:
         write_trace(frontend.session, args.trace)
         print(f"serve: session trace written to {args.trace}", file=sys.stderr)
@@ -586,7 +745,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "schedule":
         return _cmd_schedule(args)
     if args.command == "serve":
-        return _cmd_serve(args)
+        return _cmd_serve(args, argv)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

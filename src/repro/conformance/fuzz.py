@@ -35,13 +35,22 @@ running it performs every conformance check that applies:
    **event for event**; and once with an adversarial interleaving — random
    chunk sizes, advances past batch starts, cancellations, another
    checkpoint/restore — whose completed sub-schedule must strict-validate,
-   place no cancelled job, and round-trip through the version-3 trace.
+   place no cancelled job, and round-trip through the version-3 trace;
+7. **crash recovery** (``scenario="crash"``) — the fixed allocation is
+   driven through a *durable*
+   :class:`~repro.service.journal.JournaledSession` under a seeded
+   :class:`~repro.service.chaos.ChaosInjector` that kills the session at
+   random injection points (mid-admission, mid-drain, torn journal
+   appends, torn checkpoint writes); after every kill the client recovers
+   (snapshot + journal replay) and retries, and the final drained
+   schedule must equal the uninterrupted batch engine's run **event for
+   event** and strict-validate.
 
 The default matrix sweeps all registered schedulers × the 11 workload
 families × ``d ∈ {1..6}`` × capacity regimes (including the degenerate
 ``cap=1`` platform and the packed/unpacked engine boundary at ``d=4/5``
 and ``cap >= 2**15``) × offline / Poisson-arrival / fault-replay /
-service scenarios.  Offline-only planners (backfill, the shelf packers,
+service / crash-recovery scenarios.  Offline-only planners (backfill, the shelf packers,
 the malleable relaxation) are swept offline; a scheduler that *rejects* a
 scenario with ``ValueError`` is recorded as a skip, never a failure.
 
@@ -84,7 +93,7 @@ __all__ = [
     "run_fuzz",
 ]
 
-SCENARIOS = ("offline", "poisson", "faults", "service")
+SCENARIOS = ("offline", "poisson", "faults", "service", "crash")
 
 #: Schedulers that plan offline and reject release times by contract.
 _OFFLINE_ONLY = frozenset({"backfill", "level_shelf", "sun_shelf", "malleable"})
@@ -137,7 +146,7 @@ class FuzzFailure:
     """One broken check: the case, which check broke, and why."""
 
     case: FuzzCase
-    check: str  #: "crash" | "validator" | "differential" | "serialize" | "trace" | "faults"
+    check: str  #: "crash" | "validator" | "differential" | "serialize" | "trace" | "faults" | "service" | "crash-recovery"
     detail: str
 
 
@@ -310,7 +319,7 @@ def build_case_instance(case: FuzzCase) -> Instance:
     inst = random_instance(case.family, case.n, pool, seed=case.seed).instance
     if case.scenario == "poisson":
         inst = with_poisson_arrivals(inst, case.arrival_rate, seed=case.seed)
-    elif case.scenario == "service":
+    elif case.scenario in ("service", "crash"):
         # odd seeds add release times so sessions exercise online-arrival
         # gating too; offline-only planners keep the offline instance (they
         # reject releases by contract)
@@ -403,6 +412,10 @@ def run_case(case: FuzzCase) -> tuple[list[FuzzFailure], bool]:
     # 6 — online-session replay (faithful identity + adversarial validity)
     if case.scenario == "service" and allocation is not None:
         failures.extend(_check_service(case, inst, allocation))
+
+    # 7 — durable-session crash recovery (kill → recover → retry identity)
+    if case.scenario == "crash" and allocation is not None:
+        failures.extend(_check_crash(case, inst, allocation))
 
     return failures, False
 
@@ -699,6 +712,141 @@ def _check_service(case, inst, allocation) -> list[FuzzFailure]:
     except Exception as exc:
         out.append(FuzzFailure(case, "service", f"{type(exc).__name__}: {exc}"))
     return out
+
+
+# ----------------------------------------------------------------------
+# durable-session crash recovery (scenario="crash")
+# ----------------------------------------------------------------------
+#: Per-point crash rates the fuzz driver injects with.  Every point is
+#: armed; ``max_crashes`` (not the rates) bounds how many fire per case.
+_CRASH_RATES = {
+    "op-begin": 0.12,
+    "op-applied": 0.12,
+    "op-journaled": 0.12,
+    "mid-drain": 0.12,
+    "checkpoint-temp": 0.12,
+    "journal-torn": 0.12,
+}
+
+
+def drive_session_with_crashes(
+    inst: Instance,
+    allocation,
+    *,
+    seed: int,
+    dirpath: str,
+    batch=None,
+    rates=None,
+    max_crashes: int = 4,
+    checkpoint_every: int = 3,
+):
+    """Drive a durable session the way a crash-surviving client would.
+
+    The submission-order-faithful interleaving of
+    :func:`drive_session_faithfully`, but through a
+    :class:`~repro.service.journal.JournaledSession` with a seeded
+    :class:`~repro.service.chaos.ChaosInjector` armed at every crash
+    point.  Whenever an operation dies mid-flight the client *recovers*
+    (snapshot + journal replay — itself crashable at the checkpoint
+    write) and retries exactly as the protocol prescribes: submits are
+    re-sent minus the jobs recovery already knows (at-least-once,
+    deduplicated by id), advances re-target the same horizon, the drain
+    is re-issued.  ``checkpoint_every=3`` keeps journal rotation in the
+    loop so recovery crosses compaction boundaries, not just appends.
+    Returns ``(journaled_session, injector)`` after the final drain.
+    """
+    import numpy as np
+
+    from repro.service.chaos import ChaosCrash, ChaosInjector
+    from repro.service.journal import JournaledSession
+
+    if batch is None:
+        batch = list_schedule(inst, allocation, fifo_priority)
+    order = inst.dag.topological_order()
+    specs = service_specs(inst, allocation)
+    n = len(specs)
+    rng = np.random.default_rng(seed)
+    chaos = ChaosInjector(
+        dict(rates) if rates is not None else dict(_CRASH_RATES),
+        seed=seed,
+        max_crashes=max_crashes,
+    )
+    journal_path = f"{dirpath}/journal.jsonl"
+    snapshot_path = f"{dirpath}/snapshot.json"
+
+    def recover():
+        while True:
+            try:
+                return JournaledSession.recover(
+                    journal_path,
+                    snapshot_path,
+                    capacities=inst.pool.capacities,
+                    checkpoint_every=checkpoint_every,
+                    fsync=False,
+                    chaos=chaos,
+                    session_kwargs=_FUZZ_COMPACTION,
+                )
+            except ChaosCrash:
+                continue  # recovery's own trailing checkpoint died: go again
+
+    js = recover()
+    k = 0
+    while k < n:
+        size = int(rng.integers(1, n - k + 1))
+        chunk = specs[k:k + size]
+        while True:
+            todo = [s for s in chunk if s.id not in js.session]
+            if not todo:
+                break
+            try:
+                js.submit(todo)
+            except ChaosCrash:
+                js = recover()
+        k += size
+        if k < n:
+            horizon = min(batch.placements[order[i]].start for i in range(k, n))
+            if horizon > js.session.now:
+                t = js.session.now + float(rng.uniform(0.0, 0.999)) * (
+                    horizon - js.session.now
+                )
+                while js.session.now < t:
+                    try:
+                        js.advance(t, events=False)
+                    except ChaosCrash:
+                        js = recover()
+    while True:
+        try:
+            js.drain()
+            break
+        except ChaosCrash:
+            js = recover()
+    return js, chaos
+
+
+def _check_crash(case, inst, allocation) -> list[FuzzFailure]:
+    import tempfile
+
+    try:
+        batch = list_schedule(inst, allocation, fifo_priority)
+        with tempfile.TemporaryDirectory() as tmp:
+            js, chaos = drive_session_with_crashes(
+                inst, allocation, seed=case.seed + 55511, dirpath=tmp, batch=batch
+            )
+            sched = js.session.to_schedule()
+            js.session.validate()
+            js.close()
+    except Exception as exc:
+        return [FuzzFailure(case, "crash-recovery", f"{type(exc).__name__}: {exc}")]
+    if portable_events(sched, reprify=False) != portable_events(batch, reprify=True):
+        return [
+            FuzzFailure(
+                case,
+                "crash-recovery",
+                "recovered session diverges from the uninterrupted batch run "
+                f"after {chaos.crashes} injected crash(es) at {chaos.fired}",
+            )
+        ]
+    return []
 
 
 # ----------------------------------------------------------------------

@@ -11,6 +11,7 @@ stdin/stdout or TCP (``repro serve``) with batched admission and weighted
 fair sharing across tenants.
 """
 
+from repro.service.chaos import ChaosCrash, ChaosInjector
 from repro.service.checkpoint import (
     SESSION_FORMAT,
     checkpoint_session,
@@ -19,18 +20,28 @@ from repro.service.checkpoint import (
     save_session,
 )
 from repro.service.frontend import ServiceFrontend, serve_stdio, serve_tcp, write_trace
+from repro.service.journal import JOURNAL_FORMAT, Journal, JournaledSession, scan_journal
 from repro.service.session import JobSpec, SchedulingSession
+from repro.service.supervisor import BackoffPolicy, supervise
 
 __all__ = [
     "JobSpec",
     "SchedulingSession",
     "SESSION_FORMAT",
+    "JOURNAL_FORMAT",
     "checkpoint_session",
     "restore_session",
     "save_session",
     "load_session",
+    "Journal",
+    "JournaledSession",
+    "scan_journal",
+    "ChaosCrash",
+    "ChaosInjector",
     "ServiceFrontend",
     "serve_stdio",
     "serve_tcp",
     "write_trace",
+    "BackoffPolicy",
+    "supervise",
 ]

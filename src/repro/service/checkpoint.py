@@ -109,6 +109,9 @@ def checkpoint_session(session: SchedulingSession) -> dict[str, Any]:
             "cancelled": session.counters.cancelled,
             "completed": session.counters.completed,
         },
+        # journal cursor: recovery skips journal records with seq <= this
+        # (additive field — v2 snapshots without it read back as 0)
+        "applied_seq": session.applied_seq,
         "rng": session.rng.bit_generator.state,
     }
 
@@ -293,6 +296,7 @@ def _load_loop_state(
     session.counters.cancelled = int(counters.get("cancelled", 0))
     session.counters.completed = int(counters.get("completed", 0))
     loop.ncompleted = session.counters.completed
+    session.applied_seq = int(snap.get("applied_seq", 0))
     if snap.get("rng") is not None:
         rng = np.random.default_rng()
         rng.bit_generator.state = snap["rng"]
@@ -422,11 +426,26 @@ def _dict_event_row(e: dict[str, Any]) -> list:
     raise ValueError(f"unknown event kind {kind!r}")
 
 
-def save_session(session: SchedulingSession, path: str, *, indent: int | None = 1) -> None:
-    """Write the checkpoint to ``path`` as JSON."""
-    with open(path, "w") as fh:
-        json.dump(checkpoint_session(session), fh, indent=indent)
-        fh.write("\n")
+def save_session(
+    session: SchedulingSession,
+    path: str,
+    *,
+    indent: int | None = 1,
+    fsync: bool = True,
+    before_replace=None,
+) -> None:
+    """Write the checkpoint to ``path`` as JSON, atomically.
+
+    The document lands in a temp file, is fsynced and renamed over
+    ``path`` — a crash mid-write leaves the previous checkpoint intact,
+    never a torn file.  ``before_replace`` is the chaos harness's hook
+    between "durable" and "visible" (see
+    :func:`repro.util.atomic.atomic_write_text`).
+    """
+    from repro.util.atomic import atomic_write_text
+
+    text = json.dumps(checkpoint_session(session), indent=indent) + "\n"
+    atomic_write_text(path, text, fsync=fsync, before_replace=before_replace)
 
 
 def load_session(path: str) -> SchedulingSession:

@@ -45,29 +45,37 @@ service.
 from __future__ import annotations
 
 import json
+import os
 import socketserver
 import threading
 import time
 from collections import deque
 from typing import Any, Callable, TextIO
 
+from repro.service.chaos import ChaosCrash
 from repro.service.checkpoint import (
     checkpoint_session,
     load_session,
     restore_session,
     save_session,
 )
+from repro.service.journal import JournaledSession
 from repro.service.session import JobSpec, SchedulingSession
+from repro.service.supervisor import RESTARTS_ENV
+from repro.util.atomic import atomic_write_text
 
 __all__ = ["ServiceFrontend", "serve_stdio", "serve_tcp", "write_trace"]
 
+#: Default per-request size bound for both transports (chars on stdio,
+#: bytes on TCP); ``repro serve --max-request-bytes`` overrides.
+DEFAULT_MAX_REQUEST_BYTES = 1 << 20
+
 
 def write_trace(session: SchedulingSession, path: str) -> None:
-    """Write the session's v3 trace to ``path`` (the one trace serializer,
-    shared by the ``trace`` op and the CLI's ``--trace`` shutdown hook)."""
-    with open(path, "w") as fh:
-        json.dump(session.to_trace(), fh, indent=1)
-        fh.write("\n")
+    """Atomically write the session's v3 trace to ``path`` (the one trace
+    serializer, shared by the ``trace`` op and the CLI's ``--trace``
+    shutdown hook) — a crash mid-write never leaves a torn file."""
+    atomic_write_text(path, json.dumps(session.to_trace(), indent=1) + "\n")
 
 
 class _Tenant:
@@ -87,29 +95,52 @@ class ServiceFrontend:
 
     ``clock`` injects the wall-clock source for the batch interval (tests
     pass a fake); ``batch_size=1`` admits every submission immediately.
+    ``max_pending`` bounds each tenant's buffer: jobs past the bound are
+    refused with an explicit ``backpressure`` response field instead of
+    growing memory without limit.  ``durable`` wires a
+    :class:`~repro.service.journal.JournaledSession` in: mutating verbs
+    are write-ahead journaled before they are acknowledged, so a crashed
+    worker recovers every acknowledged operation.
     """
 
     def __init__(
         self,
-        session: SchedulingSession,
+        session: "SchedulingSession | None" = None,
         *,
         batch_size: int = 32,
         batch_interval: float = 0.05,
         clock: Callable[[], float] = time.monotonic,
+        max_pending: "int | None" = None,
+        durable: "JournaledSession | None" = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch size must be >= 1, got {batch_size}")
         if batch_interval < 0:
             raise ValueError(f"batch interval must be >= 0, got {batch_interval}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if durable is not None:
+            if session is not None and session is not durable.session:
+                raise ValueError("session and durable.session must be the same object")
+            session = durable.session
+        if session is None:
+            raise ValueError("a session (or a durable wrapper) is required")
         self.session = session
+        self.durable = durable
         self.batch_size = batch_size
         self.batch_interval = batch_interval
+        self.max_pending = max_pending
         self.clock = clock
         self.closed = False
         self._tenants: dict[str, _Tenant] = {}
         self._vfloor = 0.0  # virtual admission time of the last admitted job
         self._buffered = 0
         self._stamps: dict[Any, float] = {}  # wall-clock enqueue stamp per buffered job
+
+    @property
+    def _mut(self) -> "JournaledSession | SchedulingSession":
+        """The mutation target: the journaled wrapper when durable."""
+        return self.durable if self.durable is not None else self.session
 
     # ------------------------------------------------------------------
     # admission
@@ -156,7 +187,6 @@ class ServiceFrontend:
         the rest, so legal intra-call dependencies never depend on tenant
         names — only genuinely unsatisfiable jobs error.
         """
-        admitted: list[Any] = []
         errors: list[dict[str, Any]] = []
         pending: list[JobSpec] = []  # the weighted-fair admission sequence
         active = [t for t in self._tenants.values() if t.buffer]
@@ -169,21 +199,40 @@ class ServiceFrontend:
             if not t.buffer:
                 active.remove(t)
         self._stamps.clear()
-        while pending:
-            deferred: list[tuple[JobSpec, str]] = []
-            progressed = False
-            for spec in pending:
-                try:
-                    self.session.submit([spec])
-                    admitted.append(spec.id)
-                    progressed = True
-                except (ValueError, TypeError) as exc:
-                    deferred.append((spec, str(exc)))
-            if not progressed:  # fixpoint: what's left can never admit
-                errors.extend({"id": s.id, "error": e} for s, e in deferred)
-                break
-            pending = [s for s, _ in deferred]
-        return admitted, errors
+        if not pending:
+            return [], errors
+        durable = self.durable
+        if durable is not None and durable.chaos is not None:
+            durable.chaos.maybe_crash("op-begin")
+        admitted_specs: list[JobSpec] = []
+        try:
+            # fast path: the whole flush as one all-or-nothing batch —
+            # identical admission order and keys to the per-spec loop,
+            # and (when durable) one journal record + fsync per flush
+            # instead of one per job
+            self.session.submit(pending)
+            admitted_specs = pending
+        except (ValueError, TypeError):
+            # something in the batch does not admit: fall back to per-spec
+            # admission so individual bad jobs error without blocking the
+            # rest (the batch attempt had no side effects)
+            while pending:
+                deferred: list[tuple[JobSpec, str]] = []
+                progressed = False
+                for spec in pending:
+                    try:
+                        self.session.submit([spec])
+                        admitted_specs.append(spec)
+                        progressed = True
+                    except (ValueError, TypeError) as exc:
+                        deferred.append((spec, str(exc)))
+                if not progressed:  # fixpoint: what's left can never admit
+                    errors.extend({"id": s.id, "error": e} for s, e in deferred)
+                    break
+                pending = [s for s, _ in deferred]
+        if durable is not None and admitted_specs:
+            durable.record_submit(admitted_specs)
+        return [s.id for s in admitted_specs], errors
 
     # ------------------------------------------------------------------
     # protocol
@@ -243,9 +292,20 @@ class ServiceFrontend:
         if not isinstance(jobs, list):
             raise ValueError("submit needs a 'jobs' list")
         specs = [JobSpec.from_dict(rec) for rec in jobs]
+        refused: list[Any] = []
         for spec in specs:
-            self.enqueue(spec)
+            if (
+                self.max_pending is not None
+                and len(self._tenant(spec.tenant).buffer) >= self.max_pending
+            ):
+                # bounded buffers: refuse explicitly instead of growing
+                # without limit; the client backs off and retries
+                refused.append(spec.id)
+            else:
+                self.enqueue(spec)
         resp: dict[str, Any] = {"buffered": self._buffered}
+        if refused:
+            resp["backpressure"] = refused
         if self._batch_due():
             admitted, errors = self.flush()
             resp.update({"admitted": admitted, "buffered": 0})
@@ -268,7 +328,7 @@ class ServiceFrontend:
             cancelled: list[Any] = []
             gone = {jid}
         else:
-            cancelled = list(self.session.cancel(jid))
+            cancelled = list(self._mut.cancel(jid))
             gone = set(cancelled)
         if gone:
             # cascade through the buffers too: a dependent of a withdrawn
@@ -300,14 +360,14 @@ class ServiceFrontend:
 
     def _op_advance(self, req: dict[str, Any]) -> dict[str, Any]:
         _, errors = self.flush()
-        events = self.session.advance(float(req["until"]))
+        events = self._mut.advance(float(req["until"]))
         return self._with_flush_errors(
             {"clock": self.session.now, "events": events}, errors
         )
 
     def _op_drain(self, req: dict[str, Any]) -> dict[str, Any]:
         _, errors = self.flush()
-        self.session.drain()
+        self._mut.drain()
         return self._with_flush_errors(
             {
                 "clock": self.session.now,
@@ -324,6 +384,20 @@ class ServiceFrontend:
             t.name: {"weight": t.weight, "buffered": len(t.buffer), "vtime": t.vtime}
             for t in self._tenants.values()
         }
+        status["pid"] = os.getpid()
+        # the supervisor exports its restart count into the worker's env
+        try:
+            status["restarts"] = int(os.environ.get(RESTARTS_ENV, "0"))
+        except ValueError:
+            status["restarts"] = 0
+        if self.durable is not None:
+            status["journal"] = {
+                "path": self.durable.journal.path,
+                "records": self.durable.journal.appended,
+                "applied_seq": self.session.applied_seq,
+                "replayed": self.durable.replayed,
+                "deduped": self.durable.deduped,
+            }
         return status
 
     def _op_tenant(self, req: dict[str, Any]) -> dict[str, Any]:
@@ -350,23 +424,32 @@ class ServiceFrontend:
         _, errors = self.flush()
         if path is not None:
             save_session(self.session, path)
-            return self._with_flush_errors(
-                {"path": path, "clock": self.session.now}, errors
-            )
-        return self._with_flush_errors(
-            {"snapshot": checkpoint_session(self.session), "clock": self.session.now},
-            errors,
-        )
+            resp = {"path": path, "clock": self.session.now}
+        else:
+            resp = {
+                "snapshot": checkpoint_session(self.session),
+                "clock": self.session.now,
+            }
+        if self.durable is not None:
+            # an explicit checkpoint also rotates the journal: the durable
+            # snapshot now covers everything the journal held
+            self.durable.checkpoint()
+            resp["journal_rotated"] = True
+        return self._with_flush_errors(resp, errors)
 
     def _op_restore(self, req: dict[str, Any]) -> dict[str, Any]:
         if self._buffered:
             raise ValueError("cannot restore with submissions still buffered")
         if "path" in req:
-            self.session = load_session(self._path_arg(req))
+            session = load_session(self._path_arg(req))
         elif "snapshot" in req:
-            self.session = restore_session(req["snapshot"])
+            session = restore_session(req["snapshot"])
         else:
             raise ValueError("restore needs a 'path' or an inline 'snapshot'")
+        if self.durable is not None:
+            # durability follows the new lineage: snapshot it, rotate
+            self.durable.adopt(session)
+        self.session = session
         return {
             "clock": self.session.now,
             "jobs": len(self.session.gi.order) + len(self.session.archive),
@@ -381,7 +464,7 @@ class ServiceFrontend:
         return self._with_flush_errors({"trace": self.session.to_trace()}, errors)
 
     def _op_prune(self, req: dict[str, Any]) -> dict[str, Any]:
-        return {"dropped": self.session.prune_events(),
+        return {"dropped": self._mut.prune_events(),
                 "events": len(self.session.events)}
 
     def _op_shutdown(self, req: dict[str, Any]) -> dict[str, Any]:
@@ -397,23 +480,59 @@ def _handle_line(frontend: ServiceFrontend, line: str) -> dict[str, Any]:
         req = json.loads(line)
     except json.JSONDecodeError as exc:
         return {"ok": False, "error": f"bad JSON: {exc}"}
-    return frontend.handle_request(req)
+    try:
+        return frontend.handle_request(req)
+    except ChaosCrash:
+        raise  # an injected crash must kill the worker, not be swallowed
+    except Exception as exc:  # the last-resort backstop: a handler bug
+        # must produce an error response, never take down the serving loop
+        return {"ok": False, "error": f"internal error: {type(exc).__name__}: {exc}"}
 
 
-def serve_stdio(frontend: ServiceFrontend, in_stream: TextIO, out_stream: TextIO) -> int:
+def _drain_oversized(readline: Callable[[int], Any], limit: int) -> None:
+    """Discard the rest of an oversized line so the stream resynchronizes
+    at the next newline (works on text and byte streams alike)."""
+    while True:
+        chunk = readline(limit)
+        if not chunk or chunk[-1:] in ("\n", b"\n"):
+            return
+
+
+def serve_stdio(
+    frontend: ServiceFrontend,
+    in_stream: TextIO,
+    out_stream: TextIO,
+    *,
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+) -> int:
     """One request per line on ``in_stream``, one response per line out.
 
     Returns the process exit code (0 on clean shutdown or EOF).  Blank
-    lines are ignored; a malformed line produces an error response and the
-    loop continues.
+    lines are ignored; a malformed line produces an error response and
+    the loop continues.  A line longer than ``max_request_bytes`` is
+    discarded up to its newline and answered with an error — adversarial
+    input bounds memory instead of growing it.
     """
-    for line in in_stream:
-        line = line.strip()
+    while True:
+        line = in_stream.readline(max_request_bytes + 1)
         if not line:
-            continue
-        resp = _handle_line(frontend, line)
-        out_stream.write(json.dumps(resp) + "\n")
-        out_stream.flush()
+            break
+        if len(line) > max_request_bytes and not line.endswith("\n"):
+            _drain_oversized(in_stream.readline, max_request_bytes)
+            resp: dict[str, Any] = {
+                "ok": False,
+                "error": f"request exceeds {max_request_bytes} bytes",
+            }
+        else:
+            line = line.strip()
+            if not line:
+                continue
+            resp = _handle_line(frontend, line)
+        try:
+            out_stream.write(json.dumps(resp) + "\n")
+            out_stream.flush()
+        except OSError:
+            return 0  # the reader went away: nothing left to serve
         if frontend.closed:
             break
     return 0
@@ -431,6 +550,7 @@ def serve_tcp(
     *,
     ready: "threading.Event | None" = None,
     on_bound: "Callable[[int], None] | None" = None,
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
 ) -> int:
     """Serve the line protocol on a TCP socket until a ``shutdown`` op.
 
@@ -440,17 +560,44 @@ def serve_tcp(
     the only way anyone learns which port the OS picked); ``ready``
     (tests) is set at the same moment, with the port published as
     ``ready.port``.  Returns 0.
+
+    Errors are isolated per connection: an oversized line is answered
+    with an error, undecodable bytes are answered with an error, and a
+    mid-request disconnect closes that one connection — the server and
+    every other connection live on.
     """
     lock = threading.Lock()
 
     class Handler(socketserver.StreamRequestHandler):
         def handle(self) -> None:
-            for raw in self.rfile:
-                line = raw.decode("utf-8").strip()
-                if not line:
-                    continue
-                with lock:
-                    resp = _handle_line(frontend, line)
+            try:
+                self._serve_connection()
+            except (OSError, ValueError):
+                # disconnect mid-request / unusable socket: close this
+                # connection only, never the server
+                return
+
+        def _serve_connection(self) -> None:
+            while True:
+                raw = self.rfile.readline(max_request_bytes + 1)
+                if not raw:
+                    return
+                if len(raw) > max_request_bytes and not raw.endswith(b"\n"):
+                    _drain_oversized(self.rfile.readline, max_request_bytes)
+                    resp: dict[str, Any] = {
+                        "ok": False,
+                        "error": f"request exceeds {max_request_bytes} bytes",
+                    }
+                else:
+                    try:
+                        line = raw.decode("utf-8").strip()
+                    except UnicodeDecodeError as exc:
+                        resp = {"ok": False, "error": f"invalid UTF-8: {exc}"}
+                    else:
+                        if not line:
+                            continue
+                        with lock:
+                            resp = _handle_line(frontend, line)
                 self.wfile.write((json.dumps(resp) + "\n").encode("utf-8"))
                 self.wfile.flush()
                 if frontend.closed:

@@ -148,6 +148,24 @@ class JobSpec:
             tenant=str(rec.get("tenant", _DEFAULT_TENANT)),
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """The wire/journal record; ``from_dict`` round-trips it exactly
+        (defaults are omitted, so journals stay compact)."""
+        rec: dict[str, Any] = {
+            "id": self.id,
+            "demand": list(self.demand),
+            "duration": self.duration,
+        }
+        if self.preds:
+            rec["preds"] = list(self.preds)
+        if self.release:
+            rec["release"] = self.release
+        if self.key is not None:
+            rec["key"] = self.key
+        if self.tenant != _DEFAULT_TENANT:
+            rec["tenant"] = self.tenant
+        return rec
+
 
 @dataclass
 class _Counters:
@@ -232,6 +250,12 @@ class SchedulingSession:
         #: from the finish entries of the event log as :meth:`advance` /
         #: :meth:`drain` consume it, and rebuilt whole on restore.
         self.done_ids: set[JobId] = set()
+        #: sequence id of the last journaled operation applied to this
+        #: session (0 = none).  The write-ahead journal
+        #: (:mod:`repro.service.journal`) stamps every record with the
+        #: next value; checkpoints carry it so recovery can skip journal
+        #: records the snapshot already contains.
+        self.applied_seq = 0
 
     # ------------------------------------------------------------------
     @property
@@ -250,6 +274,12 @@ class SchedulingSession:
     def available(self) -> tuple[int, ...]:
         """Per-type resources free at the current clock."""
         return self.loop.available()
+
+    def __contains__(self, job_id: JobId) -> bool:
+        """True iff the session has ever admitted ``job_id`` (live row or
+        archived) — the membership test an at-least-once client uses to
+        filter re-submissions after a crash."""
+        return job_id in self.gi.index or job_id in self.archive_index
 
     def state_of(self, job_id: JobId) -> str:
         """One of ``waiting / queued / running / done / cancelled``."""

@@ -1,0 +1,77 @@
+"""Crash-safe file replacement: temp file + fsync + atomic rename.
+
+Every artifact the service persists (checkpoints, traces, journal
+headers) goes through :func:`atomic_write_text`: the bytes land in a
+temporary file in the destination directory, are flushed and fsynced,
+and only then atomically renamed over the destination (followed by a
+directory fsync so the rename itself is durable).  A crash at any point
+leaves either the old file or the new file — never a torn mix — which
+is the property the recovery path (`snapshot + journal replay`) builds
+on.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Callable
+
+__all__ = ["atomic_write_text", "fsync_directory"]
+
+
+def fsync_directory(path: str) -> None:
+    """fsync a directory so a rename inside it survives power loss.
+
+    Platforms/filesystems that cannot open directories for reading
+    (or reject fsync on them) are silently tolerated — the rename is
+    still atomic, just not guaranteed ordered against the crash.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: str,
+    text: str,
+    *,
+    fsync: bool = True,
+    before_replace: "Callable[[str], None] | None" = None,
+) -> None:
+    """Atomically replace ``path`` with ``text`` (temp + fsync + rename).
+
+    ``before_replace`` is called with the temp file's path after it is
+    durable but before the rename — the chaos harness hooks it to
+    simulate a crash between "new checkpoint written" and "new
+    checkpoint visible"; production callers leave it ``None``.  On any
+    failure the temp file is removed and ``path`` is untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        if before_replace is not None:
+            before_replace(tmp)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_directory(directory)

@@ -61,6 +61,7 @@ WRAPPER_SPECS = {
     "bench_ablation_rounding.py": ["ablation_rounding", "robustness"],
     "bench_extended.py": ["capacity_sweep", "epsilon_sweep", "strategy_sweep"],
     "bench_service.py": ["service"],
+    "bench_service_recovery.py": ["service_recovery"],
 }
 
 

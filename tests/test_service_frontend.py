@@ -386,3 +386,243 @@ class TestTransports:
                     assert resp["makespan"] == 2.5
         t.join(timeout=5.0)
         assert not t.is_alive()
+
+
+def _durable_frontend(tmp_path, caps=(4,), **kw):
+    from repro.service.journal import JournaledSession
+
+    durable = JournaledSession.recover(
+        str(tmp_path / "j.jsonl"), str(tmp_path / "snap.json"),
+        capacities=list(caps), fsync=False,
+    )
+    kw.setdefault("batch_size", 100)
+    kw.setdefault("batch_interval", 9999.0)
+    return ServiceFrontend(durable=durable, **kw)
+
+
+class TestBackpressure:
+    def test_per_tenant_buffer_bound(self):
+        fe = frontend(max_pending=2)
+        resp = fe.handle_request(
+            {"op": "submit", "jobs": [job("a"), job("b"), job("c")]}
+        )
+        assert resp["ok"] and resp["backpressure"] == ["c"]
+        assert resp["buffered"] == 2
+
+    def test_bound_is_per_tenant_not_global(self):
+        fe = frontend(max_pending=1)
+        resp = fe.handle_request(
+            {"op": "submit", "jobs": [
+                job("a", tenant="t1"), job("b", tenant="t2"), job("c", tenant="t1"),
+            ]}
+        )
+        assert resp["backpressure"] == ["c"]  # only t1 is full
+        assert resp["buffered"] == 2
+
+    def test_flush_clears_the_bound(self):
+        fe = frontend(max_pending=1)
+        assert "backpressure" not in fe.handle_request(
+            {"op": "submit", "jobs": [job("a")]}
+        )
+        assert fe.handle_request({"op": "flush"})["admitted"] == ["a"]
+        assert "backpressure" not in fe.handle_request(
+            {"op": "submit", "jobs": [job("b")]}
+        )
+
+    def test_validation_still_first(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            frontend(max_pending=0)
+
+
+class TestAdversarialInput:
+    def _serve(self, text, fe=None, **kw):
+        out = io.StringIO()
+        code = serve_stdio(fe or frontend(batch_size=1), io.StringIO(text), out, **kw)
+        assert code == 0
+        return [json.loads(line) for line in out.getvalue().splitlines()]
+
+    def test_oversized_line_is_refused_and_stream_resyncs(self):
+        huge = json.dumps({"op": "submit", "jobs": [job("x" * 200)]})
+        text = huge + "\n" + json.dumps({"op": "status"}) + "\n"
+        responses = self._serve(text, max_request_bytes=64)
+        assert len(responses) == 2
+        assert not responses[0]["ok"] and "exceeds 64 bytes" in responses[0]["error"]
+        assert responses[1]["ok"] and responses[1]["op"] == "status"
+
+    def test_non_object_json_is_an_error_response(self):
+        for payload in ("[1, 2, 3]", '"drain"', "42", "null", "{}"):
+            (resp,) = self._serve(payload + "\n")
+            assert not resp["ok"], payload
+
+    def test_unknown_op_and_malformed_payloads_never_kill_the_loop(self):
+        text = "\n".join([
+            json.dumps({"op": "teleport"}),
+            json.dumps({"op": "submit", "jobs": 7}),
+            json.dumps({"op": "submit", "jobs": [{"demand": "wat"}]}),
+            json.dumps({"op": "advance"}),  # missing 'until'
+            json.dumps({"op": "advance", "until": "soon"}),
+            json.dumps({"op": "tenant", "name": "t", "weight": "heavy"}),
+            json.dumps({"op": "status"}),
+        ]) + "\n"
+        responses = self._serve(text)
+        assert [r["ok"] for r in responses] == [False] * 6 + [True]
+
+    def test_handler_bug_becomes_internal_error_response(self, monkeypatch):
+        fe = frontend()
+        monkeypatch.setattr(
+            ServiceFrontend, "_op_status",
+            lambda self, req: 1 / 0, raising=True,
+        )
+        responses = self._serve(
+            json.dumps({"op": "status"}) + "\n" + json.dumps({"op": "drain"}) + "\n",
+            fe=fe,
+        )
+        assert not responses[0]["ok"]
+        assert "internal error: ZeroDivisionError" in responses[0]["error"]
+        assert responses[1]["ok"]  # the loop survived the bug
+
+    def test_stdio_reader_disappearing_is_a_clean_exit(self):
+        class Gone(io.StringIO):
+            def write(self, s):
+                raise OSError("broken pipe")
+
+        code = serve_stdio(
+            frontend(), io.StringIO(json.dumps({"op": "status"}) + "\n"), Gone()
+        )
+        assert code == 0
+
+    def _tcp_server(self):
+        fe = frontend(batch_size=1)
+        ready = threading.Event()
+        t = threading.Thread(
+            target=serve_tcp, args=(fe, "127.0.0.1", 0),
+            kwargs={"ready": ready, "max_request_bytes": 64}, daemon=True,
+        )
+        t.start()
+        assert ready.wait(5.0)
+        return fe, ready.port, t
+
+    def test_tcp_survives_bad_bytes_disconnects_and_oversized_lines(self):
+        fe, port, t = self._tcp_server()
+        # connection 1: invalid UTF-8, then an oversized line, then hangs up
+        # mid-request — all isolated to this connection
+        with socket.create_connection(("127.0.0.1", port), timeout=5.0) as sock:
+            fh = sock.makefile("rwb")
+            fh.write(b'{"op": "\xff\xfe"}\n')
+            fh.flush()
+            assert b"invalid UTF-8" in fh.readline()
+            fh.write(b"x" * 500 + b"\n")
+            fh.flush()
+            assert b"exceeds 64 bytes" in fh.readline()
+            fh.write(b'{"op": "stat')  # no newline: die mid-request
+            fh.flush()
+        # connection 2: the server is still fine
+        with socket.create_connection(("127.0.0.1", port), timeout=5.0) as sock:
+            fh = sock.makefile("rw", encoding="utf-8")
+            fh.write(json.dumps({"op": "status"}) + "\n")
+            fh.flush()
+            assert json.loads(fh.readline())["ok"]
+            fh.write(json.dumps({"op": "shutdown"}) + "\n")
+            fh.flush()
+            assert json.loads(fh.readline())["ok"]
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+
+
+class TestDurableFrontend:
+    def test_mutations_are_journaled_and_recoverable(self, tmp_path):
+        from repro.conformance.fuzz import portable_events
+        from repro.service.journal import JournaledSession, scan_journal
+
+        fe = _durable_frontend(tmp_path, caps=(4,))
+        fe.handle_request({"op": "submit", "jobs": [job("a"), job("b", preds=["a"])]})
+        fe.handle_request({"op": "flush"})
+        fe.handle_request({"op": "cancel", "id": "b"})
+        fe.handle_request({"op": "advance", "until": 0.5})
+        _, records, _ = scan_journal(str(tmp_path / "j.jsonl"))
+        assert [r["op"] for r in records] == ["submit", "cancel", "advance"]
+        fe.durable.journal.close()  # crash: drop the in-memory session
+
+        recovered = JournaledSession.recover(
+            str(tmp_path / "j.jsonl"), str(tmp_path / "snap.json"), fsync=False
+        )
+        assert recovered.replayed == 3
+        recovered.drain()
+        fe.durable.session.drain()
+        assert portable_events(
+            recovered.session.to_schedule(), reprify=False
+        ) == portable_events(fe.durable.session.to_schedule(), reprify=False)
+
+    def test_batched_flush_is_one_journal_record(self, tmp_path):
+        from repro.service.journal import scan_journal
+
+        fe = _durable_frontend(tmp_path)
+        fe.handle_request(
+            {"op": "submit", "jobs": [job("a"), job("b"), job("c")]}
+        )
+        fe.handle_request({"op": "flush"})
+        _, records, _ = scan_journal(str(tmp_path / "j.jsonl"))
+        assert len(records) == 1
+        assert [j["id"] for j in records[0]["jobs"]] == ["a", "b", "c"]
+
+    def test_rejected_jobs_never_reach_the_journal(self, tmp_path):
+        from repro.service.journal import scan_journal
+
+        fe = _durable_frontend(tmp_path)
+        fe.handle_request(
+            {"op": "submit", "jobs": [job("a"), job("ghostdep", preds=["nope"])]}
+        )
+        resp = fe.handle_request({"op": "flush"})
+        assert resp["admitted"] == ["a"] and resp["errors"]
+        _, records, _ = scan_journal(str(tmp_path / "j.jsonl"))
+        assert [j["id"] for rec in records for j in rec["jobs"]] == ["a"]
+
+    def test_status_reports_journal_and_pid(self, tmp_path):
+        fe = _durable_frontend(tmp_path)
+        fe.handle_request({"op": "submit", "jobs": [job("a")]})
+        fe.handle_request({"op": "flush"})
+        status = fe.handle_request({"op": "status"})
+        assert status["pid"] == __import__("os").getpid()
+        assert status["restarts"] == 0
+        assert status["journal"]["records"] == 1
+        assert status["journal"]["applied_seq"] == 1
+
+    def test_explicit_checkpoint_rotates_journal(self, tmp_path):
+        from repro.service.journal import scan_journal
+
+        fe = _durable_frontend(tmp_path)
+        fe.handle_request({"op": "submit", "jobs": [job("a")]})
+        fe.handle_request({"op": "flush"})
+        resp = fe.handle_request({"op": "checkpoint"})
+        assert resp["journal_rotated"]
+        header, records, _ = scan_journal(str(tmp_path / "j.jsonl"))
+        assert header["base_seq"] == 1 and records == []
+
+    def test_restore_adopts_new_lineage(self, tmp_path):
+        from repro.service.journal import scan_journal
+
+        fe = _durable_frontend(tmp_path, caps=(4,))
+        fe.handle_request({"op": "submit", "jobs": [job("a")]})
+        fe.handle_request({"op": "drain"})
+        donor = SchedulingSession([4])
+        donor.submit([JobSpec("z", (1,), 2.0)])
+        snap = fe.handle_request({"op": "checkpoint"})  # rotate first
+        from repro.service.checkpoint import checkpoint_session
+
+        resp = fe.handle_request(
+            {"op": "restore", "snapshot": checkpoint_session(donor)}
+        )
+        assert resp["ok"] and fe.session is fe.durable.session
+        header, _, _ = scan_journal(str(tmp_path / "j.jsonl"))
+        assert header["base_seq"] == fe.session.applied_seq
+        assert snap["ok"]
+
+    def test_durable_session_mismatch_rejected(self, tmp_path):
+        from repro.service.journal import JournaledSession
+
+        durable = JournaledSession.recover(
+            str(tmp_path / "j.jsonl"), str(tmp_path / "snap.json"),
+            capacities=[4], fsync=False,
+        )
+        with pytest.raises(ValueError, match="same object"):
+            ServiceFrontend(SchedulingSession([4]), durable=durable)
