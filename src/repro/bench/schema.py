@@ -4,7 +4,7 @@ Every ``repro bench`` run emits a single JSON document::
 
     {
       "schema": "repro-bench/1",
-      "config": {"quick": false, "seed": 0},
+      "config": {"quick": false, "seed": 0, "backend": "python"},
       "environment": {"python": ..., "numpy": ..., "git_sha": ..., ...},
       "benchmarks": [
         {
@@ -105,7 +105,11 @@ def build_document(
     """Assemble (and validate) the top-level document."""
     doc = {
         "schema": SCHEMA_VERSION,
-        "config": {"quick": bool(config.quick), "seed": int(config.seed)},
+        "config": {
+            "quick": bool(config.quick),
+            "seed": int(config.seed),
+            "backend": str(getattr(config, "backend", "python")),
+        },
         "environment": dict(environment if environment is not None else capture_environment()),
         "benchmarks": benchmarks,
     }
@@ -151,6 +155,12 @@ def validate_document(doc: Any) -> None:
     )
     _check_mapping(doc["config"], "$.config", ("quick", "seed"))
     _require(isinstance(doc["config"]["quick"], bool), "$.config.quick", "expected a bool")
+    # pre-backend documents omit the key; when present it must name a backend
+    _require(
+        isinstance(doc["config"].get("backend", "python"), str),
+        "$.config.backend",
+        "expected a string",
+    )
     _require(
         isinstance(doc["config"]["seed"], int) and not isinstance(doc["config"]["seed"], bool),
         "$.config.seed",

@@ -9,7 +9,17 @@ compares across hosts.
 
 ``scaling`` pins the advertised complexity envelope: the full two-phase
 pipeline at n=120, phase-2-only list scheduling up to n=1500 (must stay
-under a second), and the compiled core end to end at 10^4..10^5 jobs.
+under a second), and the compiled core end to end at 10^4..10^6 jobs.
+The large ladder times the array-native path (``list_schedule_log`` —
+the object path's million-``ScheduledJob`` materialization measures the
+allocator, not the engine; a check asserts the two are event-for-event
+identical) and holds the layer *width* constant (full config: width
+1000 at n = 10^4, 10^5, 10^6), so its gated ``scaling_flatness`` metric
+— jobs/s at the largest n over jobs/s at the smallest, each rung taken
+at its best timed round — isolates how throughput scales with instance
+size from how it scales with queue contention (width): a flat profile
+means per-event cost stays O(log n)-ish as the instance grows a
+hundredfold.
 """
 
 from __future__ import annotations
@@ -25,7 +35,11 @@ from repro.bench.core import (
 )
 from repro.bench.registry import register_benchmark
 from repro.bench.workloads import rigid_layered
-from repro.core.list_scheduler import bottom_level_priority, list_schedule
+from repro.core.list_scheduler import (
+    bottom_level_priority,
+    list_schedule,
+    list_schedule_log,
+)
 from repro.engine.reference import (
     reference_list_schedule,
     reference_pr1_list_schedule,
@@ -193,7 +207,7 @@ def engine_benchmark(config: BenchConfig) -> BenchPlan:
     description="Wall-clock cost of the library itself across instance sizes",
 )
 def scaling_benchmark(config: BenchConfig) -> BenchPlan:
-    """Full pipeline at n=120, phase-2 scaling to n=1500, compiled core to 10^5."""
+    """Full pipeline at n=120, phase-2 scaling to n=1500, compiled core to 10^6."""
     from repro.core.two_phase import MoldableScheduler
     from repro.experiments.workloads import random_instance
     from repro.jobs.candidates import geometric_grid
@@ -213,7 +227,13 @@ def scaling_benchmark(config: BenchConfig) -> BenchPlan:
         }
         phase2[n] = (inst, alloc)
 
-    large_shapes = [(25, 400)] if config.quick else [(25, 400), (50, 1000), (100, 1000)]
+    # constant width per config: the flatness ratio then measures n-scaling
+    # alone, not the (much stronger) width-contention effect
+    large_shapes = (
+        [(10, 400), (25, 400)]
+        if config.quick
+        else [(10, 1000), (100, 1000), (1000, 1000)]
+    )
     large = {}
     for layers, width in large_shapes:
         inst, alloc = rigid_layered(layers, width, d=D, capacity=CAPACITY, seed=config.seed)
@@ -242,12 +262,20 @@ def scaling_benchmark(config: BenchConfig) -> BenchPlan:
             )
         )
     for n, (inst, alloc) in large.items():
+        # The large rungs time the array-native path (list_schedule_log):
+        # at 10^6 jobs, materializing a ScheduledJob per start costs more
+        # than the scheduling itself and measures the allocator, not the
+        # engine.  The log ≡ object-path equivalence is asserted in
+        # checks() below.  warmup=1 everywhere keeps one-time DAG
+        # lowering/compilation out of the timed rounds.
         cases.append(
             BenchCase(
                 name=f"large:n{n}",
-                fn=lambda inst=inst, alloc=alloc: list_schedule(
+                fn=lambda inst=inst, alloc=alloc: list_schedule_log(
                     inst, alloc, bottom_level_priority
                 ),
+                repeats=3,
+                warmup=1,
                 metrics=jobs_per_sec(inst.n),
             )
         )
@@ -281,28 +309,67 @@ def scaling_benchmark(config: BenchConfig) -> BenchPlan:
             n1500 < 1.0,
             f"list scheduling too slow: {n1500:.3f}s for n=1500",
         )
-        for n, (inst, _) in large.items():
-            sched = by_name[f"large:n{n}"].value
-            c.check(f"large:n{n}_complete", len(sched) == inst.n)
+        eq_n = sorted(large)[1]  # the middle rung: big enough to matter,
+        # cheap enough to re-run the object path untimed for comparison
+        for n, (inst, alloc) in large.items():
+            log = by_name[f"large:n{n}"].value
+            c.check(f"large:n{n}_complete", log.job_index.size == inst.n)
+            if n == eq_n:
+                # the timed body is the array-native path; assert it is
+                # event-for-event the classic object path's schedule
+                sched = log.to_schedule(inst, alloc)
+                ref = list_schedule(inst, alloc, bottom_level_priority)
+                same = all(
+                    (p.start, p.time) == (ref.placements[j].start,
+                                          ref.placements[j].time)
+                    for j, p in sched.placements.items()
+                )
+                c.check(
+                    f"large:n{n}_log_equals_object_path",
+                    same and sched.makespan == ref.makespan,
+                )
             if inst.n >= 100_000:
                 try:
-                    sched.validate()
+                    log.to_schedule(inst, alloc).validate()
                     c.check(f"large:n{n}_valid", True)
                 except Exception as exc:
                     c.check(f"large:n{n}_valid", False, str(exc))
                 dt = by_name[f"large:n{n}"].seconds
+                budget = 60.0 if inst.n < 1_000_000 else 300.0
                 c.check(
-                    f"large:n{n}_under_60s", dt < 60.0, f"n={n} took {dt:.1f}s"
+                    f"large:n{n}_under_{budget:.0f}s", dt < budget,
+                    f"n={n} took {dt:.1f}s",
                 )
+        if not config.quick:
+            # the headline claim: flat jobs/s from n=10^4 to n=10^6 (the
+            # quick ladder is too short and too noisy to assert absolutes
+            # on; CI gates its flatness relative to the baseline instead)
+            flat = _flatness(by_name)
+            c.check(
+                "large:flatness_ge_0.8",
+                flat >= 0.8,
+                f"jobs/s at n={max(large)} is only {flat:.2f}x the rate at "
+                f"n={min(large)} (need >= 0.8)",
+            )
         thru = by_name["throughput:n400"].value
         c.check("throughput:complete", len(thru) == thru_inst.n)
         return c.results
+
+    def _flatness(by_name):
+        # each rung's *best* round: on a shared host, interference only
+        # ever slows a round down (the timeit convention), so min() is
+        # the cleanest estimate of the engine's rate — the median stays
+        # the recorded per-case figure, but a ratio of two medians would
+        # wobble with the box, not the code
+        rate = lambda n: n / min(by_name[f"large:n{n}"].seconds_all)  # noqa: E731
+        return rate(max(large)) / rate(min(large))
 
     def derived(by_name):
         n_max = max(large)
         return {
             "phase2_n1500_seconds": by_name["phase2:n1500"].seconds,
             "large_max_jobs_per_sec": by_name[f"large:n{n_max}"].metrics["jobs_per_sec"],
+            "scaling_flatness": _flatness(by_name),
         }
 
     def tables(by_name):
@@ -318,8 +385,9 @@ def scaling_benchmark(config: BenchConfig) -> BenchPlan:
             {
                 "n": inst.n,
                 "edges": inst.dag.num_edges,
-                "list_schedule_seconds": by_name[f"large:n{n}"].seconds,
+                "seconds": by_name[f"large:n{n}"].seconds,
                 "jobs_per_sec": by_name[f"large:n{n}"].metrics["jobs_per_sec"],
+                "best_jobs_per_sec": inst.n / min(by_name[f"large:n{n}"].seconds_all),
             }
             for n, (inst, _) in large.items()
         ]
@@ -338,4 +406,10 @@ def scaling_benchmark(config: BenchConfig) -> BenchPlan:
             ),
         ]
 
-    return BenchPlan(cases=cases, checks=checks, derived=derived, tables=tables)
+    return BenchPlan(
+        cases=cases,
+        checks=checks,
+        derived=derived,
+        tables=tables,
+        gates=[Gate("scaling_flatness", direction="higher", max_regression=0.30)],
+    )

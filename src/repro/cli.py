@@ -49,6 +49,33 @@ from repro.sim.trace import trace_to_json
 __all__ = ["main", "build_parser"]
 
 
+def _add_backend_arg(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument("--backend", default=None, metavar="NAME",
+                    help="dispatch backend for the packed engine loop "
+                         "(default: REPRO_BACKEND or 'python'; a registered "
+                         "but unavailable backend falls back to 'python' "
+                         "with a warning)")
+
+
+def _resolve_cli_backend(name: "str | None"):
+    """Resolve ``--backend`` (CLI > ``REPRO_BACKEND`` > default) and pin
+    the winner into the environment, so every layer below — schedulers,
+    sessions, benchmark suites, supervised worker children — resolves the
+    same backend.  Returns the backend, or ``None`` after printing an
+    error for an unregistered name."""
+    import os
+
+    from repro.engine.backends import BACKEND_ENV, resolve_backend
+
+    try:
+        backend = resolve_backend(name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return None
+    os.environ[BACKEND_ENV] = backend.name
+    return backend
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__,
                                 formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -121,9 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--list", action="store_true", dest="list_only",
                     help="list registered benchmarks and exit")
     be.add_argument("--profile", metavar="NAME", default=None,
-                    help="run one registered benchmark under cProfile and "
-                         "print the top 25 functions by cumulative time "
+                    help="run one registered benchmark under cProfile; the "
+                         "top-50 cumulative-time stats are written to "
+                         "--emit-dir/PROFILE_<name>.txt when --emit-dir is "
+                         "given, else printed after the run's own output "
                          "(no document emission or gating)")
+    _add_backend_arg(be)
 
     fz = sub.add_parser(
         "fuzz",
@@ -143,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="truncate the matrix to its first K cases")
     fz.add_argument("--failures", metavar="FILE",
                     help="write failing cases (seeded reproducers) as JSON")
+    _add_backend_arg(fz)
 
     sc = sub.add_parser("schedule", help="schedule one workload and report")
     sc.add_argument("--family", default="layered", choices=list(WORKLOAD_FAMILIES))
@@ -164,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "re-entrant engine loop, printing each start/finish "
                          "as virtual time advances (fixed-allocation "
                          "schedulers only)")
+    _add_backend_arg(sc)
 
     sv = sub.add_parser(
         "serve",
@@ -242,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="give up after this many consecutive abnormal "
                          "exits (a worker healthy for 30s resets the "
                          "budget; default 5)")
+    _add_backend_arg(sv)
 
     return p
 
@@ -252,11 +285,15 @@ def _cmd_fuzz(args) -> int:
 
     from repro.conformance.fuzz import default_matrix, run_fuzz
 
+    backend = _resolve_cli_backend(args.backend)
+    if backend is None:
+        return 2
     quick = args.quick or os.environ.get("REPRO_FUZZ_QUICK") == "1"
     try:
         cases = default_matrix(
             quick=quick, n=args.n, seed=args.seed,
             schedulers=args.schedulers, families=args.families,
+            backend=backend.name,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -264,7 +301,8 @@ def _cmd_fuzz(args) -> int:
     if args.max_cases is not None:
         cases = cases[: args.max_cases]
     label = "quick" if quick else "full"
-    print(f"fuzz: sweeping {len(cases)} cases ({label} matrix)", flush=True)
+    print(f"fuzz: sweeping {len(cases)} cases ({label} matrix, "
+          f"backend {backend.name})", flush=True)
 
     def progress(i, total, case):
         if i and i % 250 == 0:
@@ -304,6 +342,10 @@ def _cmd_bench(args) -> int:
                            title="Registered benchmarks"))
         return 0
 
+    backend = _resolve_cli_backend(args.backend)
+    if backend is None:
+        return 2
+
     registered = [s.name for s in benchmark_specs()]
     if args.profile is not None:
         if args.profile not in registered:
@@ -311,22 +353,35 @@ def _cmd_bench(args) -> int:
                   f"{', '.join(registered)}", file=sys.stderr)
             return 2
         import cProfile
+        import io
         import pstats
 
         quick = args.quick or os.environ.get("REPRO_BENCH_QUICK") == "1"
-        config = BenchConfig(quick=quick, seed=args.seed)
+        config = BenchConfig(quick=quick, seed=args.seed, backend=backend.name)
         label = "quick" if quick else "full"
         print(f"bench: profiling {args.profile} ({label} config, "
-              f"seed {args.seed})", flush=True)
+              f"seed {args.seed}, backend {backend.name})", flush=True)
         profiler = cProfile.Profile()
         profiler.enable()
         records = run_benchmarks([args.profile], config)
         profiler.disable()
-        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+        # the stats go through a buffer, never straight to stdout: with
+        # --emit-dir they land in a file, otherwise they print *after*
+        # the check results instead of interleaving with them
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(50)
         failed = failed_checks(records)
         for name, check in failed:
             detail = f": {check['detail']}" if check["detail"] else ""
             print(f"  CHECK FAILED {name}:{check['name']}{detail}")
+        if args.emit_dir:
+            os.makedirs(args.emit_dir, exist_ok=True)
+            path = os.path.join(args.emit_dir, f"PROFILE_{args.profile}.txt")
+            with open(path, "w") as fh:
+                fh.write(buf.getvalue())
+            print(f"profile stats written to {path}")
+        else:
+            print(buf.getvalue(), end="")
         return 1 if failed else 0
 
     names = [s.name for s in benchmark_specs(kind=args.kind)]
@@ -343,7 +398,7 @@ def _cmd_bench(args) -> int:
             return 2
 
     quick = args.quick or os.environ.get("REPRO_BENCH_QUICK") == "1"
-    config = BenchConfig(quick=quick, seed=args.seed)
+    config = BenchConfig(quick=quick, seed=args.seed, backend=backend.name)
 
     baseline = None
     if args.compare:
@@ -353,16 +408,19 @@ def _cmd_bench(args) -> int:
             print(f"error: cannot load baseline {args.compare}: {exc}",
                   file=sys.stderr)
             return 2
-        if baseline["config"] != {"quick": quick, "seed": args.seed}:
+        base_cfg = dict(baseline["config"])
+        # pre-backend baselines carried no backend key: they were python runs
+        base_cfg.setdefault("backend", "python")
+        run_cfg = {"quick": quick, "seed": args.seed, "backend": backend.name}
+        if base_cfg != run_cfg:
             print(f"error: baseline {args.compare} was produced under config "
-                  f"{baseline['config']}, this run uses "
-                  f"{{'quick': {quick}, 'seed': {args.seed}}} — gated metrics "
+                  f"{base_cfg}, this run uses {run_cfg} — gated metrics "
                   "would compare different workloads; regenerate the baseline "
                   "or match its config", file=sys.stderr)
             return 2
     label = "quick" if quick else "full"
     print(f"bench: running {len(names)} benchmark(s) ({label} config, "
-          f"seed {args.seed})", flush=True)
+          f"seed {args.seed}, backend {backend.name})", flush=True)
 
     def progress(i, total, name):
         print(f"  [{i + 1}/{total}] {name}", flush=True)
@@ -424,7 +482,7 @@ def _cmd_schedulers() -> int:
     return 0
 
 
-def _follow_replay(inst, result) -> "Schedule | None":
+def _follow_replay(inst, result, backend=None) -> "Schedule | None":
     """Stream the result's fixed allocation through the re-entrant engine
     loop, printing each start/finish as virtual time advances.  Returns the
     streamed schedule (same allocation, FIFO queue order — it carries the
@@ -444,10 +502,13 @@ def _follow_replay(inst, result) -> "Schedule | None":
         else:
             print(f"[{t:12.4f}] finish {job!r}", flush=True)
 
-    return list_schedule(inst, allocation, on_event=on_event)
+    return list_schedule(inst, allocation, on_event=on_event, backend=backend)
 
 
 def _cmd_schedule(args) -> int:
+    backend = _resolve_cli_backend(args.backend)
+    if backend is None:
+        return 2
     pool = ResourcePool.uniform(args.d, args.capacity)
     wl = random_instance(args.family, args.n, pool, seed=args.seed)
     inst = wl.instance
@@ -466,7 +527,7 @@ def _cmd_schedule(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.follow:
-        streamed = _follow_replay(inst, result)
+        streamed = _follow_replay(inst, result, backend=backend)
         if streamed is None:
             print(f"error: --follow needs a fixed allocation to replay and "
                   f"{args.scheduler!r} keeps none", file=sys.stderr)
@@ -579,6 +640,13 @@ def _cmd_serve(args, argv: "Sequence[str] | None" = None) -> int:
         write_trace,
     )
 
+    # resolve (and env-pin) the backend before any session is built, so
+    # restored/recovered sessions and supervised children see the same
+    # choice; the worker's checkpoint never persists it
+    backend = _resolve_cli_backend(args.backend)
+    if backend is None:
+        return 2
+
     if args.supervise:
         return _cmd_supervise(args, argv)
 
@@ -652,7 +720,8 @@ def _cmd_serve(args, argv: "Sequence[str] | None" = None) -> int:
                 durable = JournaledSession.recover(
                     args.journal, snapshot, capacities=caps,
                     checkpoint_every=args.checkpoint_every, chaos=chaos,
-                    session_kwargs={"seed": args.seed, **compact_kw},
+                    session_kwargs={"seed": args.seed,
+                                    "backend": backend.name, **compact_kw},
                 )
                 session = durable.session
                 if durable.recovered:
@@ -670,7 +739,8 @@ def _cmd_serve(args, argv: "Sequence[str] | None" = None) -> int:
             return 2
     if session is None:
         try:
-            session = SchedulingSession(caps, seed=args.seed, **compact_kw)
+            session = SchedulingSession(caps, seed=args.seed,
+                                        backend=backend.name, **compact_kw)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -6,7 +6,9 @@ from repro.core.adjustment import AdjustmentResult, adjust_allocation
 from repro.core.dtct import FractionalSolution, solve_dtct_lp, round_fractional, dtct_allocate
 from repro.core.independent import IndependentAllocation, optimal_independent_allocation
 from repro.core.list_scheduler import (
+    ScheduleLog,
     list_schedule,
+    list_schedule_log,
     fifo_priority,
     lpt_priority,
     spt_priority,
@@ -30,7 +32,9 @@ __all__ = [
     "dtct_allocate",
     "IndependentAllocation",
     "optimal_independent_allocation",
+    "ScheduleLog",
     "list_schedule",
+    "list_schedule_log",
     "fifo_priority",
     "lpt_priority",
     "spt_priority",

@@ -17,12 +17,12 @@ of the precedence graph, e.g. bottom level) is the crux of Theorem 6.  The
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Mapping
+from typing import Callable, Hashable, Mapping, NamedTuple
 
 import numpy as np
 
 from repro.dag.paths import bottom_levels
-from repro.engine.dispatch import drive_priority_schedule
+from repro.engine.dispatch import drive_priority_schedule, priority_loop
 from repro.instance.instance import Instance
 from repro.resources.vector import ResourceVector
 from repro.sim.schedule import Schedule, ScheduledJob
@@ -36,7 +36,9 @@ __all__ = [
     "random_priority",
     "bottom_level_priority",
     "explicit_priority",
+    "ScheduleLog",
     "list_schedule",
+    "list_schedule_log",
     "portfolio_list_schedule",
 ]
 
@@ -128,6 +130,7 @@ def list_schedule(
     priority: PriorityRule = fifo_priority,
     *,
     on_event: Callable[[str, JobId, float, float | None], None] | None = None,
+    backend: "str | object | None" = None,
 ) -> Schedule:
     """Run Algorithm 2 and return the resulting (valid) schedule.
 
@@ -141,6 +144,11 @@ def list_schedule(
     ``on_event("start"|"finish", job, time, duration_or_None)`` streams
     dispatch events as virtual time advances (``repro schedule --follow``);
     leaving it ``None`` keeps the hot loop free of per-completion callbacks.
+
+    ``backend`` picks the dispatch backend for the packed hot loop (a
+    registry name or backend object, see :mod:`repro.engine.backends`);
+    ``None`` resolves CLI > ``REPRO_BACKEND`` > default.  The schedule is
+    identical whichever backend executes — only the speed differs.
     """
     alloc_mat = instance.validate_allocation_map(allocation)
     as_array = getattr(priority, "as_array", None)
@@ -177,17 +185,107 @@ def list_schedule(
             return None
 
     drive_priority_schedule(instance, allocation, keys, durations, on_start,
-                            on_complete=on_complete, alloc_mat=alloc_mat)
+                            on_complete=on_complete, alloc_mat=alloc_mat,
+                            backend=backend)
 
     if len(placements) != len(instance.jobs):  # pragma: no cover - invariant
         raise RuntimeError("deadlock: ready jobs cannot fit an empty platform")
     return Schedule(instance=instance, placements=placements)
 
 
+class ScheduleLog(NamedTuple):
+    """Array-native result of one list-scheduling run.
+
+    The same schedule :func:`list_schedule` produces, kept as arrays: no
+    per-job placement object or dict entry is materialized, so the cost
+    per job does not grow with the resident working set — the form the
+    million-job scaling benchmark measures, and the natural input for
+    array-level analysis or export.  ``to_schedule`` materializes the
+    classic object form when needed (identical event for event).
+    """
+
+    #: job ids by topological index (the compiled instance's order)
+    order: "tuple"
+    #: topological index of each started job, in dispatch order
+    job_index: np.ndarray
+    #: start time of each started job, in dispatch order
+    start: np.ndarray
+    #: execution time by topological index
+    duration: np.ndarray
+    makespan: float
+
+    def to_schedule(self, instance: Instance, allocation) -> Schedule:
+        """Materialize the classic placement-object :class:`Schedule`."""
+        order = self.order
+        dur = self.duration
+        placements: dict[JobId, ScheduledJob] = {}
+        for k, i in enumerate(self.job_index.tolist()):
+            j = order[i]
+            placements[j] = ScheduledJob(
+                job_id=j, start=float(self.start[k]), time=float(dur[i]),
+                alloc=allocation[j],
+            )
+        return Schedule(instance=instance, placements=placements)
+
+
+def list_schedule_log(
+    instance: Instance,
+    allocation: Mapping[JobId, ResourceVector],
+    priority: PriorityRule = fifo_priority,
+    *,
+    backend: "str | object | None" = None,
+) -> ScheduleLog:
+    """Algorithm 2 with array output: the start log instead of a Schedule.
+
+    Event-for-event identical to :func:`list_schedule` (same engine, same
+    discipline); the loop runs in start-log mode (``on_start=None``), so
+    no python callback fires and no placement objects are built — the
+    compiled backend emits the log natively.  Use this for large ``n``
+    where materializing a million ``ScheduledJob`` records costs more
+    than the scheduling itself.
+    """
+    alloc_mat = instance.validate_allocation_map(allocation)
+    as_array = getattr(priority, "as_array", None)
+    if as_array is not None:
+        ci = instance.compiled()
+        times_vec = np.fromiter(
+            (instance.time(j, allocation[j]) for j in ci.order),
+            dtype=np.float64,
+            count=ci.n,
+        )
+        keys: object = as_array(instance, allocation, times_vec)
+        durations: object = times_vec
+    else:
+        ci = instance.compiled()
+        times = {j: instance.time(j, allocation[j]) for j in instance.jobs}
+        keys = priority(instance, allocation, times)
+        durations = times
+        times_vec = np.fromiter(
+            (times[j] for j in ci.order), dtype=np.float64, count=ci.n
+        )
+
+    loop = priority_loop(
+        instance, allocation, keys, durations, None,
+        alloc_mat=alloc_mat, backend=backend,
+    )
+    loop.run()
+    out_i, out_t = loop.start_log()
+    if out_i.size != len(instance.jobs):  # pragma: no cover - invariant
+        raise RuntimeError("deadlock: ready jobs cannot fit an empty platform")
+    return ScheduleLog(
+        order=ci.order,
+        job_index=out_i.copy(),
+        start=out_t.copy(),
+        duration=times_vec,
+        makespan=float(loop.now),
+    )
+
+
 def portfolio_list_schedule(
     instance: Instance,
     allocation: Mapping[JobId, ResourceVector],
     rules: Mapping[str, PriorityRule] | None = None,
+    backend: "str | object | None" = None,
 ) -> tuple[Schedule, str]:
     """Run Algorithm 2 under several priority rules, keep the best schedule.
 
@@ -212,7 +310,7 @@ def portfolio_list_schedule(
         raise ValueError("portfolio needs at least one priority rule")
     best: tuple[float, Schedule, str] | None = None
     for name, rule in rules.items():
-        sched = list_schedule(instance, allocation, rule)
+        sched = list_schedule(instance, allocation, rule, backend=backend)
         # strict improvement required: earlier rules keep ties
         if best is None or sched.makespan < best[0] - 1e-12:
             best = (sched.makespan, sched, name)

@@ -65,6 +65,7 @@ from typing import Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
+from repro.engine.backends import resolve_backend
 from repro.engine.kernel import RELEASE, TIME_EPS, EventKernel
 from repro.instance.compiled import PACK_BITS, compile_instance
 
@@ -96,6 +97,7 @@ def drive_priority_schedule(
     *,
     on_complete: Callable[[JobId, float], float | None] | None = None,
     alloc_mat: np.ndarray | None = None,
+    backend: "str | object | None" = None,
 ) -> EventKernel:
     """Run Algorithm 2's queue discipline on the compiled instance.
 
@@ -117,10 +119,15 @@ def drive_priority_schedule(
     float re-runs the job immediately for that duration *without* releasing
     its resources (failure re-execution); ``None`` completes it normally.
     Returns a kernel whose clock holds the final virtual time.
+
+    ``backend`` selects the dispatch backend for the packed hot loop
+    (a registry name or backend object; see
+    :mod:`repro.engine.backends`) — ``None`` resolves via the
+    ``REPRO_BACKEND`` environment variable, then the default.
     """
     loop = priority_loop(
         instance, allocation, keys, durations, on_start,
-        on_complete=on_complete, alloc_mat=alloc_mat,
+        on_complete=on_complete, alloc_mat=alloc_mat, backend=backend,
     )
     loop.run()
     return loop.kernel
@@ -135,6 +142,7 @@ def priority_loop(
     *,
     on_complete: Callable[[JobId, float], float | None] | None = None,
     alloc_mat: np.ndarray | None = None,
+    backend: "str | object | None" = None,
 ) -> "PackedPriorityLoop | GeneralPriorityLoop":
     """Build the re-entrant dispatch loop for a fixed job set, unstarted.
 
@@ -142,9 +150,18 @@ def priority_loop(
     exposes ``run(until=None) -> bool`` (``True`` once drained), ``now``,
     ``next_time`` and ``kernel``.  Callers that only need the final
     schedule should prefer :func:`drive_priority_schedule`.
+
+    ``on_start=None`` selects the **array start log**: instead of a python
+    callback per dispatch, the loop records ``(topological index, start
+    time)`` pairs into preallocated arrays, retrievable via
+    ``start_log()``.  This keeps the hot loop free of per-job python
+    object construction (the cost that grows with the resident working
+    set at large ``n``); the compiled backend writes the log natively.
     """
     ci = compile_instance(instance)
     kernel = EventKernel(instance.pool.capacities)
+    if backend is None or isinstance(backend, str):
+        backend = resolve_backend(backend)
 
     if alloc_mat is None:
         alloc_mat = ci.alloc_matrix(allocation)
@@ -157,10 +174,12 @@ def priority_loop(
 
     if ci.n == 0 or ci.packable:
         return PackedPriorityLoop(
-            ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
+            ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete,
+            backend=backend,
         )
     return GeneralPriorityLoop(
-        ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
+        ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete,
+        backend=backend,
     )
 
 
@@ -174,21 +193,34 @@ class PackedPriorityLoop:
     simultaneous events, so ``on_complete`` sees completions in exactly
     the order the kernel-based loop delivered them.
 
-    All loop state (heap, sequence counter, availability, readiness
-    counts, the sorted ready queue) lives on the object; :meth:`run` loads
-    it into locals, executes the identical flat loop, and writes it back
-    on exit, so stepping the loop costs nothing on the per-event path.
+    The loop object is a pure **state container**: every field the hot
+    loop touches is either a dense array with a pinned dtype (readiness
+    counts, CSR successors, packed demands, the rank permutation — the
+    contiguity/dtype contract :meth:`CompiledInstance.kernel_layout
+    <repro.instance.compiled.CompiledInstance>` guarantees) or a python
+    scalar/list, so the execution strategy is swappable.  :meth:`run`
+    delegates to the loop's **dispatch backend** (see
+    :mod:`repro.engine.backends`): the ``python`` backend is the numpy
+    loop this class always ran inline, the ``numba`` backend executes
+    the same state machine as one njit-compiled kernel.  Both process
+    all events at one time point as a single batch, apply
+    completions/releases vectorized, and run the feasibility re-scan
+    once per time point — identical schedules by construction, pinned
+    by the conformance fuzz matrix.
     """
 
     __slots__ = (
-        "kernel", "ci", "n", "order", "succ", "remaining",
-        "pk_by_rank", "pk_rank_l", "rank_l", "topo_l", "dur",
+        "kernel", "ci", "n", "order", "ip", "si", "remaining",
+        "pk_by_rank", "pk_rank_l", "pk_topo", "pk_topo_l",
+        "rank_a", "topo_a", "topo_l", "dur",
         "H", "H_u", "avh", "heap", "seq", "qb", "pb", "sq", "sp", "L",
-        "now", "eps", "on_start", "on_complete", "done",
+        "now", "eps", "on_start", "on_complete", "done", "backend", "_scratch",
+        "ns",
     )
 
     def __init__(
-        self, ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
+        self, ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete,
+        *, backend=None,
     ) -> None:
         self.kernel = kernel
         self.ci = ci
@@ -196,37 +228,48 @@ class PackedPriorityLoop:
         n = cd.n
         self.n = n
         self.order = cd.order
-        self.succ = cd.succ_lists()
-        self.remaining = cd.in_degree.tolist()
+        self.ip, self.si = ci.kernel_layout()
         self.dur = dur
         self.on_start = on_start
         self.on_complete = on_complete
-        self.done = n == 0
-
-        pk_by_rank = (
-            ci.pack_demands(alloc_mat)[topo_of_rank]
-            if n
-            else np.empty(0, dtype=np.uint64)
+        self.backend = (
+            resolve_backend(backend)
+            if backend is None or isinstance(backend, str)
+            else backend
         )
+        self._scratch = None
+        self.done = n == 0
+        self.ns = 0  # start-log length (on_start=None mode)
+
+        pk_topo = ci.pack_demands(alloc_mat) if n else np.empty(0, dtype=np.uint64)
+        pk_by_rank = pk_topo[topo_of_rank] if n else pk_topo
+        self.pk_topo = pk_topo
+        self.pk_topo_l = pk_topo.tolist()  # python ints: scalar updates are one int op
         self.pk_by_rank = pk_by_rank
-        self.pk_rank_l = pk_by_rank.tolist()  # python ints: scalar tests are one int op
-        self.rank_l = rank_of.tolist()
-        self.topo_l = topo_of_rank
+        self.pk_rank_l = pk_by_rank.tolist()
+        self.rank_a = np.ascontiguousarray(rank_of, dtype=np.int64)
+        self.topo_a = np.ascontiguousarray(topo_of_rank, dtype=np.int64)
+        self.topo_l = (
+            topo_of_rank if isinstance(topo_of_rank, list) else self.topo_a.tolist()
+        )
 
         self.H = ci.fit_mask
         self.H_u = np.uint64(ci.fit_mask)
         # availability carried with the headroom bits pre-added: avh = av + H
         self.avh = ci.packed_capacities + ci.fit_mask
 
+        remaining = cd.in_degree.astype(np.int64, copy=True)
         heap: list[tuple[float, int, int]] = []
         seq = 0
         if ci.has_releases:
             rel = ci.release
-            for i in np.flatnonzero(rel > 0.0).tolist():
-                self.remaining[i] += 1  # the release acts as one extra virtual predecessor
+            late = np.flatnonzero(rel > 0.0)
+            remaining[late] += 1  # a release acts as one extra virtual predecessor
+            for i in late.tolist():
                 heap.append((float(rel[i]), seq, n + i))
                 seq += 1
             heapq.heapify(heap)
+        self.remaining = remaining
         self.heap = heap
         self.seq = seq
 
@@ -236,7 +279,7 @@ class PackedPriorityLoop:
         self.pb = np.empty(n, dtype=np.uint64)
         self.sq = np.empty(n, dtype=np.int64)
         self.sp = np.empty(n, dtype=np.uint64)
-        r0 = rank_of[np.flatnonzero(np.asarray(self.remaining) == 0)] if n else _EMPTY_QUEUE
+        r0 = rank_of[np.flatnonzero(remaining == 0)] if n else _EMPTY_QUEUE
         r0.sort()
         L = r0.size
         self.qb[:L] = r0
@@ -255,172 +298,86 @@ class PackedPriorityLoop:
     def pending(self) -> int:
         return len(self.heap)
 
-    def run(self, until: float | None = None) -> bool:
-        """Dispatch and process events; stop once the heap drains (returns
-        ``True``) or the earliest pending event lies past ``until``
-        (returns ``False`` — call again to resume)."""
-        # load the loop state into locals: the body below is the exact
-        # fused loop the batch driver has always run
-        succ = self.succ
-        remaining = self.remaining
-        pk_by_rank = self.pk_by_rank
-        pk_rank_l = self.pk_rank_l
-        rank_l = self.rank_l
-        topo_l = self.topo_l
-        dur = self.dur
-        order = self.order
-        on_start = self.on_start
-        on_complete = self.on_complete
-        n = self.n
-        H = self.H
-        H_u = self.H_u
-        uint64 = np.uint64
-        avh = self.avh
-        heap = self.heap
-        seq = self.seq
-        qb = self.qb
-        pb = self.pb
-        sq = self.sq
-        sp = self.sp
-        L = self.L
-        now = self.now
-        eps = self.eps
-        push = heapq.heappush
-        pop = heapq.heappop
-        done = False
+    def kernel_scratch(self):
+        """Scratch arrays for compiled executors, allocated once per loop:
+        ``(durations float64, newly-ready rank buffer, start-log indices,
+        start-log times)``."""
+        if self._scratch is None:
+            n = self.n
+            self._scratch = (
+                np.ascontiguousarray(self.dur, dtype=np.float64),
+                np.empty(n, dtype=np.int64),
+                np.empty(n, dtype=np.int64),
+                np.empty(n, dtype=np.float64),
+            )
+        return self._scratch
 
-        while True:
-            # ------------------------- dispatch pass -------------------------
-            if L:
-                # whole-queue feasibility: one SWAR comparison over uint64s
-                hits = ((((uint64(avh) - pb[:L]) & H_u) == H_u).nonzero())[0]
-                if hits.size:
-                    started = None
-                    for kpos, r in zip(hits.tolist(), qb[hits].tolist()):
-                        a = pk_rank_l[r]
-                        if (avh - a) & H == H:  # still fits as availability shrinks
-                            avh -= a
-                            i = topo_l[r]
-                            t = dur[i]
-                            push(heap, (now + t, seq, i))
-                            seq += 1
-                            on_start(order[i], now, t)
-                            if started is None:
-                                started = [kpos]
-                            else:
-                                started.append(kpos)
-                    if started is not None:
-                        if len(started) == L:
-                            L = 0
-                        else:
-                            for p in reversed(started):
-                                qb[p:L - 1] = qb[p + 1:L]
-                                pb[p:L - 1] = pb[p + 1:L]
-                                L -= 1
-            if not heap:
-                done = True
-                break
-            if until is not None and heap[0][0] > until:
-                break
-            # -------------------------- event batch --------------------------
-            t0, _, c = pop(heap)
-            now = t0
-            horizon = t0 + eps
-            if heap and heap[0][0] <= horizon:
-                batch = [c]
-                while heap and heap[0][0] <= horizon:
-                    batch.append(pop(heap)[2])
-            else:
-                batch = (c,)
-            newly = None
-            for c in batch:
-                if c >= n:  # release event: one virtual predecessor satisfied
-                    i = c - n
-                    m = remaining[i] - 1
-                    remaining[i] = m
-                    if not m:
-                        if newly is None:
-                            newly = [rank_l[i]]
-                        else:
-                            newly.append(rank_l[i])
-                    continue
-                i = c
-                if on_complete is not None:
-                    retry = on_complete(order[i], now)
-                    if retry is not None:
-                        # re-run on the held allocation; nothing is released
-                        push(heap, (now + retry, seq, i))
-                        seq += 1
-                        continue
-                avh += pk_rank_l[rank_l[i]]
-                for s in succ[i]:
-                    m = remaining[s] - 1
-                    remaining[s] = m
-                    if not m:
-                        if newly is None:
-                            newly = [rank_l[s]]
-                        else:
-                            newly.append(rank_l[s])
-            if newly is not None:
-                k = len(newly)
-                if k == 1:
-                    r = newly[0]
-                    p = qb[:L].searchsorted(r)
-                    qb[p + 1:L + 1] = qb[p:L]
-                    qb[p] = r
-                    pb[p + 1:L + 1] = pb[p:L]
-                    pb[p] = pk_rank_l[r]
-                    L += 1
-                else:
-                    nr = np.array(newly, dtype=np.int64)
-                    nr.sort()
-                    idx = qb[:L].searchsorted(nr) + np.arange(k)
-                    mask = np.ones(L + k, dtype=bool)
-                    mask[idx] = False
-                    oq = sq[:L + k]
-                    op = sp[:L + k]
-                    oq[idx] = nr
-                    op[idx] = pk_by_rank[nr]
-                    oq[mask] = qb[:L]
-                    op[mask] = pb[:L]
-                    qb, sq = sq, qb
-                    pb, sp = sp, pb
-                    L += k
+    def start_log(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The recorded ``(topological index, start time)`` arrays, in
+        dispatch order — only populated when the loop was built with
+        ``on_start=None`` (views into the loop's scratch; copy to keep)."""
+        if self.on_start is not None:
+            raise ValueError("start_log() requires a loop built with on_start=None")
+        _, _, out_i, out_t = self.kernel_scratch()
+        return out_i[: self.ns], out_t[: self.ns]
 
-        # store the loop state back and leave the kernel facade consistent
-        self.avh = avh
-        self.seq = seq
-        self.qb = qb
-        self.pb = pb
-        self.sq = sq
-        self.sp = sp
-        self.L = L
-        self.now = now
-        self.done = done
+    def sync_kernel(self) -> None:
+        """Mirror the loop clock and availability onto the kernel facade."""
         kernel = self.kernel
-        kernel.now = now
+        kernel.now = self.now
         if self.ci.packable:
-            av = avh - H
+            av = self.avh - self.H
             field = (1 << PACK_BITS) - 1
             kernel._avail[:] = [
                 (av >> (PACK_BITS * r)) & field for r in range(self.ci.d)
             ]
-        return done
+
+    def run(self, until: float | None = None) -> bool:
+        """Dispatch and process events; stop once the heap drains (returns
+        ``True``) or the earliest pending event lies past ``until``
+        (returns ``False`` — call again to resume).  Executed by the
+        loop's dispatch backend."""
+        return self.backend.run_packed(self, until)
 
 
 class GeneralPriorityLoop:
     """Matrix fallback for instances the packed lowering cannot carry
     (``d > 4`` or capacities ``>= 2**15``): same discipline over the
     ``(n, d)`` allocation matrix on the shared :class:`EventKernel`,
-    resumable through :meth:`EventKernel.run_until`."""
+    resumable through :meth:`EventKernel.run_until`.
 
-    __slots__ = ("kernel", "_dispatch", "_handle", "done")
+    Compiled backends do not cover the matrix path — whatever backend
+    was requested, execution stays on this numpy loop (the selection is
+    recorded on ``.backend`` so callers can see what actually ran).  The
+    loop shares the packed path's time-point structure: the kernel
+    delivers all events within ``time_eps`` as one batch,
+    completions/releases drain as whole-vector updates at the next
+    dispatch, and the feasibility re-scan runs once per time point with
+    the same admit-then-refilter pass the python backend uses."""
+
+    __slots__ = ("kernel", "_dispatch", "_handle", "done", "backend",
+                 "ns", "_log_i", "_log_t", "_on_start")
 
     def __init__(
-        self, ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete
+        self, ci, kernel, alloc_mat, dur, rank_of, topo_of_rank, on_start, on_complete,
+        *, backend=None,
     ) -> None:
         self.kernel = kernel
+        self.backend = (
+            resolve_backend(backend)
+            if backend is None or isinstance(backend, str)
+            else backend
+        )
         self.done = False
+        self._on_start = on_start
+        self.ns = 0
+        if on_start is None:  # array start-log mode (see priority_loop)
+            self._log_i = np.empty(ci.cdag.n, dtype=np.int64)
+            self._log_t = np.empty(ci.cdag.n, dtype=np.float64)
+        else:
+            self._log_i = self._log_t = None
+        log_i = self._log_i
+        log_t = self._log_t
         cd = ci.cdag
         order = cd.order
         succ_indptr = cd.succ_indptr
@@ -504,34 +461,49 @@ class GeneralPriorityLoop:
             fit = (alloc_by_rank[q] <= k.available).all(axis=1)
             if not fit.any():
                 return
-            av = k.available.tolist()
+            # admit-then-refilter: the first candidate is the lowest-rank
+            # fitting job; each admission shrinks availability, so the
+            # candidate tail is re-filtered with one vector comparison
+            # instead of a scalar recheck per snapshot hit
+            av = k.available.astype(np.int64, copy=True)
             acq: list[int] | None = None
             started: list[int] | None = None
             cand = np.flatnonzero(fit)
-            for pos, rnk in zip(cand.tolist(), q[cand].tolist()):
-                i = topo_of_rank[rnk]
+            while True:
+                pos = int(cand[0])
+                i = topo_of_rank[q[pos]]
                 a = alloc_rows[i]
-                if all(x <= y for x, y in zip(a, av)):
-                    t = dur[i]
-                    k.hold(i, t)
-                    if acq is None:
-                        acq = list(a)
-                        started = [pos]
-                    else:
-                        for r in rng_d:
-                            acq[r] += a[r]
-                        started.append(pos)
-                    for r in rng_d:
-                        av[r] -= a[r]
-                    on_start(order[i], k.now, t)
-            if started is not None:
-                k.acquire(acq)
-                if len(started) == q.size:
-                    state["q"] = _EMPTY_QUEUE
+                t = dur[i]
+                k.hold(i, t)
+                if acq is None:
+                    acq = list(a)
+                    started = [pos]
                 else:
-                    keep = np.ones(q.size, dtype=bool)
-                    keep[started] = False
-                    state["q"] = q[keep]
+                    for r in rng_d:
+                        acq[r] += a[r]
+                    started.append(pos)
+                for r in rng_d:
+                    av[r] -= a[r]
+                if log_i is None:
+                    on_start(order[i], k.now, t)
+                else:
+                    ns = self.ns
+                    log_i[ns] = i
+                    log_t[ns] = k.now
+                    self.ns = ns + 1
+                cand = cand[1:]
+                if not cand.size:
+                    break
+                cand = cand[(alloc_by_rank[q[cand]] <= av).all(axis=1)]
+                if not cand.size:
+                    break
+            k.acquire(acq)
+            if len(started) == q.size:
+                state["q"] = _EMPTY_QUEUE
+            else:
+                keep = np.ones(q.size, dtype=bool)
+                keep[started] = False
+                state["q"] = q[keep]
 
         def handle(k: EventKernel, kind: str, payload) -> None:
             if kind == RELEASE:
@@ -559,6 +531,12 @@ class GeneralPriorityLoop:
     @property
     def pending(self) -> int:
         return self.kernel.pending
+
+    def start_log(self) -> "tuple[np.ndarray, np.ndarray]":
+        """See :meth:`PackedPriorityLoop.start_log`."""
+        if self._on_start is not None:
+            raise ValueError("start_log() requires a loop built with on_start=None")
+        return self._log_i[: self.ns], self._log_t[: self.ns]
 
     def run(self, until: float | None = None) -> bool:
         """See :meth:`PackedPriorityLoop.run`."""
@@ -608,7 +586,7 @@ class IncrementalPriorityLoop:
     __slots__ = (
         "gi", "now", "eps", "heap", "seq", "state", "remaining",
         "start", "finish", "avh", "avail", "log", "ncompleted",
-        "rk", "ri", "rp", "sk", "si", "sp", "L",
+        "rk", "ri", "rp", "sk", "si", "sp", "L", "backend",
     )
 
     def __init__(
@@ -617,7 +595,16 @@ class IncrementalPriorityLoop:
         *,
         log: list | None = None,
         time_eps: float = TIME_EPS,
+        backend=None,
     ) -> None:
+        # Compiled backends do not cover the growable loop (admission and
+        # cancellation interleave with dispatch); the selection is recorded
+        # so the service can report which backend is live.
+        self.backend = (
+            resolve_backend(backend)
+            if backend is None or isinstance(backend, str)
+            else backend
+        )
         self.gi = gi
         self.now = 0.0
         self.eps = time_eps
@@ -997,22 +984,30 @@ class IncrementalPriorityLoop:
                                     started.append(pos)
                     else:
                         # whole-queue feasibility: one SWAR comparison over
-                        # uint64s
+                        # uint64s, then admit-then-refilter — each admission
+                        # shrinks availability, so the hit tail is re-filtered
+                        # with one small vector comparison instead of a
+                        # scalar recheck per snapshot hit
                         hits = (((uint64(avh) - rp[:L]) & H_u) == H_u).nonzero()[0]
-                        for pos, i in zip(hits.tolist(), ri[hits].tolist()):
-                            a = packed[i]
-                            if (avh - a) & H == H:  # availability shrinks
-                                avh -= a
-                                state[i] = J_RUNNING
-                                start_l[i] = now
-                                t = dur[i]
-                                push(heap, (now + t, seq, i))
-                                seq += 1
-                                append_log(("start", order[i], now, t, demand[i]))
-                                if started is None:
-                                    started = [pos]
-                                else:
-                                    started.append(pos)
+                        while hits.size:
+                            pos = int(hits[0])
+                            i = int(ri[pos])
+                            avh -= packed[i]
+                            state[i] = J_RUNNING
+                            start_l[i] = now
+                            t = dur[i]
+                            push(heap, (now + t, seq, i))
+                            seq += 1
+                            append_log(("start", order[i], now, t, demand[i]))
+                            if started is None:
+                                started = [pos]
+                            else:
+                                started.append(pos)
+                            hits = hits[1:]
+                            if hits.size:
+                                hits = hits[
+                                    ((uint64(avh) - rp[hits]) & H_u) == H_u
+                                ]
                 else:
                     av = self.avail
                     for pos, i in enumerate(ri[:L].tolist()):

@@ -406,6 +406,28 @@ class CompiledInstance:
         shifts = np.arange(self.d, dtype=np.uint64) * np.uint64(PACK_BITS)
         return (alloc_mat.astype(np.uint64) << shifts).sum(axis=1, dtype=np.uint64)
 
+    def kernel_layout(self) -> tuple[np.ndarray, np.ndarray]:
+        """The CSR successor arrays under the **kernel layout contract**:
+        C-contiguous ``int64`` ``(succ_indptr, succ_indices)``.
+
+        Compiled dispatch backends (:mod:`repro.engine.backends`) index
+        these arrays from nopython code and need the dtype and memory
+        layout pinned, not merely conventional.  Construction already
+        produces this layout; this accessor *guarantees* it — if an
+        upstream transformation ever replaced the arrays with a view or
+        a different dtype, they are normalized (and re-cached) here
+        rather than handed to a kernel that would misread them.
+        """
+        cd = self.cdag
+        ip, si = cd.succ_indptr, cd.succ_indices
+        if ip.dtype != np.int64 or not ip.flags["C_CONTIGUOUS"]:
+            ip = np.ascontiguousarray(ip, dtype=np.int64)
+            cd.succ_indptr = ip
+        if si.dtype != np.int64 or not si.flags["C_CONTIGUOUS"]:
+            si = np.ascontiguousarray(si, dtype=np.int64)
+            cd.succ_indices = si
+        return ip, si
+
     def rank_permutation(
         self, keys: "Mapping[JobId, object] | np.ndarray"
     ) -> tuple[np.ndarray, list[int]]:
@@ -651,6 +673,35 @@ class GrowableCompiledInstance:
                 for p in pt:
                     succ[p].append(i)
         return base
+
+    def kernel_layout(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """A frozen array snapshot of the growable state under the kernel
+        layout contract: C-contiguous ``(succ_indptr int64, succ_indices
+        int64, packed uint64, duration float64)``.
+
+        The growable lowering lives in append-only python lists (O(1)
+        admission); compiled backends need dense pinned-dtype arrays, so
+        this builds the same CSR view :class:`CompiledDAG` carries
+        natively.  The snapshot reflects the rows present *now* — it is
+        invalidated by the next :meth:`append`/:meth:`append_batch` and
+        must be rebuilt after :meth:`compact` (indices are remapped);
+        callers snapshot per run, they do not cache across growth.
+        """
+        n = len(self.order)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for i, s in enumerate(self.succ):
+            indptr[i + 1] = indptr[i] + len(s)
+        indices = np.fromiter(
+            (t for s in self.succ for t in s), dtype=np.int64, count=int(indptr[-1])
+        )
+        packed = np.asarray(self.packed, dtype=np.uint64)
+        duration = np.asarray(self.duration, dtype=np.float64)
+        return (
+            np.ascontiguousarray(indptr),
+            np.ascontiguousarray(indices),
+            np.ascontiguousarray(packed),
+            np.ascontiguousarray(duration),
+        )
 
     def compact(self, keep: Sequence[int]) -> np.ndarray:
         """Rebuild the contiguous layout over the surviving rows ``keep``.

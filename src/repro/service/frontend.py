@@ -32,7 +32,7 @@ Requests (``op`` selects; everything else is the payload)::
     {"op": "advance", "until": 12.5}      move virtual time, report events
     {"op": "drain"}                       run to quiescence
     {"op": "tenant", "name": "acme", "weight": 2.0}
-    {"op": "status"} · {"op": "validate"} · {"op": "prune"}
+    {"op": "status"} · {"op": "stats"} · {"op": "validate"} · {"op": "prune"}
     {"op": "checkpoint", "path": "s.json"} · {"op": "restore", "path": "s.json"}
     {"op": "trace", "path": "t.json"}
     {"op": "shutdown"}
@@ -399,6 +399,32 @@ class ServiceFrontend:
                 "deduped": self.durable.deduped,
             }
         return status
+
+    def _op_stats(self, req: dict[str, Any]) -> dict[str, Any]:
+        """Compact operational counters: per-tenant queue depths,
+        admitted/completed totals, restart count, journal sequence and
+        the dispatch backend the session's loop resolved — the at-a-glance
+        numbers an operator polls, without ``status``'s full state map."""
+        c = self.session.counters
+        stats: dict[str, Any] = {
+            "clock": self.session.now,
+            "backend": self.session.backend_name,
+            "buffered": self._buffered,
+            "queues": {
+                t.name: len(t.buffer) for t in self._tenants.values()
+            },
+            "admitted": c.submitted,
+            "completed": c.completed,
+            "cancelled": c.cancelled,
+            "journal_seq": self.session.applied_seq,
+        }
+        try:
+            stats["restarts"] = int(os.environ.get(RESTARTS_ENV, "0"))
+        except ValueError:
+            stats["restarts"] = 0
+        if self.durable is not None:
+            stats["journal_records"] = self.durable.journal.appended
+        return stats
 
     def _op_tenant(self, req: dict[str, Any]) -> dict[str, Any]:
         self.set_weight(str(req["name"]), float(req["weight"]))

@@ -211,6 +211,12 @@ class SchedulingSession:
     compact_min_rows:
         Minimum row count before compaction is considered — keeps small
         sessions from churning.
+    backend:
+        Dispatch backend for the incremental loop (a registry name or
+        backend object, see :mod:`repro.engine.backends`); ``None``
+        resolves ``REPRO_BACKEND`` > default.  An execution detail, not
+        session state: checkpoints never persist it, so a restored
+        session re-resolves on the restoring host.
     """
 
     def __init__(
@@ -221,6 +227,7 @@ class SchedulingSession:
         seed: int | None = None,
         compact_threshold: float | None = 0.5,
         compact_min_rows: int = 512,
+        backend: "str | object | None" = None,
     ) -> None:
         if compact_threshold is not None and not 0.0 < compact_threshold <= 1.0:
             raise ValueError(
@@ -231,7 +238,7 @@ class SchedulingSession:
         self.gi = GrowableCompiledInstance(capacities)
         self.events: list[tuple] = []
         self.loop = IncrementalPriorityLoop(
-            self.gi, log=self.events, time_eps=time_eps
+            self.gi, log=self.events, time_eps=time_eps, backend=backend
         )
         self.tenants: list[str] = []  # per-job tenant label, row order
         self.counters = _Counters()
@@ -270,6 +277,11 @@ class SchedulingSession:
     @property
     def time_eps(self) -> float:
         return self.loop.eps
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the dispatch backend the incremental loop resolved."""
+        return self.loop.backend.name
 
     def available(self) -> tuple[int, ...]:
         """Per-type resources free at the current clock."""

@@ -1,0 +1,374 @@
+"""The dispatch-backend registry and the backends' schedule identity.
+
+The contract under test: *which* backend executes the packed hot loop is
+an execution detail — schedules are identical event for event — and the
+registry's resolution order (explicit name > ``REPRO_BACKEND`` > default)
+never crashes a host where an optional backend is missing, it falls back
+to ``python`` with a warning.
+
+The jitted numba path only runs where :mod:`numba` is installed (the CI
+``backend-numba`` job); everywhere else those tests skip cleanly and the
+*interpreted* kernel — the same nopython-compatible function, run as
+plain python via ``NumbaBackend(_jit=False)`` — pins kernel/python
+identity so a kernel regression cannot hide behind a missing dependency.
+"""
+
+import numpy as np
+import pytest
+
+from helpers import tiny_instance
+from repro.core.list_scheduler import (
+    bottom_level_priority,
+    fifo_priority,
+    list_schedule,
+    list_schedule_log,
+    lpt_priority,
+)
+from repro.engine.backends import (
+    BACKEND_ENV,
+    DEFAULT_BACKEND,
+    _INSTANCES,
+    _REGISTRY,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.engine.backends.numba import NumbaBackend
+from repro.engine.dispatch import priority_loop
+from repro.engine.reference import reference_pr1_list_schedule
+from repro.experiments.workloads import random_instance
+from repro.instance.instance import with_poisson_arrivals
+from repro.jobs.candidates import geometric_grid
+from repro.resources.pool import ResourcePool
+
+RULES = (fifo_priority, lpt_priority, bottom_level_priority)
+
+
+def _workload(family="layered", n=30, d=3, capacity=12, seed=0, poisson=False):
+    pool = ResourcePool.uniform(d, capacity)
+    inst = random_instance(family, n, pool, seed=seed).instance
+    if poisson:
+        inst = with_poisson_arrivals(inst, 2.0, seed=seed)
+    table = inst.candidate_table(geometric_grid)
+    alloc = {j: min(es, key=lambda e: e.time * e.area).alloc for j, es in table.items()}
+    return inst, alloc
+
+
+def _events(schedule):
+    return {j: (p.start, p.time, tuple(p.alloc)) for j, p in schedule.placements.items()}
+
+
+# ----------------------------------------------------------------------
+# registry semantics
+# ----------------------------------------------------------------------
+def test_builtins_registered_default_first():
+    names = backend_names()
+    assert names[0] == DEFAULT_BACKEND == "python"
+    assert "numba" in names
+
+
+def test_python_backend_always_available():
+    avail = available_backends()
+    assert avail["python"] is True
+
+
+def test_get_backend_unknown_name_raises_keyerror():
+    with pytest.raises(KeyError, match="unknown backend"):
+        get_backend("fortran")
+
+
+def test_get_backend_caches_instances():
+    assert get_backend("python") is get_backend("python")
+
+
+def test_register_rejects_duplicate_and_empty_names():
+    with pytest.raises(ValueError, match="already registered"):
+        register_backend("python")(lambda: None)
+    with pytest.raises(ValueError, match="non-empty string"):
+        register_backend("")
+
+
+# ----------------------------------------------------------------------
+# resolution order: explicit > env > default
+# ----------------------------------------------------------------------
+def test_resolve_default_is_python(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    assert resolve_backend(None).name == "python"
+
+
+def test_resolve_env_wins_over_default(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "python")
+    assert resolve_backend(None).name == "python"
+
+
+def test_resolve_explicit_wins_over_env(monkeypatch):
+    # the env names an unregistered backend; the explicit name must win
+    # without the env ever being consulted
+    monkeypatch.setenv(BACKEND_ENV, "no-such-backend")
+    assert resolve_backend("python").name == "python"
+
+
+def test_resolve_unregistered_name_raises(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    with pytest.raises(KeyError, match="unknown backend"):
+        resolve_backend("no-such-backend")
+    monkeypatch.setenv(BACKEND_ENV, "no-such-backend")
+    with pytest.raises(KeyError, match="unknown backend"):
+        resolve_backend(None)
+
+
+def test_resolve_unavailable_backend_warns_and_falls_back(monkeypatch):
+    @register_backend("test-unavailable")
+    class _Stub:
+        name = "test-unavailable"
+
+        @staticmethod
+        def is_available():
+            return False
+
+        def run_packed(self, loop, until=None):  # pragma: no cover
+            raise AssertionError("must never execute")
+
+    try:
+        with pytest.warns(RuntimeWarning, match="not available"):
+            backend = resolve_backend("test-unavailable")
+        assert backend.name == "python"
+        with pytest.warns(RuntimeWarning):
+            monkeypatch.setenv(BACKEND_ENV, "test-unavailable")
+            assert resolve_backend(None).name == "python"
+    finally:
+        _REGISTRY.pop("test-unavailable", None)
+        _INSTANCES.pop("test-unavailable", None)
+
+
+def test_numba_backend_without_numba_skips_cleanly():
+    jitted = NumbaBackend()
+    try:
+        import numba  # noqa: F401
+
+        assert jitted.is_available()
+    except ImportError:
+        assert not jitted.is_available()
+        with pytest.warns(RuntimeWarning, match="not available"):
+            assert resolve_backend("numba").name == "python"
+
+
+# ----------------------------------------------------------------------
+# schedule identity across backends
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", backend_names())
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.__name__)
+def test_available_backend_matches_reference(name, rule):
+    backend = get_backend(name)
+    if not backend.is_available():
+        pytest.skip(f"backend {name!r} is not available on this host")
+    inst, alloc = _workload(seed=3)
+    sched = list_schedule(inst, alloc, rule, backend=name)
+    ref = reference_pr1_list_schedule(inst, alloc, rule)
+    assert _events(sched) == _events(ref)
+
+
+@pytest.mark.parametrize("poisson", (False, True), ids=("offline", "poisson"))
+@pytest.mark.parametrize("d", (1, 2, 4, 6))
+def test_interpreted_kernel_equals_python_backend(d, poisson):
+    """The numba kernel, run uncompiled, is the python backend exactly —
+    the identity the CI jitted job re-asserts with compilation on."""
+    interp = NumbaBackend(_jit=False)
+    for seed in (0, 1):
+        inst, alloc = _workload(d=d, seed=seed, poisson=poisson)
+        for rule in RULES:
+            a = list_schedule(inst, alloc, rule, backend="python")
+            b = list_schedule(inst, alloc, rule, backend=interp)
+            assert _events(a) == _events(b)
+            assert a.makespan == b.makespan
+
+
+def test_interpreted_kernel_handles_cap1_and_diamond():
+    interp = NumbaBackend(_jit=False)
+    inst = tiny_instance(d=2, capacity=1)
+    table = inst.candidate_table(geometric_grid)
+    alloc = {j: min(es, key=lambda e: e.time * e.area).alloc for j, es in table.items()}
+    a = list_schedule(inst, alloc, fifo_priority, backend="python")
+    b = list_schedule(inst, alloc, fifo_priority, backend=interp)
+    assert _events(a) == _events(b)
+
+
+def test_numba_backend_falls_back_with_on_complete():
+    """Completion interception stays on the python executor (the kernel
+    cannot call back) — via the documented graceful fallback, with the
+    event stream intact."""
+    inst, alloc = _workload(seed=5)
+    seen: list[tuple] = []
+
+    def on_event(kind, job, t, duration):
+        seen.append((kind, repr(job), round(t, 9)))
+
+    a = list_schedule(inst, alloc, on_event=on_event, backend="python")
+    python_events = list(seen)
+    seen.clear()
+    b = list_schedule(inst, alloc, on_event=on_event,
+                      backend=NumbaBackend(_jit=False))
+    assert _events(a) == _events(b)
+    assert seen == python_events
+
+
+def test_interpreted_kernel_resumable_until():
+    """run(until) must leave kernel state resumable mid-schedule, exactly
+    like the python backend's bounded runs."""
+    inst, alloc = _workload(seed=7)
+    results = {}
+    for label, backend in (("python", "python"), ("interp", NumbaBackend(_jit=False))):
+        starts: list[tuple] = []
+        loop = priority_loop(
+            inst, alloc,
+            {j: i for i, j in enumerate(inst.dag.topological_order())},
+            {j: inst.time(j, alloc[j]) for j in inst.jobs},
+            lambda j, s, t: starts.append((repr(j), round(s, 9), round(t, 9))),
+            backend=backend,
+        )
+        done = False
+        until = 0.0
+        while not done:
+            done = loop.run(until=until)
+            until += 0.75
+        results[label] = starts
+    assert results["interp"] == results["python"]
+    assert len(results["python"]) == len(inst.jobs)
+
+
+@pytest.mark.parametrize(
+    "backend", ("python", NumbaBackend(_jit=False)), ids=("python", "interp")
+)
+def test_run_restores_gc_state(backend):
+    """The backends pause the collector for the duration of a run (each
+    allocation-triggered collection scans the whole resident instance —
+    the O(n) cost that bent the scaling curve) and must restore whatever
+    state the caller had, enabled or not."""
+    import gc
+
+    inst, alloc = _workload(seed=17)
+    assert gc.isenabled()
+    list_schedule(inst, alloc, fifo_priority, backend=backend)
+    assert gc.isenabled()
+    gc.disable()
+    try:
+        list_schedule(inst, alloc, fifo_priority, backend=backend)
+        assert not gc.isenabled()
+    finally:
+        gc.enable()
+
+
+# ----------------------------------------------------------------------
+# array start-log mode (on_start=None): the million-job measurement path
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "backend", ("python", NumbaBackend(_jit=False)), ids=("python", "interp")
+)
+@pytest.mark.parametrize("d", (2, 6), ids=("packed", "general"))
+@pytest.mark.parametrize("poisson", (False, True), ids=("offline", "poisson"))
+def test_schedule_log_equals_object_path(backend, d, poisson):
+    """list_schedule_log is list_schedule with array output: same engine,
+    same events — on the packed (d<=4) and general (d>4) loops alike."""
+    inst, alloc = _workload(d=d, seed=23, poisson=poisson)
+    for rule in RULES:
+        sched = list_schedule(inst, alloc, rule, backend=backend)
+        log = list_schedule_log(inst, alloc, rule, backend=backend)
+        assert log.job_index.size == len(inst.jobs)
+        assert log.makespan == sched.makespan
+        assert _events(log.to_schedule(inst, alloc)) == _events(sched)
+
+
+@pytest.mark.parametrize(
+    "backend", ("python", NumbaBackend(_jit=False)), ids=("python", "interp")
+)
+def test_start_log_accumulates_across_bounded_runs(backend):
+    """run(until) stepping must append to the log, never overwrite it —
+    the resumable-session contract in array form."""
+    inst, alloc = _workload(seed=29)
+    keys = {j: i for i, j in enumerate(inst.dag.topological_order())}
+    times = {j: inst.time(j, alloc[j]) for j in inst.jobs}
+    full = priority_loop(inst, alloc, keys, times, None, backend=backend)
+    full.run()
+    ref_i, ref_t = full.start_log()
+
+    loop = priority_loop(inst, alloc, keys, times, None, backend=backend)
+    done = False
+    until = 0.0
+    while not done:
+        done = loop.run(until=until)
+        until += 0.75
+    out_i, out_t = loop.start_log()
+    np.testing.assert_array_equal(out_i, ref_i)
+    np.testing.assert_array_equal(out_t, ref_t)
+
+
+def test_start_log_requires_log_mode():
+    inst, alloc = _workload(seed=31)
+    keys = {j: i for i, j in enumerate(inst.dag.topological_order())}
+    times = {j: inst.time(j, alloc[j]) for j in inst.jobs}
+    loop = priority_loop(inst, alloc, keys, times, lambda j, s, t: None)
+    with pytest.raises(ValueError, match="on_start=None"):
+        loop.start_log()
+
+
+# ----------------------------------------------------------------------
+# kernel layout contract (contiguity + dtypes the compiled path assumes)
+# ----------------------------------------------------------------------
+def test_compiled_instance_kernel_layout():
+    inst, _ = _workload(seed=11)
+    ci = inst.compiled()
+    ip, si = ci.kernel_layout()
+    for a in (ip, si):
+        assert a.dtype == np.int64 and a.flags.c_contiguous
+    assert ip.shape == (ci.n + 1,)
+    assert si.shape == (int(ip[-1]),)
+    # idempotent: the normalized arrays are cached, not rebuilt
+    ip2, si2 = ci.kernel_layout()
+    assert ip2 is ip and si2 is si
+
+
+def test_growable_kernel_layout_after_compact():
+    from repro.service.session import JobSpec, SchedulingSession
+
+    s = SchedulingSession([4, 4], compact_threshold=0.5, compact_min_rows=1)
+    specs = [
+        JobSpec(id=f"j{i}", demand=(1, 1), duration=1.0,
+                preds=(f"j{i-1}",) if i else (), key=i)
+        for i in range(8)
+    ]
+    s.submit(specs)
+    ip, si, packed, dur = s.gi.kernel_layout()
+    assert ip.dtype == np.int64 and si.dtype == np.int64
+    assert packed.dtype == np.uint64 and dur.dtype == np.float64
+    assert all(a.flags.c_contiguous for a in (ip, si, packed, dur))
+    assert ip.shape == (len(s.gi.order) + 1,)
+    s.drain()  # completes everything; advance-side compaction triggers
+    ip2, si2, packed2, dur2 = s.gi.kernel_layout()
+    assert ip2.shape == (len(s.gi.order) + 1,)
+    assert packed2.shape[0] == len(s.gi.order) == dur2.shape[0]
+    assert all(a.flags.c_contiguous for a in (ip2, si2, packed2, dur2))
+
+
+# ----------------------------------------------------------------------
+# service integration
+# ----------------------------------------------------------------------
+def test_session_reports_backend_name():
+    from repro.service.session import SchedulingSession
+
+    s = SchedulingSession([8, 8])
+    assert s.backend_name == "python"
+    s2 = SchedulingSession([8, 8], backend="python")
+    assert s2.backend_name == "python"
+
+
+@pytest.mark.skipif(
+    not NumbaBackend().is_available(), reason="numba not installed"
+)
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.__name__)
+def test_jitted_kernel_matches_python(rule):  # pragma: no cover - CI-only
+    inst, alloc = _workload(n=60, seed=13)
+    a = list_schedule(inst, alloc, rule, backend="python")
+    b = list_schedule(inst, alloc, rule, backend="numba")
+    assert _events(a) == _events(b)
