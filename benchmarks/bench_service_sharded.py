@@ -1,0 +1,16 @@
+"""Sharded service — aggregate throughput vs worker count.
+
+Thin wrapper over the registered ``service_sharded`` benchmark
+(:mod:`repro.bench.suites.service`): each worker count spawns a live
+``repro serve --workers N`` process tree (routing tier + N supervised
+worker processes) and the typed client drives submit/flush/drain rounds
+over TCP; job conservation, per-shard strict validity and the
+scaling-vs-linear check are asserted, and the 4-worker scaling ratio is
+the gated metric.
+"""
+
+from conftest import run_registered
+
+
+def test_service_sharded(results_dir):
+    run_registered("service_sharded", results_dir)

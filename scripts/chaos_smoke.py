@@ -2,11 +2,12 @@
 """CI chaos smoke: SIGKILL a supervised `repro serve` worker mid-stream.
 
 Launches ``repro serve --supervise`` with a durable journal on a TCP
-port, streams a deterministic job set one submit at a time, SIGKILLs the
-worker process partway through the stream, and keeps submitting through
-the restart window (reconnect + resubmit; a duplicate-id error counts as
-an ack — the crashed worker journaled the job before dying).  At the end
-the script asserts, against an in-process reference run of the same
+port, streams a deterministic job set one submit at a time through the
+typed :class:`repro.service.ServiceClient`, SIGKILLs the worker process
+partway through the stream, and keeps submitting through the restart
+window (the client reconnects and resends; a duplicate-id error counts
+as an ack — the crashed worker journaled the job before dying).  At the
+end the script asserts, against an in-process reference run of the same
 stream:
 
 * every admitted job completed exactly once (no job lost, none run
@@ -24,93 +25,18 @@ on ``PYTHONPATH``; no third-party packages.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import signal
-import socket
 import subprocess
 import sys
 import tempfile
 import time
 
+from repro.service import Backpressure, ServiceClient
+from repro.service.router import pick_free_port
+
 CAPACITIES = (4, 4)
 SEED = 0
-
-
-class Disconnected(Exception):
-    """The worker went away mid-request (crash window)."""
-
-
-class Client:
-    """Line-protocol TCP client that survives worker restarts."""
-
-    def __init__(self, port: int, timeout: float = 5.0) -> None:
-        self.port = port
-        self.timeout = timeout
-        self.sock: socket.socket | None = None
-        self.rfile = None
-
-    def connect(self, deadline: float) -> None:
-        self.close()
-        while True:
-            try:
-                sock = socket.create_connection(
-                    ("127.0.0.1", self.port), timeout=self.timeout
-                )
-            except OSError:
-                if time.monotonic() > deadline:
-                    raise SystemExit(
-                        "chaos smoke: FAIL — worker never came (back) up on "
-                        f"port {self.port}"
-                    )
-                time.sleep(0.1)
-                continue
-            sock.settimeout(self.timeout)
-            self.sock = sock
-            self.rfile = sock.makefile("rb")
-            return
-
-    def close(self) -> None:
-        if self.rfile is not None:
-            try:
-                self.rfile.close()
-            except OSError:
-                pass
-            self.rfile = None
-        if self.sock is not None:
-            try:
-                self.sock.close()
-            except OSError:
-                pass
-            self.sock = None
-
-    def request(self, payload: dict) -> dict:
-        """One request/response; raises Disconnected on any transport
-        failure (including a timeout: the caller's ops are idempotent or
-        deduplicated server-side, so blind retry is safe)."""
-        if self.sock is None:
-            raise Disconnected
-        try:
-            self.sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
-            line = self.rfile.readline()
-        except OSError as exc:  # includes socket.timeout
-            raise Disconnected from exc
-        if not line:
-            raise Disconnected
-        return json.loads(line)
-
-    def call(self, payload: dict, deadline: float) -> dict:
-        """Request with reconnect-and-retry across the crash window."""
-        while True:
-            try:
-                return self.request(payload)
-            except Disconnected:
-                if time.monotonic() > deadline:
-                    raise SystemExit(
-                        f"chaos smoke: FAIL — no response to {payload.get('op')!r} "
-                        "before the deadline"
-                    )
-                self.connect(deadline)
 
 
 def job_stream(n: int) -> list[dict]:
@@ -142,20 +68,21 @@ def reference_events(jobs: list[dict]):
     return portable_events(session.to_schedule(), reprify=False)
 
 
-def submit_until_acked(client: Client, rec: dict, deadline: float) -> None:
+def submit_until_acked(client: ServiceClient, rec: dict) -> None:
     """Submit one job until the server acknowledges admission.  A
     duplicate-id error means a previous attempt was journaled before the
     crash — at-least-once submission, exactly-once admission."""
     jid = rec["id"]
     while True:
-        resp = client.call({"op": "submit", "jobs": [rec]}, deadline)
-        if jid in resp.get("backpressure", []):
+        try:
+            resp = client.submit([rec])
+        except Backpressure:
             time.sleep(0.05)
             continue
         if jid in resp.get("admitted", []):
             return
         if any(
-            err.get("id") == jid and "already submitted" in str(err.get("error"))
+            err.get("id") == jid and "already submitted" in str(err.get("detail"))
             for err in resp.get("errors", [])
         ):
             return
@@ -169,22 +96,16 @@ def main() -> int:
                         help="SIGKILL the worker after this many acked submits "
                         "(default: a third of the stream)")
     parser.add_argument("--timeout", type=float, default=120.0,
-                        help="overall deadline in seconds")
+                        help="per-call reconnect/resend deadline in seconds")
     parser.add_argument("--workdir", default=None,
                         help="journal/snapshot directory (default: a tempdir)")
     args = parser.parse_args()
     kill_at = args.kill_at if args.kill_at is not None else max(1, args.jobs // 3)
-    deadline = time.monotonic() + args.timeout
 
     workdir = args.workdir or tempfile.mkdtemp(prefix="chaos-smoke-")
     os.makedirs(workdir, exist_ok=True)
     journal = os.path.join(workdir, "journal.jsonl")
-
-    # a free port for the worker (picked here so the client knows it)
-    probe = socket.socket()
-    probe.bind(("127.0.0.1", 0))
-    port = probe.getsockname()[1]
-    probe.close()
+    port = pick_free_port()
 
     cmd = [
         sys.executable, "-m", "repro", "serve",
@@ -200,14 +121,19 @@ def main() -> int:
     proc = subprocess.Popen(cmd)
     try:
         jobs = job_stream(args.jobs)
-        client = Client(port)
-        client.connect(deadline)
+        # retry_deadline makes every call survive the crash window:
+        # disconnect -> reconnect -> resend, server-side dedup by id
+        client = ServiceClient.connect(
+            "127.0.0.1", port,
+            connect_deadline=args.timeout, io_timeout=5.0,
+            retry_deadline=args.timeout,
+        )
 
         killed_pid = None
         for i, rec in enumerate(jobs):
-            submit_until_acked(client, rec, deadline)
+            submit_until_acked(client, rec)
             if i + 1 == kill_at:
-                status = client.call({"op": "status"}, deadline)
+                status = client.status()
                 killed_pid = status["pid"]
                 assert killed_pid != proc.pid, "status pid is the supervisor?"
                 print(
@@ -218,11 +144,11 @@ def main() -> int:
                 os.kill(killed_pid, signal.SIGKILL)
         assert killed_pid is not None, "stream shorter than --kill-at"
 
-        drain = client.call({"op": "drain"}, deadline)
-        validate = client.call({"op": "validate"}, deadline)
-        status = client.call({"op": "status"}, deadline)
-        snapshot = client.call({"op": "checkpoint"}, deadline)["snapshot"]
-        shutdown = client.call({"op": "shutdown"}, deadline)
+        drain = client.drain()
+        validate = client.validate()
+        status = client.status()
+        snapshot = client.checkpoint()["snapshot"]
+        shutdown = client.shutdown()
         client.close()
 
         failures = []

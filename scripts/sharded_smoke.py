@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""CI sharded smoke: kill one worker of a 4-shard service mid-stream.
+
+Launches ``repro serve --workers 4`` (explicit placement: two tenants
+per shard, each worker journaled and supervised) and streams a
+deterministic job set round-robin across the eight tenants through the
+typed client.  Partway through, one worker process is SIGKILLed; the
+stream keeps going:
+
+* submits routed to the three surviving shards keep succeeding
+  uninterrupted through the restart window;
+* submits routed to the killed shard are resent by the router until the
+  supervisor has restarted it from its own journal (no admitted job
+  lost, none duplicated — drain completes every submitted job exactly
+  once and every shard strict-validates);
+* the restarted shard reports a new pid and its restart counter.
+
+Exits non-zero on any violation.  Needs only the stdlib plus ``repro``
+on ``PYTHONPATH``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import tempfile
+
+from repro.service import ServiceClient
+
+WORKERS = 4
+TENANTS = [f"t{i}" for i in range(2 * WORKERS)]  # two tenants per shard
+SHARD_MAP = ",".join(f"t{i}={i // 2}" for i in range(2 * WORKERS))
+KILL_SHARD = "1"
+
+
+def job_stream(n: int) -> list[dict]:
+    """Deterministic moldable jobs round-robin across the tenants, with
+    an occasional same-tenant dependency chain."""
+    jobs = []
+    for i in range(n):
+        rec = {
+            "id": f"j{i:03d}",
+            "demand": [1 + i % 3, 1 + (i * 2) % 4],
+            "duration": 1.0 + (i % 5) * 0.5,
+            "tenant": TENANTS[i % len(TENANTS)],
+        }
+        if i % 16 == 15 and i >= 16:  # j{i-16}: same tenant/shard, legal edge
+            rec["preds"] = [f"j{i - 16:03d}"]
+        jobs.append(rec)
+    return jobs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=64)
+    parser.add_argument("--kill-at", type=int, default=None,
+                        help="SIGKILL one worker after this many submits "
+                        "(default: a third of the stream)")
+    parser.add_argument("--workdir", default=None,
+                        help="journal/snapshot directory (default: a tempdir)")
+    args = parser.parse_args()
+    kill_at = args.kill_at if args.kill_at is not None else max(1, args.jobs // 3)
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="sharded-smoke-")
+    os.makedirs(workdir, exist_ok=True)
+    journal = os.path.join(workdir, "journal.jsonl")
+
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--workers", str(WORKERS),
+        "--shard-policy", "explicit", "--shard-map", SHARD_MAP,
+        "--shard-deadline", "60",
+        "--capacities", "4", "4",
+        "--batch-size", "1", "--max-pending", "128",
+        "--journal", journal, "--checkpoint-every", "8",
+        "--backoff-base", "0.2", "--backoff-cap", "1", "--max-restarts", "8",
+    ]
+    print(f"sharded smoke: starting router: {' '.join(cmd)}", flush=True)
+    client = ServiceClient.launch(cmd)
+
+    jobs = job_stream(args.jobs)
+    killed_pid = None
+    survivor_submits_after_kill = 0
+    for i, rec in enumerate(jobs):
+        resp = client.submit([rec])
+        # a duplicate-id error counts as an ack: the shard journaled the
+        # job before crashing and the router resent across the restart
+        acked = resp.get("admitted") == [rec["id"]] or any(
+            err.get("id") == rec["id"] and "already submitted" in str(err.get("detail"))
+            for err in resp.get("errors", ())
+        )
+        assert acked, (rec, resp)
+        if killed_pid is not None and rec["tenant"] not in ("t2", "t3"):
+            survivor_submits_after_kill += 1
+        if i + 1 == kill_at:
+            status = client.status()
+            killed_pid = status["shards"][KILL_SHARD]["pid"]
+            print(f"sharded smoke: SIGKILL shard {KILL_SHARD} worker pid "
+                  f"{killed_pid} after {i + 1}/{args.jobs} submits", flush=True)
+            os.kill(killed_pid, signal.SIGKILL)
+    assert killed_pid is not None, "stream shorter than --kill-at"
+
+    drain = client.drain()
+    validate = client.validate()
+    status = client.status()
+    stats = client.stats()
+    shutdown = client.shutdown()
+    client.close()
+
+    failures = []
+    if drain.get("completed") != args.jobs:
+        failures.append(f"drain completed {drain.get('completed')} of {args.jobs}")
+    if not validate.get("valid"):
+        failures.append(f"strict validation failed: {validate.get('violations')}")
+    if status["shards"][KILL_SHARD]["pid"] == killed_pid:
+        failures.append(f"shard {KILL_SHARD} pid unchanged after SIGKILL")
+    if status["shards"][KILL_SHARD].get("restarts", 0) < 1:
+        failures.append(f"shard {KILL_SHARD} reports no restart: "
+                        f"{status['shards'][KILL_SHARD].get('restarts')}")
+    if survivor_submits_after_kill < 1:
+        failures.append("no surviving-shard submits exercised the crash window")
+    if stats.get("workers") != WORKERS:
+        failures.append(f"stats workers: {stats.get('workers')}")
+    if sum(stats["shards"][str(i)]["completed"] for i in range(WORKERS)) != args.jobs:
+        failures.append(f"per-shard completed counts do not add up: "
+                        f"{[stats['shards'][str(i)]['completed'] for i in range(WORKERS)]}")
+    if not shutdown.get("ok"):
+        failures.append(f"shutdown refused: {shutdown}")
+    if client.transport.proc.returncode != 0:
+        failures.append(f"router exited {client.transport.proc.returncode}")
+
+    if failures:
+        for f in failures:
+            print(f"sharded smoke: FAIL — {f}", flush=True)
+        return 1
+    print(
+        "sharded smoke: OK — "
+        f"{args.jobs} jobs over {len(TENANTS)} tenants / {WORKERS} shards, "
+        f"shard {KILL_SHARD} worker {killed_pid} SIGKILLed after {kill_at} "
+        f"submits and recovered "
+        f"(restarts={status['shards'][KILL_SHARD].get('restarts')}), "
+        f"{survivor_submits_after_kill} survivor submits during the window, "
+        f"all shards strict-valid",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

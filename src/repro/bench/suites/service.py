@@ -259,3 +259,243 @@ def service_benchmark(config: BenchConfig) -> BenchPlan:
             ),
         ],
     )
+
+
+# ----------------------------------------------------------------------
+# sharded service: aggregate jobs/s vs worker count
+# ----------------------------------------------------------------------
+#: Jobs per timed round (one submit/flush/drain cycle through the router).
+SHARDED_JOBS_QUICK = 160
+SHARDED_JOBS_FULL = 480
+#: Jobs per submit op — sized to the router batch so every submit
+#: auto-flushes and the wire stays pipelined.
+SHARDED_CHUNK = 16
+SHARDED_WORKERS_QUICK = (1, 2, 4)
+SHARDED_WORKERS_FULL = (1, 2, 4, 8)
+
+
+class _ShardedService:
+    """One ``repro serve --workers N`` process plus its typed client.
+
+    Spawned lazily on the first round so the untimed warmup absorbs
+    process startup and the shard ping; timed rounds measure pure
+    steady-state protocol + scheduling throughput.  Tenants are placed
+    explicitly, two per shard, so every worker carries an equal share
+    regardless of hash luck.
+    """
+
+    def __init__(self, workers: int, jobs_per_round: int, seed: int) -> None:
+        self.workers = workers
+        self.jobs_per_round = jobs_per_round
+        self.seed = seed
+        self.tenants = [f"t{i}" for i in range(2 * workers)]
+        self.client = None
+        self.rounds = 0
+        self.completed_total = 0
+
+    def _start(self) -> None:
+        import sys
+
+        from repro.service import ServiceClient
+
+        shard_map = ",".join(
+            f"t{i}={i // 2}" for i in range(2 * self.workers)
+        )
+        self.client = ServiceClient.launch([
+            sys.executable, "-m", "repro", "serve",
+            "--workers", str(self.workers),
+            "--shard-policy", "explicit", "--shard-map", shard_map,
+            "--shard-deadline", "60",
+            "--capacities", "8",
+            "--batch-size", str(SHARDED_CHUNK), "--max-pending", "4096",
+            "--seed", str(self.seed),
+        ])
+
+    def run_round(self) -> "_ShardedService":
+        if self.client is None:
+            self._start()
+        try:
+            prefix = f"r{self.rounds}"
+            jobs = [
+                {
+                    "id": f"{prefix}-j{j:04d}",
+                    "demand": [1 + j % 4],
+                    "duration": 1.0 + (j % 3) * 0.5,
+                    "tenant": self.tenants[j % len(self.tenants)],
+                }
+                for j in range(self.jobs_per_round)
+            ]
+            admitted = 0
+            for k in range(0, len(jobs), SHARDED_CHUNK):
+                resp = self.client.submit(jobs[k:k + SHARDED_CHUNK])
+                admitted += len(resp.get("admitted", ()))
+            admitted += len(self.client.flush().get("admitted", ()))
+            drain = self.client.drain()
+            if admitted != len(jobs) or drain["completed"] < len(jobs):
+                raise RuntimeError(
+                    f"round lost jobs: admitted {admitted}, "
+                    f"drained {drain['completed']} of {len(jobs)}"
+                )
+            self.rounds += 1
+            self.completed_total += len(jobs)
+            return self
+        except Exception:
+            self.close()
+            raise
+
+    def close(self) -> dict:
+        """Shut the service down; returns {stats, valid, returncode}."""
+        if self.client is None:
+            return {}
+        client, self.client = self.client, None
+        try:
+            stats = client.stats()
+            valid = client.validate().get("valid", False)
+            client.shutdown()
+        finally:
+            client.close()
+        return {
+            "stats": stats,
+            "valid": valid,
+            "returncode": client.transport.proc.returncode,
+        }
+
+
+@register_benchmark(
+    "service_sharded",
+    kind="extension",
+    description="Aggregate sharded-service throughput vs worker count "
+    "(routing tier + N supervised worker processes)",
+)
+def service_sharded_benchmark(config: BenchConfig) -> BenchPlan:
+    """Aggregate jobs/s through ``repro serve --workers N`` as N grows."""
+    import os
+
+    worker_counts = SHARDED_WORKERS_QUICK if config.quick else SHARDED_WORKERS_FULL
+    jobs_per_round = SHARDED_JOBS_QUICK if config.quick else SHARDED_JOBS_FULL
+    repeats = 3 if config.quick else 5
+    services = {
+        w: _ShardedService(w, jobs_per_round, config.seed) for w in worker_counts
+    }
+
+    cases = [
+        BenchCase(
+            name=f"workers:{w}",
+            fn=services[w].run_round,
+            repeats=repeats,
+            warmup=1,  # the warmup round spawns the router + workers
+            metrics=lambda value, seconds: {
+                "jobs_per_sec": value.jobs_per_round / seconds
+            },
+        )
+        for w in worker_counts
+    ]
+
+    def checks(by_name):
+        c = Checker()
+        for w in worker_counts:
+            service = by_name[f"workers:{w}"].value
+            expected = service.completed_total
+            final = service.close()
+            stats = final.get("stats", {})
+            c.check(
+                f"workers:{w}:valid",
+                final.get("valid", False),
+                "every shard must strict-validate its final schedule",
+            )
+            c.check(
+                f"workers:{w}:workers",
+                stats.get("workers") == w,
+                f"stats reports {stats.get('workers')} workers",
+            )
+            per_shard = sum(
+                s.get("completed", 0) for s in stats.get("shards", {}).values()
+            )
+            c.check(
+                f"workers:{w}:conservation",
+                stats.get("completed") == expected and per_shard == expected,
+                f"completed {stats.get('completed')} (shards sum {per_shard}) "
+                f"of {expected} submitted",
+            )
+            c.check(
+                f"workers:{w}:clean_exit",
+                final.get("returncode") == 0,
+                f"router exited {final.get('returncode')}",
+            )
+        ncpu = os.cpu_count() or 1
+        jps1 = by_name["workers:1"].metrics["jobs_per_sec"]
+        jps4 = by_name["workers:4"].metrics["jobs_per_sec"]
+        scaling = jps4 / (4.0 * jps1) if jps1 else 0.0
+        if ncpu >= 4:
+            c.check(
+                "scaling_4w_at_least_0.7_linear",
+                scaling >= 0.7,
+                f"4-worker aggregate is {scaling:.2f}x linear "
+                f"({jps4:.1f} vs 1-worker {jps1:.1f} jobs/s)",
+            )
+        else:
+            c.check(
+                "scaling_4w_at_least_0.7_linear",
+                True,
+                f"skipped: {ncpu} cpus (scaling measured {scaling:.2f}x linear)",
+            )
+        return c.results
+
+    def derived(by_name):
+        out = {}
+        for w in worker_counts:
+            out[f"sharded_throughput_{w}w"] = by_name[f"workers:{w}"].metrics[
+                "jobs_per_sec"
+            ]
+        jps1 = out["sharded_throughput_1w"]
+        out["sharded_scaling_4w"] = (
+            out["sharded_throughput_4w"] / (4.0 * jps1) if jps1 else 0.0
+        )
+        return out
+
+    def tables(by_name):
+        jps1 = by_name["workers:1"].metrics["jobs_per_sec"]
+        rows = [
+            {
+                "workers": w,
+                "seconds": by_name[f"workers:{w}"].seconds,
+                "jobs_per_sec": by_name[f"workers:{w}"].metrics["jobs_per_sec"],
+                "speedup_vs_1w": (
+                    by_name[f"workers:{w}"].metrics["jobs_per_sec"] / jps1
+                    if jps1
+                    else 0.0
+                ),
+            }
+            for w in worker_counts
+        ]
+        import os
+
+        return [
+            Table(
+                name="service_sharded",
+                title=(
+                    f"Sharded service aggregate throughput "
+                    f"({jobs_per_round} jobs/round over two tenants per "
+                    f"shard, explicit placement, {os.cpu_count()} cpus)"
+                ),
+                rows=rows,
+                precision=4,
+                footer=(
+                    "Each worker count is one live `repro serve --workers N` "
+                    "process tree (router + N supervised workers) driven over "
+                    "TCP by the typed client; spawn cost is absorbed by the "
+                    "untimed warmup round.  Job conservation and per-shard "
+                    "strict validity are asserted at teardown."
+                ),
+            )
+        ]
+
+    return BenchPlan(
+        cases=cases,
+        checks=checks,
+        derived=derived,
+        tables=tables,
+        # scaling is machine-relative (same host, same process tree), so
+        # CI can gate it across hardware; absolute jobs/s is informational
+        gates=[Gate("sharded_scaling_4w", direction="higher", max_regression=0.30)],
+    )

@@ -201,7 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="online scheduling service: JSON-lines requests "
              "(submit/cancel/advance/drain/checkpoint/restore) over "
-             "stdin/stdout or TCP",
+             "stdin/stdout or TCP; --workers N shards tenants across "
+             "worker processes",
     )
     sv.add_argument("--capacities", type=int, nargs="+", default=None, metavar="P",
                     help="per-type platform capacities (default: --d copies "
@@ -212,20 +213,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="serve a TCP socket instead of stdin/stdout "
                          "(0 picks a free port)")
     sv.add_argument("--host", default="127.0.0.1")
-    sv.add_argument("--batch-size", type=int, default=32,
-                    help="admit buffered submissions once this many are "
-                         "waiting (default 32)")
-    sv.add_argument("--batch-interval", type=float, default=0.05, metavar="SECONDS",
-                    help="...or once the oldest has waited this long "
-                         "(default 0.05s); whichever comes first")
     sv.add_argument("--restore", metavar="FILE", default=None,
                     help="resume from a repro-session/2 (or legacy /1) "
-                         "checkpoint")
+                         "checkpoint (single-worker mode only)")
     sv.add_argument("--trace", metavar="FILE", default=None,
                     help="write the session trace (v3, cancellations "
-                         "included) on shutdown")
+                         "included) on shutdown (single-worker mode; "
+                         "sharded services use the 'trace' op)")
     sv.add_argument("--seed", type=int, default=0,
-                    help="session RNG seed (stochastic clients)")
+                    help="session RNG seed (shard i uses seed+i)")
     sv.add_argument("--compact-threshold", type=float, default=None,
                     metavar="FRACTION",
                     help="archive finished rows once this fraction of the "
@@ -237,44 +233,96 @@ def build_parser() -> argparse.ArgumentParser:
                     help="never compact below this many live rows "
                          "(session default 512; overrides a restored "
                          "checkpoint's setting when given)")
-    sv.add_argument("--journal", metavar="FILE", default=None,
-                    help="durable mode: write-ahead journal every mutating "
-                         "op before acknowledging it; on start, recover "
-                         "from the latest snapshot + journal suffix")
-    sv.add_argument("--snapshot", metavar="FILE", default=None,
-                    help="durable snapshot path (default: "
-                         "<journal>.snapshot.json)")
-    sv.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
-                    help="auto-checkpoint (and rotate the journal) every N "
-                         "journaled records; requires --journal")
-    sv.add_argument("--max-pending", type=int, default=None, metavar="N",
-                    help="bound each tenant's submission buffer: jobs past "
-                         "the bound are refused with an explicit "
-                         "'backpressure' response field")
-    sv.add_argument("--max-request-bytes", type=int, default=1 << 20,
-                    metavar="N",
-                    help="reject request lines longer than this with an "
-                         "error response (default 1 MiB)")
-    sv.add_argument("--chaos", metavar="SPEC", default=None,
-                    help="deterministic fault injection: 'point:rate,...' "
-                         "(e.g. 'op-applied:0.05,mid-drain:0.2'; also via "
-                         "REPRO_CHAOS); an injected crash exits 137")
-    sv.add_argument("--chaos-seed", type=int, default=0,
-                    help="seed of the chaos injector's RNG")
-    sv.add_argument("--supervise", action="store_true",
-                    help="run the worker as a child process and restart it "
-                         "from snapshot+journal on abnormal exit, with "
-                         "bounded exponential backoff")
-    sv.add_argument("--backoff-base", type=float, default=0.5, metavar="SECONDS",
-                    help="initial restart backoff (doubles per consecutive "
-                         "failure; default 0.5s)")
-    sv.add_argument("--backoff-cap", type=float, default=10.0, metavar="SECONDS",
-                    help="maximum restart backoff (default 10s)")
-    sv.add_argument("--max-restarts", type=int, default=5, metavar="N",
-                    help="give up after this many consecutive abnormal "
-                         "exits (a worker healthy for 30s resets the "
-                         "budget; default 5)")
     _add_backend_arg(sv)
+
+    lim = sv.add_argument_group(
+        "admission & limits",
+        "when jobs are admitted from the per-tenant buffers into the "
+        "session, and how much a client may buffer or send",
+    )
+    lim.add_argument("--batch-size", type=int, default=32,
+                     help="admit buffered submissions once this many are "
+                          "waiting (default 32)")
+    lim.add_argument("--batch-interval", type=float, default=0.05,
+                     metavar="SECONDS",
+                     help="...or once the oldest has waited this long "
+                          "(default 0.05s); whichever comes first")
+    lim.add_argument("--admission", choices=("fair", "fifo"), default="fair",
+                     help="buffer draining discipline: weighted fair "
+                          "sharing across tenants (default) or global "
+                          "arrival order (fifo; used by workers under a "
+                          "sharded router, which decides fairness itself)")
+    lim.add_argument("--max-pending", type=int, default=None, metavar="N",
+                     help="bound each tenant's submission buffer: jobs past "
+                          "the bound are refused with an explicit "
+                          "'backpressure' response field")
+    lim.add_argument("--max-request-bytes", type=int, default=1 << 20,
+                     metavar="N",
+                     help="reject request lines longer than this with an "
+                          "error response (default 1 MiB)")
+
+    dur = sv.add_argument_group(
+        "durability & supervision",
+        "write-ahead journaling, crash recovery and the supervised "
+        "restart loop (per worker in sharded mode: shard i journals to "
+        "<journal>.shard<i>)",
+    )
+    dur.add_argument("--journal", metavar="FILE", default=None,
+                     help="durable mode: write-ahead journal every mutating "
+                          "op before acknowledging it; on start, recover "
+                          "from the latest snapshot + journal suffix")
+    dur.add_argument("--snapshot", metavar="FILE", default=None,
+                     help="durable snapshot path (default: "
+                          "<journal>.snapshot.json)")
+    dur.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                     help="auto-checkpoint (and rotate the journal) every N "
+                          "journaled records; requires --journal")
+    dur.add_argument("--chaos", metavar="SPEC", default=None,
+                     help="deterministic fault injection: 'point:rate,...' "
+                          "(e.g. 'op-applied:0.05,mid-drain:0.2'; also via "
+                          "REPRO_CHAOS); an injected crash exits 137")
+    dur.add_argument("--chaos-seed", type=int, default=0,
+                     help="seed of the chaos injector's RNG")
+    dur.add_argument("--supervise", action="store_true",
+                     help="run the worker as a child process and restart it "
+                          "from snapshot+journal on abnormal exit, with "
+                          "bounded exponential backoff")
+    dur.add_argument("--backoff-base", type=float, default=0.5,
+                     metavar="SECONDS",
+                     help="initial restart backoff (doubles per consecutive "
+                          "failure; default 0.5s)")
+    dur.add_argument("--backoff-cap", type=float, default=10.0,
+                     metavar="SECONDS",
+                     help="maximum restart backoff (default 10s)")
+    dur.add_argument("--max-restarts", type=int, default=5, metavar="N",
+                     help="give up after this many consecutive abnormal "
+                          "exits (a worker healthy for 30s resets the "
+                          "budget; default 5)")
+
+    shd = sv.add_argument_group(
+        "sharding",
+        "--workers N runs a routing front-end over N supervised worker "
+        "processes; tenants are partitioned deterministically and each "
+        "worker keeps its own journal, so a crashed shard recovers from "
+        "its own checkpoint while the others keep serving",
+    )
+    shd.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="shard tenants across N worker processes behind "
+                          "one protocol endpoint")
+    shd.add_argument("--shard-policy", default="hash",
+                     help="tenant→shard routing policy: 'hash' (stable "
+                          "hash, default), 'explicit' (--shard-map), or "
+                          "'least-loaded' (sticky, non-deterministic)")
+    shd.add_argument("--shard-map", metavar="SPEC", default=None,
+                     help="explicit tenant placement for "
+                          "--shard-policy explicit: 'acme=0,lab=1,*=2' "
+                          "('*' is the default shard)")
+    shd.add_argument("--shard-deadline", type=float, default=15.0,
+                     metavar="SECONDS",
+                     help="how long a call to an unreachable shard retries "
+                          "(reconnect + resend) before answering "
+                          "'backpressure' (default 15s; covers a "
+                          "supervised worker restart)")
 
     return p
 
@@ -625,6 +673,127 @@ def _cmd_supervise(args, argv: "Sequence[str] | None") -> int:
     return code
 
 
+def _cmd_serve_sharded(args, backend) -> int:
+    """``repro serve --workers N``: a Router over N supervised workers.
+
+    Each worker is a full ``repro serve --supervise --tcp <port>`` child
+    on a pre-picked port — crash recovery, journaling and restart
+    backoff all reuse the single-worker machinery — running in ``fifo``
+    admission with ``--batch-size 1`` so the router's weighted-fair,
+    cross-shard admission order is preserved verbatim.
+    """
+    import subprocess
+
+    from repro.service import RemoteWorker, Router, serve_stdio, serve_tcp
+    from repro.service.router import pick_free_port
+
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    for flag, name, hint in (
+        (args.restore, "--restore", "restore is per-shard: restart each "
+                                    "worker from its own journal instead"),
+        (args.supervise, "--supervise", "workers are supervised "
+                                        "individually already"),
+        (args.chaos, "--chaos", "inject chaos into a single worker via "
+                                "REPRO_CHAOS in its environment"),
+        (args.trace, "--trace", "use the 'trace' op with a path before "
+                                "shutdown; it writes one file per shard"),
+    ):
+        if flag:
+            print(f"error: {name} cannot be combined with --workers "
+                  f"({hint})", file=sys.stderr)
+            return 2
+    if args.shard_map is not None and args.shard_policy != "explicit":
+        print("error: --shard-map requires --shard-policy explicit",
+              file=sys.stderr)
+        return 2
+
+    caps = args.capacities if args.capacities else [args.capacity] * args.d
+    ports = [pick_free_port(args.host) for _ in range(args.workers)]
+    procs: "list[subprocess.Popen]" = []
+    router = None
+    try:
+        for i, port in enumerate(ports):
+            cmd = [
+                sys.executable, "-m", "repro", "serve",
+                "--supervise", "--tcp", str(port), "--host", args.host,
+                "--capacities", *map(str, caps),
+                "--admission", "fifo", "--batch-size", "1",
+                "--seed", str(args.seed + i),
+                "--backend", backend.name,
+                # the router adds an envelope around client requests:
+                # leave headroom so a client-limit-sized line still fits
+                "--max-request-bytes", str(args.max_request_bytes + 4096),
+                "--backoff-base", str(args.backoff_base),
+                "--backoff-cap", str(args.backoff_cap),
+                "--max-restarts", str(args.max_restarts),
+            ]
+            if args.journal:
+                snapshot = args.snapshot or args.journal + ".snapshot.json"
+                cmd += ["--journal", f"{args.journal}.shard{i}",
+                        "--snapshot", f"{snapshot}.shard{i}"]
+                if args.checkpoint_every is not None:
+                    cmd += ["--checkpoint-every", str(args.checkpoint_every)]
+            if args.compact_threshold is not None:
+                cmd += ["--compact-threshold", str(args.compact_threshold)]
+            if args.compact_min_rows is not None:
+                cmd += ["--compact-min-rows", str(args.compact_min_rows)]
+            procs.append(subprocess.Popen(cmd))
+
+        workers = [
+            RemoteWorker(args.host, port, shard=i)
+            for i, port in enumerate(ports)
+        ]
+        try:
+            router = Router(
+                workers,
+                policy=args.shard_policy,
+                policy_spec=args.shard_map,
+                batch_size=args.batch_size,
+                batch_interval=args.batch_interval,
+                max_pending=args.max_pending,
+                call_deadline=args.shard_deadline,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # wait for every shard to come up before accepting requests
+        for w in workers:
+            w.call({"op": "status"}, deadline=30.0)
+        print(f"serve: {args.workers} shard(s) on ports "
+              f"{', '.join(map(str, ports))} (policy {args.shard_policy})",
+              file=sys.stderr, flush=True)
+
+        if args.tcp is not None:
+            def announce(port: int) -> None:
+                print(f"serve: routing on {args.host}:{port} "
+                      f"({args.workers} shards, policy {args.shard_policy})",
+                      file=sys.stderr, flush=True)
+
+            return serve_tcp(router, args.host, args.tcp, on_bound=announce,
+                             max_request_bytes=args.max_request_bytes)
+        return serve_stdio(router, sys.stdin, sys.stdout,
+                           max_request_bytes=args.max_request_bytes)
+    finally:
+        if router is not None:
+            if not router.closed:
+                # the loop ended without a shutdown op (EOF): stop workers
+                router.handle_request({"op": "shutdown"})
+            router.close()
+        for p in procs:
+            try:
+                p.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                p.terminate()
+                try:
+                    p.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    p.kill()
+                    p.wait()
+
+
 def _cmd_serve(args, argv: "Sequence[str] | None" = None) -> int:
     import json
     import os
@@ -646,6 +815,9 @@ def _cmd_serve(args, argv: "Sequence[str] | None" = None) -> int:
     backend = _resolve_cli_backend(args.backend)
     if backend is None:
         return 2
+
+    if args.workers is not None:
+        return _cmd_serve_sharded(args, backend)
 
     if args.supervise:
         return _cmd_supervise(args, argv)
@@ -749,6 +921,7 @@ def _cmd_serve(args, argv: "Sequence[str] | None" = None) -> int:
             session, batch_size=args.batch_size,
             batch_interval=args.batch_interval,
             max_pending=args.max_pending, durable=durable,
+            admission=args.admission,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -8,7 +8,11 @@ Algorithm 2's dispatch loop), :mod:`repro.service.checkpoint` snapshots
 full session state with an exact-resume guarantee, and
 :mod:`repro.service.frontend` serves a JSON-lines request protocol over
 stdin/stdout or TCP (``repro serve``) with batched admission and weighted
-fair sharing across tenants.
+fair sharing across tenants.  :mod:`repro.service.router` shards tenants
+across N worker processes (``repro serve --workers N``) behind the same
+protocol, :mod:`repro.service.wire` defines the versioned envelope and
+the stable error-code vocabulary, and :mod:`repro.service.client` is the
+typed Python client.
 """
 
 from repro.service.chaos import ChaosCrash, ChaosInjector
@@ -19,16 +23,32 @@ from repro.service.checkpoint import (
     restore_session,
     save_session,
 )
+from repro.service.client import Backpressure, Disconnected, ServiceClient, ServiceError
+from repro.service.fairshare import FairQueue
 from repro.service.frontend import ServiceFrontend, serve_stdio, serve_tcp, write_trace
 from repro.service.journal import JOURNAL_FORMAT, Journal, JournaledSession, scan_journal
+from repro.service.router import (
+    ROUTING_POLICIES,
+    LocalWorker,
+    RemoteWorker,
+    Router,
+    ShardUnavailable,
+    register_policy,
+    resolve_policy,
+    stable_shard,
+)
 from repro.service.session import JobSpec, SchedulingSession
 from repro.service.supervisor import BackoffPolicy, supervise
+from repro.service.wire import ERROR_CODES, WIRE_FORMAT, WIRE_VERSION
 
 __all__ = [
     "JobSpec",
     "SchedulingSession",
     "SESSION_FORMAT",
     "JOURNAL_FORMAT",
+    "WIRE_FORMAT",
+    "WIRE_VERSION",
+    "ERROR_CODES",
     "checkpoint_session",
     "restore_session",
     "save_session",
@@ -39,9 +59,22 @@ __all__ = [
     "ChaosCrash",
     "ChaosInjector",
     "ServiceFrontend",
+    "FairQueue",
     "serve_stdio",
     "serve_tcp",
     "write_trace",
     "BackoffPolicy",
     "supervise",
+    "Router",
+    "LocalWorker",
+    "RemoteWorker",
+    "ShardUnavailable",
+    "ROUTING_POLICIES",
+    "register_policy",
+    "resolve_policy",
+    "stable_shard",
+    "ServiceClient",
+    "ServiceError",
+    "Backpressure",
+    "Disconnected",
 ]

@@ -1,0 +1,366 @@
+"""The typed Python client for the `repro serve` wire protocol.
+
+:class:`ServiceClient` wraps the JSON-lines protocol (both wire
+versions, v2 by default) behind typed verbs — ``submit``, ``cancel``,
+``advance``, ``drain``, ``stats``, … — that **raise** on failure instead
+of handing callers ``{"ok": false}`` dicts to pattern-match:
+
+* :class:`ServiceError` — the service answered with a stable error code
+  (``exc.code`` ∈ :data:`repro.service.wire.ERROR_CODES`, ``exc.detail``
+  carries the diagnostic, ``exc.response`` the full body);
+* :class:`Backpressure` — the service is shedding load (the
+  ``backpressure`` error code, or a ``submit`` whose response refused
+  jobs past a bounded buffer; ``exc.refused`` lists the job ids to back
+  off and resubmit);
+* :class:`Disconnected` — the transport died mid-call.  With
+  ``retry_deadline`` the TCP client reconnects and resends instead
+  (rid correlation makes the resend safe; the server's journal dedups a
+  replayed submit).
+
+Transports: ``ServiceClient.connect(host, port)`` for TCP,
+``ServiceClient.over_streams(writer, reader)`` for an existing pipe
+pair, ``ServiceClient.launch([...argv])`` to spawn a ``repro serve``
+child on stdio.  All three speak the same protocol, so a scripted
+client works identically against a single session, a supervised durable
+worker or a sharded router.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import subprocess
+import time
+from typing import Any, Sequence
+
+from repro.service.wire import BACKPRESSURE, WIRE_VERSION
+
+__all__ = [
+    "Backpressure",
+    "Disconnected",
+    "ServiceClient",
+    "ServiceError",
+]
+
+
+class ServiceError(Exception):
+    """The service answered ``ok: false``; dispatch on :attr:`code`."""
+
+    def __init__(self, response: "dict[str, Any] | None" = None, message: str = "") -> None:
+        self.response = response or {}
+        self.code = str(self.response.get("error", "internal"))
+        self.detail = str(self.response.get("detail", message))
+        self.op = self.response.get("op")
+        super().__init__(message or f"{self.code}: {self.detail}")
+
+
+class Backpressure(ServiceError):
+    """Shed load: back off and resubmit :attr:`refused` (possibly empty)."""
+
+    def __init__(
+        self,
+        response: "dict[str, Any] | None" = None,
+        refused: "Sequence[Any] | None" = None,
+    ) -> None:
+        super().__init__(response)
+        self.code = BACKPRESSURE
+        self.refused = list(refused if refused is not None else self.response.get("backpressure", ()))
+
+
+class Disconnected(ServiceError):
+    """The transport died mid-call; nothing is known about the request."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(None, message)
+        self.code = "disconnected"
+        self.detail = message
+
+
+# ----------------------------------------------------------------------
+# transports
+# ----------------------------------------------------------------------
+class _StreamTransport:
+    """A writer/reader text-stream pair (stdio pipes, test buffers)."""
+
+    def __init__(self, writer, reader, proc: "subprocess.Popen | None" = None) -> None:
+        self.writer = writer
+        self.reader = reader
+        self.proc = proc
+
+    reconnectable = False
+
+    def send_line(self, line: str) -> None:
+        try:
+            self.writer.write(line + "\n")
+            self.writer.flush()
+        except (OSError, ValueError) as exc:
+            raise Disconnected(f"write failed: {exc}") from None
+
+    def recv_line(self) -> str:
+        try:
+            line = self.reader.readline()
+        except (OSError, ValueError) as exc:
+            raise Disconnected(f"read failed: {exc}") from None
+        if not line:
+            raise Disconnected("service closed the stream")
+        return line
+
+    def close(self) -> None:
+        for stream in (self.writer, self.reader):
+            try:
+                stream.close()
+            except (OSError, ValueError):
+                pass
+        if self.proc is not None:
+            try:
+                self.proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                self.proc.terminate()
+                try:
+                    self.proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    self.proc.kill()
+                    self.proc.wait()
+
+
+class _TcpTransport:
+    """A reconnectable TCP line connection."""
+
+    reconnectable = True
+
+    def __init__(self, host: str, port: int, *, io_timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.io_timeout = io_timeout
+        self._sock: "socket.socket | None" = None
+        self._fh = None
+
+    def connect(self, deadline_at: float) -> None:
+        delay = 0.05
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=min(self.io_timeout, 5.0)
+                )
+                sock.settimeout(self.io_timeout)
+                self._sock = sock
+                self._fh = sock.makefile("rw", encoding="utf-8", newline="\n")
+                return
+            except OSError as exc:
+                if time.monotonic() >= deadline_at:
+                    raise Disconnected(f"connect failed: {exc}") from None
+                time.sleep(min(delay, max(0.0, deadline_at - time.monotonic())))
+                delay = min(delay * 2, 0.5)
+
+    def drop(self) -> None:
+        for closer in (self._fh, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._fh = self._sock = None
+
+    def send_line(self, line: str) -> None:
+        if self._fh is None:
+            raise Disconnected("not connected")
+        try:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+        except (OSError, ValueError) as exc:
+            self.drop()
+            raise Disconnected(f"write failed: {exc}") from None
+
+    def recv_line(self) -> str:
+        if self._fh is None:
+            raise Disconnected("not connected")
+        try:
+            line = self._fh.readline()
+        except (OSError, ValueError) as exc:
+            self.drop()
+            raise Disconnected(f"read failed: {exc}") from None
+        if not line:
+            self.drop()
+            raise Disconnected("service closed the connection")
+        return line
+
+    def close(self) -> None:
+        self.drop()
+
+
+# ----------------------------------------------------------------------
+# the client
+# ----------------------------------------------------------------------
+class ServiceClient:
+    """Typed verbs over one service connection (wire v2 by default).
+
+    ``wire_version=1`` speaks the legacy bare-op shape (kept for
+    compatibility tests; new code should stay on 2).  ``retry_deadline``
+    (seconds, TCP only) makes every call survive worker restarts:
+    disconnect → reconnect → resend, correlated by rid.
+    """
+
+    def __init__(
+        self,
+        transport,
+        *,
+        wire_version: int = WIRE_VERSION,
+        retry_deadline: "float | None" = None,
+    ) -> None:
+        if wire_version not in (1, WIRE_VERSION):
+            raise ValueError(f"unsupported wire version {wire_version!r}")
+        self.transport = transport
+        self.wire_version = wire_version
+        self.retry_deadline = retry_deadline
+        self._rid = 0
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        connect_deadline: float = 30.0,
+        io_timeout: float = 120.0,
+        **kw,
+    ) -> "ServiceClient":
+        """Connect to a ``repro serve --tcp`` service (or sharded router)."""
+        transport = _TcpTransport(host, port, io_timeout=io_timeout)
+        transport.connect(time.monotonic() + connect_deadline)
+        return cls(transport, **kw)
+
+    @classmethod
+    def over_streams(cls, writer, reader, **kw) -> "ServiceClient":
+        """Wrap an existing text-stream pair (e.g. a child's stdio pipes)."""
+        return cls(_StreamTransport(writer, reader), **kw)
+
+    @classmethod
+    def launch(cls, argv: "Sequence[str]", **kw) -> "ServiceClient":
+        """Spawn ``argv`` (a ``repro serve`` command line) and speak over
+        its stdio.  ``close()`` waits for the child to exit; the exit
+        status is available as ``client.transport.proc.returncode``."""
+        proc = subprocess.Popen(
+            list(argv),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            bufsize=1,
+        )
+        return cls(_StreamTransport(proc.stdin, proc.stdout, proc=proc), **kw)
+
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- core request path ----------------------------------------------
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one op; return the (envelope-stripped) response body.
+
+        Raises :class:`ServiceError`/:class:`Backpressure` on an
+        ``ok: false`` response and :class:`Disconnected` on transport
+        death (unless ``retry_deadline`` absorbs it).
+        """
+        payload = {"op": op, **fields}
+        if self.wire_version >= WIRE_VERSION:
+            self._rid += 1
+            rid = self._rid
+            wire = json.dumps({"v": WIRE_VERSION, "rid": rid, **payload})
+        else:
+            rid = None
+            wire = json.dumps(payload)
+        resp = self._exchange(wire, rid)
+        resp.pop("v", None)
+        resp.pop("rid", None)
+        if not resp.get("ok", True):
+            if resp.get("error") == BACKPRESSURE:
+                raise Backpressure(resp)
+            raise ServiceError(resp)
+        return resp
+
+    def _exchange(self, wire: str, rid: "int | None") -> dict[str, Any]:
+        deadline_at = (
+            time.monotonic() + self.retry_deadline
+            if self.retry_deadline is not None and self.transport.reconnectable
+            else None
+        )
+        while True:
+            try:
+                self.transport.send_line(wire)
+                while True:
+                    line = self.transport.recv_line()
+                    try:
+                        resp = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise Disconnected(f"undecodable response: {exc}") from None
+                    if rid is None or "rid" not in resp or resp.get("rid") == rid:
+                        return resp
+                    # a stale reply from before a reconnect: skip it
+            except Disconnected:
+                if deadline_at is None or time.monotonic() >= deadline_at:
+                    raise
+                self.transport.connect(deadline_at)
+
+    # -- typed verbs ------------------------------------------------------
+    def submit(self, jobs: "Sequence[dict[str, Any]]", **fields: Any) -> dict[str, Any]:
+        """Submit job records; raises :class:`Backpressure` when any were
+        refused by a bounded buffer (``exc.refused`` lists them,
+        ``exc.response`` still carries what *was* buffered/admitted)."""
+        resp = self.request("submit", jobs=list(jobs), **fields)
+        if resp.get("backpressure"):
+            raise Backpressure(resp)
+        return resp
+
+    def flush(self) -> dict[str, Any]:
+        return self.request("flush")
+
+    def cancel(self, job_id: Any, *, tenant: "str | None" = None) -> dict[str, Any]:
+        fields: dict[str, Any] = {"id": job_id}
+        if tenant is not None:
+            fields["tenant"] = tenant  # routes the cancel under a sharded router
+        return self.request("cancel", **fields)
+
+    def advance(self, until: float, *, events: bool = True) -> dict[str, Any]:
+        return self.request("advance", until=until, events=events)
+
+    def drain(self) -> dict[str, Any]:
+        return self.request("drain")
+
+    def status(self) -> dict[str, Any]:
+        return self.request("status")
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("stats")
+
+    def validate(self) -> dict[str, Any]:
+        return self.request("validate")
+
+    def tenant(self, name: str, weight: float) -> dict[str, Any]:
+        return self.request("tenant", name=name, weight=weight)
+
+    def checkpoint(self, path: "str | None" = None) -> dict[str, Any]:
+        return self.request("checkpoint", **({"path": path} if path is not None else {}))
+
+    def restore(
+        self, *, path: "str | None" = None, snapshot: "dict[str, Any] | None" = None
+    ) -> dict[str, Any]:
+        fields: dict[str, Any] = {}
+        if path is not None:
+            fields["path"] = path
+        if snapshot is not None:
+            fields["snapshot"] = snapshot
+        return self.request("restore", **fields)
+
+    def trace(self, path: "str | None" = None) -> dict[str, Any]:
+        return self.request("trace", **({"path": path} if path is not None else {}))
+
+    def prune(self) -> dict[str, Any]:
+        return self.request("prune")
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("shutdown")

@@ -1,0 +1,147 @@
+"""Weighted fair-share admission queue (stride scheduling over tenants).
+
+Extracted from the single-session front-end so the same discipline can
+run at either tier: a standalone :class:`ServiceFrontend` runs it over
+its own session's tenants, and the sharded router runs it *once, across
+all shards*, so cross-shard tenant weights still hold (workers under a
+router run in ``fifo`` mode and preserve the order the router decided).
+
+Each tenant owns a FIFO buffer; draining interleaves tenants by stride
+scheduling: tenant ``T`` with weight ``w`` pays ``1/w`` virtual admission
+time per job, and the pending job with the smallest ``(vtime, tenant
+name)`` goes next.  A tenant (re)entering after idling starts at the
+current virtual floor, so saved-up idle time cannot be hoarded into a
+burst.  In ``fifo`` mode the stride order is bypassed and jobs drain in
+global arrival order — weights are kept but inert.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable
+
+from repro.service.session import JobSpec
+
+__all__ = ["FairQueue", "Tenant"]
+
+
+class Tenant:
+    """One tenant's FIFO buffer and its stride-scheduling state."""
+
+    __slots__ = ("name", "weight", "buffer", "vtime")
+
+    def __init__(self, name: str, weight: float = 1.0) -> None:
+        self.name = name
+        self.weight = weight
+        self.buffer: deque[JobSpec] = deque()
+        self.vtime = 0.0
+
+
+class FairQueue:
+    """Per-tenant buffers with weighted-fair (or global-FIFO) draining."""
+
+    def __init__(self, *, fifo: bool = False) -> None:
+        self.fifo = fifo
+        self.tenants: dict[str, Tenant] = {}
+        self.buffered = 0
+        self._vfloor = 0.0  # virtual admission time of the last drained job
+        self._seq = 0  # global arrival counter (fifo mode ordering)
+        self._arrival: dict[Any, int] = {}
+
+    def tenant(self, name: str) -> Tenant:
+        t = self.tenants.get(name)
+        if t is None:
+            t = self.tenants[name] = Tenant(name)
+        return t
+
+    def set_weight(self, name: str, weight: float) -> None:
+        if not weight > 0:
+            raise ValueError(f"tenant weight must be positive, got {weight}")
+        self.tenant(name).weight = float(weight)
+
+    def weight_of(self, name: str) -> float:
+        t = self.tenants.get(name)
+        return t.weight if t is not None else 1.0
+
+    def depth(self, name: str) -> int:
+        t = self.tenants.get(name)
+        return len(t.buffer) if t is not None else 0
+
+    def enqueue(self, spec: JobSpec) -> None:
+        """Buffer one job in its tenant's FIFO queue."""
+        t = self.tenant(spec.tenant)
+        if not t.buffer:
+            # (re)activation: start at the virtual floor — idle time is
+            # not banked into an admission burst
+            t.vtime = max(t.vtime, self._vfloor)
+        t.buffer.append(spec)
+        self._arrival[spec.id] = self._seq
+        self._seq += 1
+        self.buffered += 1
+
+    def buffered_ids(self) -> set[Any]:
+        return {spec.id for t in self.tenants.values() for spec in t.buffer}
+
+    def drain_fair(self) -> list[JobSpec]:
+        """Pop *everything* buffered, in the admission order.
+
+        Weighted-fair stride order by default; global arrival order in
+        ``fifo`` mode (vtimes still advance so a later switch of mode —
+        or a status report — stays coherent).
+        """
+        out: list[JobSpec] = []
+        active = [t for t in self.tenants.values() if t.buffer]
+        if self.fifo:
+            for t in active:
+                out.extend(t.buffer)
+                t.vtime = max(t.vtime, self._vfloor) + len(t.buffer) / t.weight
+                self._vfloor = max(self._vfloor, t.vtime)
+                t.buffer.clear()
+            out.sort(key=lambda s: self._arrival[s.id])
+        else:
+            while active:
+                t = min(active, key=lambda t: (t.vtime, t.name))
+                out.append(t.buffer.popleft())
+                t.vtime += 1.0 / t.weight
+                self._vfloor = t.vtime
+                if not t.buffer:
+                    active.remove(t)
+        self.buffered = 0
+        self._arrival.clear()
+        return out
+
+    def remove_ids(self, gone: Iterable[Any]) -> list[Any]:
+        """Drop the given buffered ids; returns those actually removed."""
+        gone = set(gone)
+        removed: list[Any] = []
+        for t in self.tenants.values():
+            for spec in list(t.buffer):
+                if spec.id in gone:
+                    t.buffer.remove(spec)
+                    removed.append(spec.id)
+                    self.buffered -= 1
+                    self._arrival.pop(spec.id, None)
+        return removed
+
+    def cascade(self, gone: set[Any]) -> set[Any]:
+        """Grow ``gone`` with every buffered dependent (transitively)."""
+        grew = True
+        while grew:
+            grew = False
+            for t in self.tenants.values():
+                for spec in t.buffer:
+                    if spec.id not in gone and any(p in gone for p in spec.preds):
+                        gone.add(spec.id)
+                        grew = True
+        return gone
+
+    def describe(self) -> dict[str, dict[str, Any]]:
+        """The ``status`` view: weight, queue depth and vtime per tenant."""
+        return {
+            t.name: {"weight": t.weight, "buffered": len(t.buffer), "vtime": t.vtime}
+            for t in self.tenants.values()
+        }
+
+    def depths(self) -> dict[str, int]:
+        """The ``stats`` view: queue depth per tenant."""
+        return {t.name: len(t.buffer) for t in self.tenants.values()}

@@ -13,15 +13,13 @@ semantics depend on the admitted set (``advance``, ``drain``,
 ``checkpoint``, ``trace``, ``validate``, explicit ``flush``), so virtual
 time never advances past work the client already handed over.
 
-**Weighted fair sharing.**  Each tenant owns a FIFO buffer; admission
-interleaves tenants by stride scheduling: tenant ``T`` with weight ``w``
-pays ``1/w`` virtual admission time per job, and the pending job with the
-smallest ``(vtime, tenant name)`` is admitted next.  Since admission
-order fixes the default FIFO priority keys in the session, a tenant with
-weight 2 gets twice the admission share — and thus dispatch preference —
-of a weight-1 tenant under contention, while each tenant's own jobs stay
-FIFO.  A tenant (re)entering after idling starts at the current virtual
-floor, so saved-up idle time cannot be hoarded into a burst.
+**Weighted fair sharing.**  Admission interleaves tenants by stride
+scheduling (see :mod:`repro.service.fairshare`): a tenant with weight 2
+gets twice the admission share — and thus dispatch preference — of a
+weight-1 tenant under contention, while each tenant's own jobs stay
+FIFO.  Under a sharded router the fair order is decided once, across all
+shards, by the router; workers then run with ``admission="fifo"`` and
+preserve the order they are handed.
 
 Requests (``op`` selects; everything else is the payload)::
 
@@ -37,9 +35,12 @@ Requests (``op`` selects; everything else is the payload)::
     {"op": "trace", "path": "t.json"}
     {"op": "shutdown"}
 
-Responses carry ``{"ok": true, "op": ...}`` plus op-specific fields, or
-``{"ok": false, "error": "..."}`` — a malformed request never kills the
-service.
+Each request may be sent bare (wire v1) or wrapped in the versioned
+envelope ``{"v": 2, "rid": ..., "op": ...}`` (wire v2, see
+:mod:`repro.service.wire`); a v2 request is answered with ``"v"``/
+``"rid"`` echoed.  Responses carry ``{"ok": true, "op": ...}`` plus
+op-specific fields, or ``{"ok": false, "error": <stable code>,
+"detail": <diagnostic>}`` — a malformed request never kills the service.
 """
 
 from __future__ import annotations
@@ -49,7 +50,6 @@ import os
 import socketserver
 import threading
 import time
-from collections import deque
 from typing import Any, Callable, TextIO
 
 from repro.service.chaos import ChaosCrash
@@ -59,9 +59,18 @@ from repro.service.checkpoint import (
     restore_session,
     save_session,
 )
+from repro.service.fairshare import FairQueue
 from repro.service.journal import JournaledSession
 from repro.service.session import JobSpec, SchedulingSession
 from repro.service.supervisor import RESTARTS_ENV
+from repro.service.wire import (
+    ADMISSION_FAILED,
+    INTERNAL,
+    INVALID_REQUEST,
+    error_response,
+    unwrap_request,
+    wrap_response,
+)
 from repro.util.atomic import atomic_write_text
 
 __all__ = ["ServiceFrontend", "serve_stdio", "serve_tcp", "write_trace"]
@@ -78,18 +87,6 @@ def write_trace(session: SchedulingSession, path: str) -> None:
     atomic_write_text(path, json.dumps(session.to_trace(), indent=1) + "\n")
 
 
-class _Tenant:
-    """One tenant's FIFO buffer and its stride-scheduling state."""
-
-    __slots__ = ("name", "weight", "buffer", "vtime")
-
-    def __init__(self, name: str, weight: float = 1.0) -> None:
-        self.name = name
-        self.weight = weight
-        self.buffer: deque[JobSpec] = deque()
-        self.vtime = 0.0
-
-
 class ServiceFrontend:
     """Transport-free protocol handler around one :class:`SchedulingSession`.
 
@@ -100,7 +97,10 @@ class ServiceFrontend:
     growing memory without limit.  ``durable`` wires a
     :class:`~repro.service.journal.JournaledSession` in: mutating verbs
     are write-ahead journaled before they are acknowledged, so a crashed
-    worker recovers every acknowledged operation.
+    worker recovers every acknowledged operation.  ``admission`` selects
+    the flush order: ``"fair"`` (weighted stride, the default) or
+    ``"fifo"`` (global arrival order — what a worker under a sharded
+    router runs, since the router already decided the fair order).
     """
 
     def __init__(
@@ -112,6 +112,7 @@ class ServiceFrontend:
         clock: Callable[[], float] = time.monotonic,
         max_pending: "int | None" = None,
         durable: "JournaledSession | None" = None,
+        admission: str = "fair",
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch size must be >= 1, got {batch_size}")
@@ -119,6 +120,8 @@ class ServiceFrontend:
             raise ValueError(f"batch interval must be >= 0, got {batch_interval}")
         if max_pending is not None and max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if admission not in ("fair", "fifo"):
+            raise ValueError(f"admission must be 'fair' or 'fifo', got {admission!r}")
         if durable is not None:
             if session is not None and session is not durable.session:
                 raise ValueError("session and durable.session must be the same object")
@@ -132,9 +135,7 @@ class ServiceFrontend:
         self.max_pending = max_pending
         self.clock = clock
         self.closed = False
-        self._tenants: dict[str, _Tenant] = {}
-        self._vfloor = 0.0  # virtual admission time of the last admitted job
-        self._buffered = 0
+        self.queue = FairQueue(fifo=admission == "fifo")
         self._stamps: dict[Any, float] = {}  # wall-clock enqueue stamp per buffered job
 
     @property
@@ -142,42 +143,32 @@ class ServiceFrontend:
         """The mutation target: the journaled wrapper when durable."""
         return self.durable if self.durable is not None else self.session
 
+    @property
+    def _buffered(self) -> int:
+        return self.queue.buffered
+
     # ------------------------------------------------------------------
     # admission
     # ------------------------------------------------------------------
-    def _tenant(self, name: str) -> _Tenant:
-        t = self._tenants.get(name)
-        if t is None:
-            t = self._tenants[name] = _Tenant(name)
-        return t
-
     def set_weight(self, name: str, weight: float) -> None:
-        if not weight > 0:
-            raise ValueError(f"tenant weight must be positive, got {weight}")
-        self._tenant(name).weight = float(weight)
+        self.queue.set_weight(name, weight)
 
     def enqueue(self, spec: JobSpec) -> None:
         """Buffer one job in its tenant's FIFO queue."""
-        t = self._tenant(spec.tenant)
-        if not t.buffer:
-            # (re)activation: start at the virtual floor — idle time is not
-            # banked into an admission burst
-            t.vtime = max(t.vtime, self._vfloor)
-        t.buffer.append(spec)
-        self._buffered += 1
+        self.queue.enqueue(spec)
         self._stamps[spec.id] = self.clock()
 
     def _batch_due(self) -> bool:
-        if self._buffered == 0:
+        if self.queue.buffered == 0:
             return False
-        if self._buffered >= self.batch_size:
+        if self.queue.buffered >= self.batch_size:
             return True
         # per-job stamps: cancelling the oldest buffered job must not let
         # younger jobs inherit its waiting time
         return self.clock() - min(self._stamps.values()) >= self.batch_interval
 
     def flush(self) -> tuple[list[Any], list[dict[str, Any]]]:
-        """Admit everything buffered, in weighted-fair order.
+        """Admit everything buffered, in the configured admission order.
 
         Returns ``(admitted_ids, errors)``; a job the session rejects
         (unknown predecessor, duplicate id, bad demand) produces one error
@@ -188,16 +179,7 @@ class ServiceFrontend:
         names — only genuinely unsatisfiable jobs error.
         """
         errors: list[dict[str, Any]] = []
-        pending: list[JobSpec] = []  # the weighted-fair admission sequence
-        active = [t for t in self._tenants.values() if t.buffer]
-        while active:
-            t = min(active, key=lambda t: (t.vtime, t.name))
-            pending.append(t.buffer.popleft())
-            t.vtime += 1.0 / t.weight
-            self._vfloor = t.vtime
-            self._buffered -= 1
-            if not t.buffer:
-                active.remove(t)
+        pending = self.queue.drain_fair()
         self._stamps.clear()
         if not pending:
             return [], errors
@@ -227,7 +209,10 @@ class ServiceFrontend:
                     except (ValueError, TypeError) as exc:
                         deferred.append((spec, str(exc)))
                 if not progressed:  # fixpoint: what's left can never admit
-                    errors.extend({"id": s.id, "error": e} for s, e in deferred)
+                    errors.extend(
+                        {"id": s.id, "error": ADMISSION_FAILED, "detail": e}
+                        for s, e in deferred
+                    )
                     break
                 pending = [s for s, _ in deferred]
         if durable is not None and admitted_specs:
@@ -237,23 +222,31 @@ class ServiceFrontend:
     # ------------------------------------------------------------------
     # protocol
     # ------------------------------------------------------------------
-    def handle_request(self, req: dict[str, Any]) -> dict[str, Any]:
+    def handle_request(self, req: Any) -> dict[str, Any]:
         """Process one protocol request; never raises on client errors.
 
-        The batch-interval clock is consulted here, before *every* op: a
-        buffer whose oldest job has waited past the interval is admitted
-        no matter which request arrives next (status, cancel, …), so the
-        "size or interval, whichever first" contract does not depend on
-        further submissions.  (The loop is synchronous — with no requests
-        at all, admission happens at the next one.)  Jobs admitted this
-        way are reported as ``admitted_by_batch`` on the response.
+        Accepts both wire shapes (bare v1 and the v2 envelope, which is
+        stripped here and re-applied — with the ``rid`` echoed — on the
+        response).  The batch-interval clock is consulted before *every*
+        op: a buffer whose oldest job has waited past the interval is
+        admitted no matter which request arrives next (status, cancel,
+        …), so the "size or interval, whichever first" contract does not
+        depend on further submissions.  (The loop is synchronous — with
+        no requests at all, admission happens at the next one.)  Jobs
+        admitted this way are reported as ``admitted_by_batch``.
         """
+        body, versioned, rid, err = unwrap_request(req)
+        if err is not None:
+            return wrap_response(err, versioned, rid)
+        return wrap_response(self._dispatch(body), versioned, rid)
+
+    def _dispatch(self, req: Any) -> dict[str, Any]:
         if not isinstance(req, dict) or "op" not in req:
-            return {"ok": False, "error": "request must be an object with an 'op'"}
+            return error_response(None, INVALID_REQUEST, "request must be an object with an 'op'")
         op = req["op"]
-        handler = getattr(self, f"_op_{op}", None)
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
         if handler is None:
-            return {"ok": False, "error": f"unknown op {op!r}"}
+            return error_response(op, INVALID_REQUEST, f"unknown op {op!r}")
         try:
             pre_admitted: list[Any] = []
             pre_errors: list[dict[str, Any]] = []
@@ -263,11 +256,15 @@ class ServiceFrontend:
             if op not in ("submit", "flush", "restore") and self._batch_due():
                 pre_admitted, pre_errors = self.flush()
             resp = handler(req)
-        except (ValueError, KeyError, TypeError, OSError) as exc:
+        except KeyError as exc:
+            return error_response(op, INVALID_REQUEST, f"missing required field {exc}")
+        except (ValueError, TypeError) as exc:
             # TypeError covers structurally malformed payloads (scalar where
             # a list is expected, non-numeric weight, ...): a bad request
             # must produce an error response, never kill the service
-            return {"ok": False, "op": op, "error": f"{type(exc).__name__}: {exc}"}
+            return error_response(op, INVALID_REQUEST, str(exc))
+        except OSError as exc:
+            return error_response(op, INTERNAL, str(exc))
         if pre_admitted:
             resp.setdefault("admitted_by_batch", pre_admitted)
         if pre_errors:
@@ -296,14 +293,14 @@ class ServiceFrontend:
         for spec in specs:
             if (
                 self.max_pending is not None
-                and len(self._tenant(spec.tenant).buffer) >= self.max_pending
+                and self.queue.depth(spec.tenant) >= self.max_pending
             ):
                 # bounded buffers: refuse explicitly instead of growing
                 # without limit; the client backs off and retries
                 refused.append(spec.id)
             else:
                 self.enqueue(spec)
-        resp: dict[str, Any] = {"buffered": self._buffered}
+        resp: dict[str, Any] = {"buffered": self.queue.buffered}
         if refused:
             resp["backpressure"] = refused
         if self._batch_due():
@@ -322,32 +319,25 @@ class ServiceFrontend:
 
     def _op_cancel(self, req: dict[str, Any]) -> dict[str, Any]:
         jid = req["id"]
-        buffered_ids = {spec.id for t in self._tenants.values() for spec in t.buffer}
-        was_buffered = jid in buffered_ids
+        was_buffered = jid in self.queue.buffered_ids()
         if was_buffered:
             cancelled: list[Any] = []
             gone = {jid}
         else:
-            cancelled = list(self._mut.cancel(jid))
+            try:
+                cancelled = list(self._mut.cancel(jid))
+            except KeyError:
+                # distinguish "no such job" from a missing request field
+                raise ValueError(f"unknown job {jid!r}") from None
             gone = set(cancelled)
         if gone:
             # cascade through the buffers too: a dependent of a withdrawn
             # job — buffered or already admitted — could never admit
-            grew = True
-            while grew:
-                grew = False
-                for t in self._tenants.values():
-                    for spec in list(t.buffer):
-                        if spec.id not in gone and any(p in gone for p in spec.preds):
-                            gone.add(spec.id)
-                            grew = True
-            for t in self._tenants.values():
-                for spec in list(t.buffer):
-                    if spec.id in gone:
-                        t.buffer.remove(spec)
-                        cancelled.append(spec.id)
-                        self._buffered -= 1
-                        self._stamps.pop(spec.id, None)
+            self.queue.cascade(gone)
+            removed = self.queue.remove_ids(gone)
+            cancelled.extend(removed)
+            for rid in removed:
+                self._stamps.pop(rid, None)
         return {"cancelled": cancelled, "buffered": was_buffered}
 
     @staticmethod
@@ -360,10 +350,16 @@ class ServiceFrontend:
 
     def _op_advance(self, req: dict[str, Any]) -> dict[str, Any]:
         _, errors = self.flush()
-        events = self._mut.advance(float(req["until"]))
-        return self._with_flush_errors(
-            {"clock": self.session.now, "events": events}, errors
-        )
+        want_events = req.get("events", True)
+        out = self._mut.advance(float(req["until"]), events=bool(want_events))
+        resp: dict[str, Any] = {"clock": self.session.now}
+        if want_events:
+            resp["events"] = out
+        else:
+            # count only: bulk drivers (the sharded bench client) skip a
+            # dict allocation — and a wire record — per event
+            resp["event_count"] = out
+        return self._with_flush_errors(resp, errors)
 
     def _op_drain(self, req: dict[str, Any]) -> dict[str, Any]:
         _, errors = self.flush()
@@ -379,17 +375,11 @@ class ServiceFrontend:
 
     def _op_status(self, req: dict[str, Any]) -> dict[str, Any]:
         status = self.session.status()
-        status["buffered"] = self._buffered
-        status["tenants"] = {
-            t.name: {"weight": t.weight, "buffered": len(t.buffer), "vtime": t.vtime}
-            for t in self._tenants.values()
-        }
+        status["buffered"] = self.queue.buffered
+        status["tenants"] = self.queue.describe()
         status["pid"] = os.getpid()
         # the supervisor exports its restart count into the worker's env
-        try:
-            status["restarts"] = int(os.environ.get(RESTARTS_ENV, "0"))
-        except ValueError:
-            status["restarts"] = 0
+        status["restarts"] = _restart_count()
         if self.durable is not None:
             status["journal"] = {
                 "path": self.durable.journal.path,
@@ -401,30 +391,29 @@ class ServiceFrontend:
         return status
 
     def _op_stats(self, req: dict[str, Any]) -> dict[str, Any]:
-        """Compact operational counters: per-tenant queue depths,
-        admitted/completed totals, restart count, journal sequence and
-        the dispatch backend the session's loop resolved — the at-a-glance
-        numbers an operator polls, without ``status``'s full state map."""
+        """Compact operational counters — the schema-stable ``stats`` map.
+
+        Every key below is always present (``journal_records`` is 0 for a
+        non-durable service), so dashboards can parse it without
+        existence checks; the sharded router reports the same shape per
+        shard under a ``shards`` key.  Documented in the README
+        ("Operations: the stats schema").
+        """
         c = self.session.counters
-        stats: dict[str, Any] = {
+        return {
             "clock": self.session.now,
             "backend": self.session.backend_name,
-            "buffered": self._buffered,
-            "queues": {
-                t.name: len(t.buffer) for t in self._tenants.values()
-            },
+            "buffered": self.queue.buffered,
+            "queues": self.queue.depths(),
             "admitted": c.submitted,
             "completed": c.completed,
             "cancelled": c.cancelled,
             "journal_seq": self.session.applied_seq,
+            "journal_records": (
+                self.durable.journal.appended if self.durable is not None else 0
+            ),
+            "restarts": _restart_count(),
         }
-        try:
-            stats["restarts"] = int(os.environ.get(RESTARTS_ENV, "0"))
-        except ValueError:
-            stats["restarts"] = 0
-        if self.durable is not None:
-            stats["journal_records"] = self.durable.journal.appended
-        return stats
 
     def _op_tenant(self, req: dict[str, Any]) -> dict[str, Any]:
         self.set_weight(str(req["name"]), float(req["weight"]))
@@ -464,7 +453,7 @@ class ServiceFrontend:
         return self._with_flush_errors(resp, errors)
 
     def _op_restore(self, req: dict[str, Any]) -> dict[str, Any]:
-        if self._buffered:
+        if self.queue.buffered:
             raise ValueError("cannot restore with submissions still buffered")
         if "path" in req:
             session = load_session(self._path_arg(req))
@@ -498,6 +487,14 @@ class ServiceFrontend:
         return {"clock": self.session.now}
 
 
+def _restart_count() -> int:
+    """The supervisor's restart count, exported into the worker's env."""
+    try:
+        return int(os.environ.get(RESTARTS_ENV, "0"))
+    except ValueError:
+        return 0
+
+
 # ----------------------------------------------------------------------
 # transports
 # ----------------------------------------------------------------------
@@ -505,14 +502,14 @@ def _handle_line(frontend: ServiceFrontend, line: str) -> dict[str, Any]:
     try:
         req = json.loads(line)
     except json.JSONDecodeError as exc:
-        return {"ok": False, "error": f"bad JSON: {exc}"}
+        return error_response(None, INVALID_REQUEST, f"bad JSON: {exc}")
     try:
         return frontend.handle_request(req)
     except ChaosCrash:
         raise  # an injected crash must kill the worker, not be swallowed
     except Exception as exc:  # the last-resort backstop: a handler bug
         # must produce an error response, never take down the serving loop
-        return {"ok": False, "error": f"internal error: {type(exc).__name__}: {exc}"}
+        return error_response(None, INTERNAL, f"{type(exc).__name__}: {exc}")
 
 
 def _drain_oversized(readline: Callable[[int], Any], limit: int) -> None:
@@ -545,10 +542,9 @@ def serve_stdio(
             break
         if len(line) > max_request_bytes and not line.endswith("\n"):
             _drain_oversized(in_stream.readline, max_request_bytes)
-            resp: dict[str, Any] = {
-                "ok": False,
-                "error": f"request exceeds {max_request_bytes} bytes",
-            }
+            resp = error_response(
+                None, INVALID_REQUEST, f"request exceeds {max_request_bytes} bytes"
+            )
         else:
             line = line.strip()
             if not line:
@@ -610,15 +606,17 @@ def serve_tcp(
                     return
                 if len(raw) > max_request_bytes and not raw.endswith(b"\n"):
                     _drain_oversized(self.rfile.readline, max_request_bytes)
-                    resp: dict[str, Any] = {
-                        "ok": False,
-                        "error": f"request exceeds {max_request_bytes} bytes",
-                    }
+                    resp = error_response(
+                        None, INVALID_REQUEST,
+                        f"request exceeds {max_request_bytes} bytes",
+                    )
                 else:
                     try:
                         line = raw.decode("utf-8").strip()
                     except UnicodeDecodeError as exc:
-                        resp = {"ok": False, "error": f"invalid UTF-8: {exc}"}
+                        resp = error_response(
+                            None, INVALID_REQUEST, f"invalid UTF-8: {exc}"
+                        )
                     else:
                         if not line:
                             continue

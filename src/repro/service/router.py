@@ -1,0 +1,874 @@
+"""The sharded routing tier: tenants partitioned across worker sessions.
+
+``repro serve --workers N`` runs this front-end instead of a single
+:class:`~repro.service.frontend.ServiceFrontend`: N worker processes each
+own a journaled, supervised :class:`SchedulingSession` for a disjoint
+subset of tenants, and the :class:`Router` speaks the *same* JSON-lines
+protocol (both wire versions) to clients while fanning requests out.
+
+**Deterministic partitioning.**  A routing policy maps a tenant name to
+a shard index; ``submit``/``cancel``/``tenant`` for one tenant always
+land on the same worker, so a sharded run is replayable.  Policies are
+pluggable through a small registry (:func:`register_policy`, the same
+idiom as the dispatch-backend registry):
+
+``hash``
+    a *stable* hash of the tenant name (BLAKE2, never Python's seeded
+    ``hash()``) mod N — deterministic across processes and runs;
+``explicit``
+    an operator-supplied map ``"acme=0,lab=1,*=2"`` (``*`` is the
+    fallback; without it an unmapped tenant is refused) — deterministic
+    by construction;
+``least-loaded``
+    sticky assignment of each *new* tenant to the shard with the fewest
+    jobs forwarded so far.  The assignment depends on arrival order and
+    load, so a re-run only reproduces it if the request stream is
+    identical — use it for stateless fan-out work where replayability
+    does not matter, and one of the deterministic policies otherwise.
+
+**Fairness at the routing tier.**  The stride-fair admission queue runs
+*once, here, across all shards* (the promotion of the frontend's
+fair-share scheduler): the router buffers submissions per tenant,
+drains them in weighted-fair order, and forwards each shard its slice
+of that order.  Workers run with ``admission="fifo"`` and
+``batch_size=1`` so they preserve exactly the order the router decided —
+cross-shard tenant weights therefore hold globally.
+
+**Fan-out and failover.**  Tenant-bound ops route to one worker;
+``advance``/``drain``/``stats``/``status``/``validate``/``checkpoint``/
+``trace``/``prune``/``shutdown`` broadcast in parallel and merge the
+responses (rid correlation on the worker wire makes the merge safe
+across reconnects).  Each worker journals to its own ``--journal`` path,
+so a SIGKILLed shard is restarted by its supervisor and recovers from
+its own snapshot + journal suffix while the other shards keep serving;
+while a shard is down, ops that need it fail fast with the
+``backpressure`` error code (bounded by ``call_deadline``) instead of
+head-of-line blocking the whole service.  Cross-shard dependencies are
+refused at submit time (``admission_failed``): a dependency edge never
+spans two workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.service.fairshare import FairQueue
+from repro.service.session import JobSpec
+from repro.service.wire import (
+    ADMISSION_FAILED,
+    BACKPRESSURE,
+    INTERNAL,
+    INVALID_REQUEST,
+    WIRE_VERSION,
+    error_response,
+    unwrap_request,
+    wrap_response,
+)
+
+__all__ = [
+    "LocalWorker",
+    "RemoteWorker",
+    "Router",
+    "ShardUnavailable",
+    "pick_free_port",
+    "register_policy",
+    "resolve_policy",
+    "stable_shard",
+    "ROUTING_POLICIES",
+]
+
+
+# ----------------------------------------------------------------------
+# routing policies
+# ----------------------------------------------------------------------
+ROUTING_POLICIES: dict[str, Callable[..., Any]] = {}
+
+
+def register_policy(name: str) -> Callable:
+    """Class decorator: make a routing policy selectable by name."""
+
+    def deco(cls):
+        ROUTING_POLICIES[name] = cls
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def resolve_policy(name: str, nshards: int, spec: "str | None" = None):
+    """Instantiate the named policy for an ``nshards``-way partition."""
+    try:
+        cls = ROUTING_POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(ROUTING_POLICIES))
+        raise ValueError(f"unknown routing policy {name!r} (available: {known})") from None
+    return cls(nshards, spec)
+
+
+def stable_shard(tenant: str, nshards: int) -> int:
+    """A process-stable tenant → shard hash (BLAKE2b, not ``hash()``)."""
+    digest = hashlib.blake2b(tenant.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % nshards
+
+
+@register_policy("hash")
+class HashPolicy:
+    """Stable hash of the tenant name — deterministic, zero configuration."""
+
+    deterministic = True
+
+    def __init__(self, nshards: int, spec: "str | None" = None) -> None:
+        if spec:
+            raise ValueError("the 'hash' policy takes no --shard-map spec")
+        self.nshards = nshards
+
+    def shard_of(self, tenant: str, loads: "list[int]") -> int:
+        return stable_shard(tenant, self.nshards)
+
+
+@register_policy("explicit")
+class ExplicitPolicy:
+    """Operator-pinned map ``"acme=0,lab=1,*=2"`` (``*`` = fallback shard)."""
+
+    deterministic = True
+
+    def __init__(self, nshards: int, spec: "str | None" = None) -> None:
+        if not spec:
+            raise ValueError("the 'explicit' policy needs a --shard-map spec")
+        self.nshards = nshards
+        self.table: dict[str, int] = {}
+        self.default: "int | None" = None
+        for entry in spec.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            tenant, _, shard = entry.partition("=")
+            if not _:
+                raise ValueError(f"bad --shard-map entry {entry!r} (want tenant=shard)")
+            idx = int(shard)
+            if not 0 <= idx < nshards:
+                raise ValueError(f"shard {idx} out of range for {nshards} workers")
+            if tenant == "*":
+                self.default = idx
+            else:
+                self.table[tenant] = idx
+
+    def shard_of(self, tenant: str, loads: "list[int]") -> int:
+        shard = self.table.get(tenant, self.default)
+        if shard is None:
+            raise ValueError(
+                f"no shard mapping for tenant {tenant!r} (add it to --shard-map "
+                "or provide a '*' fallback)"
+            )
+        return shard
+
+
+@register_policy("least-loaded")
+class LeastLoadedPolicy:
+    """Sticky least-loaded assignment — NOT replay-deterministic.
+
+    Each tenant is pinned, at first sight, to the shard with the fewest
+    jobs forwarded so far (ties: lowest index) and stays there, so
+    tenant affinity still holds within a run.  The pinning depends on
+    arrival order, which is why this policy is only appropriate for
+    stateless workloads where a re-run need not reproduce placements.
+    """
+
+    deterministic = False
+
+    def __init__(self, nshards: int, spec: "str | None" = None) -> None:
+        if spec:
+            raise ValueError("the 'least-loaded' policy takes no --shard-map spec")
+        self.nshards = nshards
+        self.pinned: dict[str, int] = {}
+
+    def shard_of(self, tenant: str, loads: "list[int]") -> int:
+        shard = self.pinned.get(tenant)
+        if shard is None:
+            shard = min(range(self.nshards), key=lambda i: (loads[i], i))
+            self.pinned[tenant] = shard
+        return shard
+
+
+# ----------------------------------------------------------------------
+# worker handles
+# ----------------------------------------------------------------------
+class ShardUnavailable(Exception):
+    """A worker could not be reached within the call deadline."""
+
+    def __init__(self, shard: int, detail: str) -> None:
+        super().__init__(f"shard {shard} unavailable: {detail}")
+        self.shard = shard
+        self.detail = detail
+
+
+class LocalWorker:
+    """An in-process worker: wraps a transport-free frontend.
+
+    Requests and responses are JSON round-tripped so anything that would
+    not survive a real wire fails here too — tests and the conformance
+    fuzzer drive a full sharded topology without spawning processes.
+    """
+
+    def __init__(self, frontend) -> None:
+        self.frontend = frontend
+
+    def call(self, request: dict[str, Any], deadline: "float | None" = None) -> dict[str, Any]:
+        resp = self.frontend.handle_request(json.loads(json.dumps(request)))
+        return json.loads(json.dumps(resp))
+
+    def close(self) -> None:
+        pass
+
+
+class RemoteWorker:
+    """One worker process over TCP: line protocol, v2 envelope, reconnect.
+
+    Every request is wrapped in a ``repro-wire/2`` envelope with a fresh
+    ``rid``; the echoed rid is what makes resend-after-reconnect safe (a
+    stale response from a previous incarnation can never be attributed
+    to the current request).  ``call`` retries through disconnects until
+    ``deadline`` seconds have elapsed — a supervised worker that was
+    SIGKILLed typically reappears within its supervisor's backoff — and
+    raises :class:`ShardUnavailable` past the deadline.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        shard: int = 0,
+        io_timeout: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.shard = shard
+        self.io_timeout = io_timeout
+        self._sock: "socket.socket | None" = None
+        self._fh = None
+        self._rid = 0
+
+    # -- connection management ----------------------------------------
+    def _connect(self, deadline_at: float) -> None:
+        delay = 0.05
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=min(self.io_timeout, 5.0)
+                )
+                sock.settimeout(self.io_timeout)
+                self._sock = sock
+                self._fh = sock.makefile("rw", encoding="utf-8", newline="\n")
+                return
+            except OSError as exc:
+                if time.monotonic() >= deadline_at:
+                    raise ShardUnavailable(self.shard, f"connect failed: {exc}") from None
+                time.sleep(min(delay, max(0.0, deadline_at - time.monotonic())))
+                delay = min(delay * 2, 0.5)
+
+    def _disconnect(self) -> None:
+        for closer in (self._fh, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._fh = self._sock = None
+
+    def close(self) -> None:
+        self._disconnect()
+
+    # -- request/response ---------------------------------------------
+    def call(self, request: dict[str, Any], deadline: "float | None" = None) -> dict[str, Any]:
+        """Send one request, return the bare (envelope-stripped) response.
+
+        Retries through connect failures and mid-call disconnects until
+        ``deadline`` seconds from now; the worker's journal dedups a
+        resent ``submit`` (at-least-once delivery, exactly-once
+        admission), and the other verbs are idempotent or safely
+        re-appliable.
+        """
+        deadline_at = time.monotonic() + (deadline if deadline is not None else 15.0)
+        self._rid += 1
+        rid = self._rid
+        wire = json.dumps({"v": WIRE_VERSION, "rid": rid, **request})
+        while True:
+            try:
+                if self._fh is None:
+                    self._connect(deadline_at)
+                self._fh.write(wire + "\n")
+                self._fh.flush()
+                while True:
+                    line = self._fh.readline()
+                    if not line:
+                        raise OSError("worker closed the connection")
+                    resp = json.loads(line)
+                    # a rid-less reply is a v1-shaped transport error (bad
+                    # JSON, oversized line): it answers *this* request; a
+                    # reply with a *different* rid is stale — skip it
+                    if "rid" not in resp or resp.get("rid") == rid:
+                        break
+                resp.pop("v", None)
+                resp.pop("rid", None)
+                return resp
+            except (OSError, ValueError) as exc:
+                self._disconnect()
+                if time.monotonic() >= deadline_at:
+                    raise ShardUnavailable(self.shard, str(exc)) from None
+
+
+def pick_free_port(host: str = "127.0.0.1") -> int:
+    """Reserve an ephemeral TCP port (bind-probe, then release)."""
+    with socket.socket() as s:
+        s.bind((host, 0))
+        return s.getsockname()[1]
+
+
+# ----------------------------------------------------------------------
+# the router
+# ----------------------------------------------------------------------
+class Router:
+    """Protocol front-end partitioning tenants across worker shards.
+
+    Duck-type compatible with :class:`ServiceFrontend` for the stdio/TCP
+    serving loops (``handle_request`` + ``closed``).  ``workers`` are
+    :class:`LocalWorker`/:class:`RemoteWorker` handles; replace a handle
+    with :meth:`replace_worker` after recovering a shard in-process.
+    """
+
+    def __init__(
+        self,
+        workers: "list[Any]",
+        *,
+        policy: str = "hash",
+        policy_spec: "str | None" = None,
+        batch_size: int = 32,
+        batch_interval: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+        max_pending: "int | None" = None,
+        call_deadline: float = 15.0,
+    ) -> None:
+        if not workers:
+            raise ValueError("a router needs at least one worker")
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch_size}")
+        if batch_interval < 0:
+            raise ValueError(f"batch interval must be >= 0, got {batch_interval}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.workers = list(workers)
+        self.policy = resolve_policy(policy, len(workers), policy_spec)
+        self.batch_size = batch_size
+        self.batch_interval = batch_interval
+        self.clock = clock
+        self.max_pending = max_pending
+        self.call_deadline = call_deadline
+        self.closed = False
+        self.queue = FairQueue()  # fair mode: the global stride queue
+        self._stamps: dict[Any, float] = {}
+        self._placed: dict[Any, int] = {}  # admitted job id -> shard
+        self._loads = [0] * len(workers)  # jobs forwarded per shard
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(workers), thread_name_prefix="shard-io"
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def replace_worker(self, shard: int, worker: Any) -> None:
+        """Swap in a recovered worker handle for one shard."""
+        old = self.workers[shard]
+        self.workers[shard] = worker
+        if old is not worker:
+            try:
+                old.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self.closed = True
+        self._pool.shutdown(wait=False)
+        for w in self.workers:
+            try:
+                w.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Router":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- fan-out plumbing ----------------------------------------------
+    def _call(self, shard: int, request: dict[str, Any]) -> dict[str, Any]:
+        return self.workers[shard].call(request, deadline=self.call_deadline)
+
+    def _fan_out_tolerant(
+        self, requests: "dict[int, dict[str, Any]]"
+    ) -> "tuple[dict[int, dict[str, Any]], dict[int, ShardUnavailable]]":
+        """Issue per-shard requests in parallel; collect per-shard outcomes.
+
+        Every request is delivered (or definitively fails) exactly once:
+        successful responses are never discarded because some *other*
+        shard was unreachable.
+        """
+        if len(requests) == 1:
+            ((shard, request),) = requests.items()
+            try:
+                return {shard: self._call(shard, request)}, {}
+            except ShardUnavailable as exc:
+                return {}, {shard: exc}
+        futures = {
+            shard: self._pool.submit(self._call, shard, request)
+            for shard, request in requests.items()
+        }
+        out: dict[int, dict[str, Any]] = {}
+        failures: dict[int, ShardUnavailable] = {}
+        for shard in sorted(futures):
+            try:
+                out[shard] = futures[shard].result()
+            except ShardUnavailable as exc:
+                failures[shard] = exc
+        return out, failures
+
+    def _fan_out(self, requests: "dict[int, dict[str, Any]]") -> "dict[int, dict[str, Any]]":
+        """Strict fan-out: raise the lowest-shard failure (after every
+        other shard's call has completed, so a dead shard never leaves
+        another worker with a half-delivered request)."""
+        out, failures = self._fan_out_tolerant(requests)
+        if failures:
+            raise failures[min(failures)]
+        return out
+
+    def _broadcast(self, request: dict[str, Any]) -> "dict[int, dict[str, Any]]":
+        return self._fan_out({i: dict(request) for i in range(len(self.workers))})
+
+    @staticmethod
+    def _first_error(responses: "dict[int, dict[str, Any]]") -> "dict[str, Any] | None":
+        for shard in sorted(responses):
+            resp = responses[shard]
+            if not resp.get("ok", True):
+                return error_response(
+                    resp.get("op"),
+                    resp.get("error", INTERNAL),
+                    f"shard {shard}: {resp.get('detail', resp.get('error', ''))}",
+                )
+        return None
+
+    # -- routing -------------------------------------------------------
+    def shard_of(self, tenant: str) -> int:
+        """The shard this tenant's stateful ops route to."""
+        return self.policy.shard_of(tenant, self._loads)
+
+    def _batch_due(self) -> bool:
+        if self.queue.buffered == 0:
+            return False
+        if self.queue.buffered >= self.batch_size:
+            return True
+        return self.clock() - min(self._stamps.values()) >= self.batch_interval
+
+    def flush(self) -> tuple[list[Any], list[dict[str, Any]]]:
+        """Drain the global fair queue and forward each shard its slice.
+
+        The weighted-fair order is computed once, across every tenant on
+        every shard; each worker receives its jobs as one ``submit`` in
+        that order (workers admit FIFO), so relative admission priority
+        between two tenants is identical whether or not they share a
+        shard.  Returns ``(admitted_ids, error_records)`` exactly like
+        the single-session frontend.
+        """
+        pending = self.queue.drain_fair()
+        self._stamps.clear()
+        if not pending:
+            return [], []
+        errors: list[dict[str, Any]] = []
+        order: list[tuple[int, Any]] = []  # (shard, id) in global fair order
+        per_shard: dict[int, list[JobSpec]] = {}
+        routed: dict[Any, int] = {}  # ids routed in *this* flush
+        for spec in pending:
+            try:
+                shard = self.shard_of(spec.tenant)
+            except ValueError as exc:
+                errors.append(
+                    {"id": spec.id, "error": ADMISSION_FAILED, "detail": str(exc)}
+                )
+                continue
+            cross = [
+                p
+                for p in spec.preds
+                if self._placed.get(p, routed.get(p, shard)) != shard
+            ]
+            if cross:
+                errors.append(
+                    {
+                        "id": spec.id,
+                        "error": ADMISSION_FAILED,
+                        "detail": (
+                            f"predecessors {cross!r} live on another shard; "
+                            "a dependency edge cannot span workers"
+                        ),
+                    }
+                )
+                continue
+            routed[spec.id] = shard
+            order.append((shard, spec.id))
+            per_shard.setdefault(shard, []).append(spec)
+        if not per_shard:
+            return [], errors
+        requests = {
+            shard: {"op": "submit", "jobs": [s.to_dict() for s in specs]}
+            for shard, specs in per_shard.items()
+        }
+        responses, failures = self._fan_out_tolerant(requests)
+        for shard in failures:
+            # the dead shard's jobs come back as explicit backpressure
+            # records so the client resubmits them (the worker's journal
+            # dedups any that actually landed before the crash); jobs
+            # bound for reachable shards were delivered normally
+            errors.extend(
+                {
+                    "id": s.id,
+                    "error": BACKPRESSURE,
+                    "detail": f"shard {shard} unavailable; resubmit",
+                }
+                for s in per_shard[shard]
+            )
+        admitted_by_shard: dict[int, set] = {}
+        for shard, resp in responses.items():
+            if not resp.get("ok", True):
+                errors.extend(
+                    {
+                        "id": s.id,
+                        "error": resp.get("error", INTERNAL),
+                        "detail": f"shard {shard}: {resp.get('detail', '')}",
+                    }
+                    for s in per_shard[shard]
+                )
+                continue
+            admitted_by_shard[shard] = set(resp.get("admitted", ()))
+            for rec in resp.get("errors", ()):
+                rec = dict(rec)
+                rec["shard"] = shard
+                errors.append(rec)
+        admitted: list[Any] = []
+        for shard, jid in order:
+            if jid in admitted_by_shard.get(shard, ()):
+                admitted.append(jid)
+                self._placed[jid] = shard
+                self._loads[shard] += 1
+        return admitted, errors
+
+    # -- protocol ------------------------------------------------------
+    def handle_request(self, req: Any) -> dict[str, Any]:
+        """Same contract as :meth:`ServiceFrontend.handle_request`."""
+        body, versioned, rid, err = unwrap_request(req)
+        if err is not None:
+            return wrap_response(err, versioned, rid)
+        return wrap_response(self._dispatch(body), versioned, rid)
+
+    def _dispatch(self, req: Any) -> dict[str, Any]:
+        if not isinstance(req, dict) or "op" not in req:
+            return error_response(None, INVALID_REQUEST, "request must be an object with an 'op'")
+        op = req["op"]
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            return error_response(op, INVALID_REQUEST, f"unknown op {op!r}")
+        try:
+            pre_admitted: list[Any] = []
+            pre_errors: list[dict[str, Any]] = []
+            if op not in ("submit", "flush") and self._batch_due():
+                pre_admitted, pre_errors = self.flush()
+            resp = handler(req)
+        except ShardUnavailable as exc:
+            return error_response(op, BACKPRESSURE, f"{exc}; retry")
+        except KeyError as exc:
+            return error_response(op, INVALID_REQUEST, f"missing required field {exc}")
+        except (ValueError, TypeError) as exc:
+            return error_response(op, INVALID_REQUEST, str(exc))
+        except OSError as exc:
+            return error_response(op, INTERNAL, str(exc))
+        if pre_admitted:
+            resp.setdefault("admitted_by_batch", pre_admitted)
+        if pre_errors:
+            resp.setdefault("admission_errors", []).extend(pre_errors)
+        resp.setdefault("ok", True)
+        resp.setdefault("op", op)
+        return resp
+
+    # -- tenant-bound ops ----------------------------------------------
+    def _op_submit(self, req: dict[str, Any]) -> dict[str, Any]:
+        jobs = req.get("jobs")
+        if not isinstance(jobs, list):
+            raise ValueError("submit needs a 'jobs' list")
+        specs = [JobSpec.from_dict(rec) for rec in jobs]
+        refused: list[Any] = []
+        for spec in specs:
+            if (
+                self.max_pending is not None
+                and self.queue.depth(spec.tenant) >= self.max_pending
+            ):
+                refused.append(spec.id)
+            else:
+                self.queue.enqueue(spec)
+                self._stamps[spec.id] = self.clock()
+        resp: dict[str, Any] = {"buffered": self.queue.buffered}
+        if refused:
+            resp["backpressure"] = refused
+        if self._batch_due():
+            admitted, errors = self.flush()
+            resp.update({"admitted": admitted, "buffered": 0})
+            if errors:
+                resp["errors"] = errors
+        return resp
+
+    def _op_flush(self, req: dict[str, Any]) -> dict[str, Any]:
+        admitted, errors = self.flush()
+        resp: dict[str, Any] = {"admitted": admitted}
+        if errors:
+            resp["errors"] = errors
+        return resp
+
+    def _op_cancel(self, req: dict[str, Any]) -> dict[str, Any]:
+        jid = req["id"]
+        was_buffered = jid in self.queue.buffered_ids()
+        cancelled: list[Any] = []
+        if was_buffered:
+            gone = {jid}
+        else:
+            shard = self._placed.get(jid)
+            if shard is None and "tenant" in req:
+                shard = self.shard_of(str(req["tenant"]))
+            if shard is None:
+                raise ValueError(
+                    f"unknown job {jid!r} (not buffered and not routed by this "
+                    "router; pass 'tenant' to route the cancel)"
+                )
+            resp = self._call(shard, {"op": "cancel", "id": jid})
+            if not resp.get("ok", True):
+                return error_response(
+                    "cancel",
+                    resp.get("error", INTERNAL),
+                    f"shard {shard}: {resp.get('detail', '')}",
+                )
+            cancelled = list(resp.get("cancelled", ()))
+            gone = set(cancelled) | {jid} if cancelled else set()
+        if gone:
+            self.queue.cascade(gone)
+            removed = self.queue.remove_ids(gone)
+            cancelled.extend(removed)
+            for r in removed:
+                self._stamps.pop(r, None)
+        return {"cancelled": cancelled, "buffered": was_buffered}
+
+    def _op_tenant(self, req: dict[str, Any]) -> dict[str, Any]:
+        name = str(req["name"])
+        weight = float(req["weight"])
+        self.queue.set_weight(name, weight)  # the authoritative copy
+        # mirror to the owning shard so per-worker status stays coherent
+        shard = self.shard_of(name)
+        resp = self._call(shard, {"op": "tenant", "name": name, "weight": weight})
+        if not resp.get("ok", True):
+            return error_response(
+                "tenant", resp.get("error", INTERNAL),
+                f"shard {shard}: {resp.get('detail', '')}",
+            )
+        return {"name": name, "weight": weight, "shard": shard}
+
+    # -- fan-out ops ----------------------------------------------------
+    def _with_flush_errors(self, resp: dict[str, Any], errors) -> dict[str, Any]:
+        if errors:
+            resp["admission_errors"] = errors
+        return resp
+
+    def _op_advance(self, req: dict[str, Any]) -> dict[str, Any]:
+        _, errors = self.flush()
+        until = float(req["until"])
+        want_events = req.get("events", True)
+        responses = self._broadcast(
+            {"op": "advance", "until": until, "events": bool(want_events)}
+        )
+        err = self._first_error(responses)
+        if err is not None:
+            return err
+        resp: dict[str, Any] = {
+            "clock": max(r["clock"] for r in responses.values()),
+        }
+        if want_events:
+            merged: list[dict[str, Any]] = []
+            for shard in sorted(responses):
+                merged.extend(responses[shard]["events"])
+            # stable sort: per-shard order is preserved, ties break by shard
+            merged.sort(key=lambda e: e["time"])
+            resp["events"] = merged
+        else:
+            resp["event_count"] = sum(r["event_count"] for r in responses.values())
+        return self._with_flush_errors(resp, errors)
+
+    def _op_drain(self, req: dict[str, Any]) -> dict[str, Any]:
+        _, errors = self.flush()
+        responses = self._broadcast({"op": "drain"})
+        err = self._first_error(responses)
+        if err is not None:
+            return err
+        return self._with_flush_errors(
+            {
+                "clock": max(r["clock"] for r in responses.values()),
+                "makespan": max(r["makespan"] for r in responses.values()),
+                "completed": sum(r["completed"] for r in responses.values()),
+            },
+            errors,
+        )
+
+    def _op_status(self, req: dict[str, Any]) -> dict[str, Any]:
+        responses = self._broadcast({"op": "status"})
+        err = self._first_error(responses)
+        if err is not None:
+            return err
+        states: dict[str, int] = {}
+        for r in responses.values():
+            for state, n in r.get("states", {}).items():
+                states[state] = states.get(state, 0) + n
+        return {
+            "clock": max(r["clock"] for r in responses.values()),
+            "jobs": sum(r["jobs"] for r in responses.values()),
+            "states": states,
+            "buffered": self.queue.buffered,
+            "tenants": self.queue.describe(),
+            "pid": os.getpid(),
+            "workers": len(self.workers),
+            "policy": self.policy.name,
+            "restarts": sum(r.get("restarts", 0) for r in responses.values()),
+            "shards": {str(i): responses[i] for i in sorted(responses)},
+        }
+
+    def _op_stats(self, req: dict[str, Any]) -> dict[str, Any]:
+        """The sharded ``stats`` map: the single-session schema, aggregated,
+        plus ``workers``/``policy`` and the per-shard nesting under
+        ``shards`` (each value is one worker's schema-stable stats map)."""
+        responses = self._broadcast({"op": "stats"})
+        err = self._first_error(responses)
+        if err is not None:
+            return err
+        queues = dict(self.queue.depths())
+        for r in responses.values():
+            for tenant, depth in r.get("queues", {}).items():
+                queues[tenant] = queues.get(tenant, 0) + depth
+        return {
+            "clock": max(r["clock"] for r in responses.values()),
+            "backend": responses[0]["backend"],
+            "buffered": self.queue.buffered
+            + sum(r["buffered"] for r in responses.values()),
+            "queues": queues,
+            "admitted": sum(r["admitted"] for r in responses.values()),
+            "completed": sum(r["completed"] for r in responses.values()),
+            "cancelled": sum(r["cancelled"] for r in responses.values()),
+            "journal_seq": sum(r["journal_seq"] for r in responses.values()),
+            "journal_records": sum(r["journal_records"] for r in responses.values()),
+            "restarts": sum(r["restarts"] for r in responses.values()),
+            "workers": len(self.workers),
+            "policy": self.policy.name,
+            "shards": {str(i): responses[i] for i in sorted(responses)},
+        }
+
+    def _op_validate(self, req: dict[str, Any]) -> dict[str, Any]:
+        _, errors = self.flush()
+        responses = self._broadcast({"op": "validate"})
+        err = self._first_error(responses)
+        if err is not None:
+            return err
+        violations: list[dict[str, Any]] = []
+        for shard in sorted(responses):
+            for v in responses[shard].get("violations", ()):
+                v = dict(v)
+                v["shard"] = shard
+                violations.append(v)
+        return self._with_flush_errors(
+            {
+                "valid": all(r["valid"] for r in responses.values()),
+                "violations": violations,
+            },
+            errors,
+        )
+
+    def _op_checkpoint(self, req: dict[str, Any]) -> dict[str, Any]:
+        path = req.get("path")
+        if path is not None and not isinstance(path, str):
+            raise ValueError(f"path must be a string, got {type(path).__name__}")
+        _, errors = self.flush()
+        if path is not None:
+            requests = {
+                i: {"op": "checkpoint", "path": f"{path}.shard{i}"}
+                for i in range(len(self.workers))
+            }
+            responses = self._fan_out(requests)
+            err = self._first_error(responses)
+            if err is not None:
+                return err
+            resp: dict[str, Any] = {
+                "paths": [responses[i]["path"] for i in sorted(responses)],
+            }
+        else:
+            responses = self._broadcast({"op": "checkpoint"})
+            err = self._first_error(responses)
+            if err is not None:
+                return err
+            resp = {"snapshots": [responses[i]["snapshot"] for i in sorted(responses)]}
+        resp["clock"] = max(r["clock"] for r in responses.values())
+        if all(r.get("journal_rotated") for r in responses.values()):
+            resp["journal_rotated"] = True
+        return self._with_flush_errors(resp, errors)
+
+    def _op_restore(self, req: dict[str, Any]) -> dict[str, Any]:
+        raise ValueError(
+            "restore is per-shard in sharded mode: restart the workers and let "
+            "each recover from its own --journal/--snapshot lineage"
+        )
+
+    def _op_trace(self, req: dict[str, Any]) -> dict[str, Any]:
+        path = req.get("path")
+        if path is not None and not isinstance(path, str):
+            raise ValueError(f"path must be a string, got {type(path).__name__}")
+        _, errors = self.flush()
+        if path is not None:
+            requests = {
+                i: {"op": "trace", "path": f"{path}.shard{i}"}
+                for i in range(len(self.workers))
+            }
+            responses = self._fan_out(requests)
+            err = self._first_error(responses)
+            if err is not None:
+                return err
+            return self._with_flush_errors(
+                {"paths": [responses[i]["path"] for i in sorted(responses)]}, errors
+            )
+        responses = self._broadcast({"op": "trace"})
+        err = self._first_error(responses)
+        if err is not None:
+            return err
+        return self._with_flush_errors(
+            {"traces": [responses[i]["trace"] for i in sorted(responses)]}, errors
+        )
+
+    def _op_prune(self, req: dict[str, Any]) -> dict[str, Any]:
+        responses = self._broadcast({"op": "prune"})
+        err = self._first_error(responses)
+        if err is not None:
+            return err
+        return {
+            "dropped": sum(r["dropped"] for r in responses.values()),
+            "events": sum(r["events"] for r in responses.values()),
+        }
+
+    def _op_shutdown(self, req: dict[str, Any]) -> dict[str, Any]:
+        try:
+            self._broadcast({"op": "shutdown"})
+        except ShardUnavailable:
+            pass  # a dead shard cannot block the shutdown of the rest
+        self.closed = True
+        return {"workers": len(self.workers)}

@@ -62,6 +62,7 @@ WRAPPER_SPECS = {
     "bench_extended.py": ["capacity_sweep", "epsilon_sweep", "strategy_sweep"],
     "bench_service.py": ["service"],
     "bench_service_recovery.py": ["service_recovery"],
+    "bench_service_sharded.py": ["service_sharded"],
 }
 
 

@@ -1,0 +1,227 @@
+"""Tests for the typed service client: wire versions, typed errors,
+reconnect/resend."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service import (
+    Backpressure,
+    Disconnected,
+    SchedulingSession,
+    ServiceClient,
+    ServiceError,
+    ServiceFrontend,
+    serve_tcp,
+)
+from repro.service.frontend import _handle_line
+from repro.service.router import pick_free_port
+
+
+class _LoopbackTransport:
+    """A transport that answers from an in-process frontend, recording
+    every wire line it sends — lets the tests inspect the exact JSON a
+    client version puts on the wire."""
+
+    reconnectable = False
+
+    def __init__(self, frontend):
+        self.frontend = frontend
+        self.sent = []
+        self._responses = []
+        self.proc = None
+
+    def send_line(self, line):
+        self.sent.append(json.loads(line))
+        self._responses.append(json.dumps(_handle_line(self.frontend, line)))
+
+    def recv_line(self):
+        return self._responses.pop(0)
+
+    def close(self):
+        pass
+
+
+def loopback(caps=(8,), wire_version=2, **fe_kw):
+    fe_kw.setdefault("batch_size", 100)
+    fe_kw.setdefault("batch_interval", 9999.0)
+    fe = ServiceFrontend(SchedulingSession(caps), **fe_kw)
+    transport = _LoopbackTransport(fe)
+    return ServiceClient(transport, wire_version=wire_version), transport
+
+
+def job(jid, demand=(1,), duration=1.0, **kw):
+    return {"id": jid, "demand": list(demand), "duration": duration, **kw}
+
+
+class TestWireVersions:
+    def test_v2_requests_carry_an_incrementing_rid(self):
+        client, t = loopback()
+        client.status()
+        client.status()
+        assert [w["rid"] for w in t.sent] == [1, 2]
+        assert all(w["v"] == 2 for w in t.sent)
+
+    def test_v2_envelope_is_stripped_from_the_returned_body(self):
+        client, _ = loopback()
+        resp = client.status()
+        assert resp["ok"] and "v" not in resp and "rid" not in resp
+
+    def test_v1_client_sends_bare_requests(self):
+        client, t = loopback(wire_version=1)
+        resp = client.status()
+        assert resp["ok"]
+        assert "v" not in t.sent[0] and "rid" not in t.sent[0]
+
+    def test_unsupported_wire_version_is_refused(self):
+        with pytest.raises(ValueError, match="unsupported wire version"):
+            ServiceClient(_LoopbackTransport(None), wire_version=3)
+
+    def test_round_trip_both_versions_same_result(self):
+        for version in (1, 2):
+            client, _ = loopback(wire_version=version)
+            assert client.submit([job("a")])["buffered"] == 1
+            assert client.flush()["admitted"] == ["a"]
+            drain = client.drain()
+            assert drain["completed"] == 1 and drain["makespan"] == 1.0
+
+    def test_stale_rid_responses_are_skipped(self):
+        client, t = loopback()
+
+        real_send = t.send_line
+
+        def send_with_stale_prefix(line):
+            req = json.loads(line)
+            t.sent.append(req)
+            stale = {"v": 2, "rid": req["rid"] - 1, "ok": True, "op": "stale"}
+            t._responses.append(json.dumps(stale))
+            t._responses.append(json.dumps(_handle_line(t.frontend, line)))
+
+        t.send_line = send_with_stale_prefix
+        resp = client.status()
+        assert resp["op"] == "status"  # not the stale echo
+        t.send_line = real_send
+
+
+class TestTypedErrors:
+    def test_ok_false_raises_service_error_with_code_and_detail(self):
+        client, _ = loopback()
+        with pytest.raises(ServiceError) as exc:
+            client.request("advance", until=-1.0)
+        assert exc.value.code == "invalid_request"
+        assert "cannot advance backwards" in exc.value.detail
+        assert exc.value.op == "advance"
+        assert exc.value.response["error"] == "invalid_request"
+
+    def test_unknown_op_is_invalid_request(self):
+        client, _ = loopback()
+        with pytest.raises(ServiceError) as exc:
+            client.request("frobnicate")
+        assert exc.value.code == "invalid_request"
+
+    def test_backpressure_raises_with_the_refused_ids(self):
+        client, _ = loopback(max_pending=1)
+        with pytest.raises(Backpressure) as exc:
+            client.submit([job("a"), job("b"), job("c")])
+        assert exc.value.code == "backpressure"
+        assert exc.value.refused == ["b", "c"]
+        # the first job was still buffered — flush admits it
+        assert client.flush()["admitted"] == ["a"]
+
+    def test_submit_raises_backpressure_even_on_ok_responses(self):
+        # an ok submit that sheds some jobs still surfaces as Backpressure
+        client, t = loopback()
+        real = t.send_line
+
+        def shed(line):
+            real(line)
+            resp = json.loads(t._responses.pop())
+            resp["backpressure"] = ["b"]
+            t._responses.append(json.dumps(resp))
+
+        t.send_line = shed
+        with pytest.raises(Backpressure) as exc:
+            client.submit([job("a"), job("b")])
+        assert exc.value.refused == ["b"]
+
+    def test_error_hierarchy(self):
+        assert issubclass(Backpressure, ServiceError)
+        assert issubclass(Disconnected, ServiceError)
+
+
+class TestTypedVerbs:
+    def test_full_session_through_typed_verbs(self, tmp_path):
+        client, _ = loopback(caps=(4, 4))
+        assert client.tenant("batchy", 2.0)["weight"] == 2.0
+        client.submit([
+            job("prep", demand=(2, 1), duration=2.0, tenant="batchy"),
+            job("train", demand=(4, 2), duration=3.0, preds=["prep"],
+                tenant="batchy"),
+            job("doomed", demand=(1, 1), duration=9.0, release=4.0,
+                tenant="lab"),
+        ])
+        assert sorted(client.flush()["admitted"]) == ["doomed", "prep", "train"]
+        adv = client.advance(1.5)
+        assert adv["clock"] == 1.5 and adv["events"]
+        assert client.cancel("doomed")["cancelled"] == ["doomed"]
+        ck = str(tmp_path / "ck.json")
+        assert client.checkpoint(ck)["path"] == ck
+        assert client.restore(path=ck)["ok"]
+        drain = client.drain()
+        assert drain["completed"] == 2
+        assert client.validate()["valid"]
+        assert client.status()["jobs"] == 3  # cancelled jobs still counted
+        assert client.stats()["completed"] == 2
+        assert client.shutdown()["ok"]
+
+
+class TestTcpReconnect:
+    def _serve(self, **fe_kw):
+        fe_kw.setdefault("batch_size", 1)
+        fe = ServiceFrontend(SchedulingSession((4,)), **fe_kw)
+        ready = threading.Event()
+        t = threading.Thread(target=serve_tcp, args=(fe, "127.0.0.1", 0),
+                             kwargs={"ready": ready}, daemon=True)
+        t.start()
+        assert ready.wait(5.0)
+        return ready.port, t
+
+    def test_connect_and_round_trip_over_tcp(self):
+        port, t = self._serve()
+        with ServiceClient.connect("127.0.0.1", port, connect_deadline=10.0) as client:
+            assert client.submit([job("a")])["admitted"] == ["a"]
+            assert client.drain()["completed"] == 1
+            assert client.shutdown()["ok"]
+        t.join(timeout=5.0)
+
+    def test_dropped_connection_is_resent_within_the_retry_deadline(self):
+        port, t = self._serve()
+        client = ServiceClient.connect(
+            "127.0.0.1", port, connect_deadline=10.0, retry_deadline=10.0
+        )
+        assert client.status()["ok"]
+        client.transport.drop()  # simulate the peer vanishing mid-session
+        assert client.status()["ok"]  # reconnected + resent transparently
+        client.shutdown()
+        client.close()
+        t.join(timeout=5.0)
+
+    def test_without_retry_deadline_a_drop_is_disconnected(self):
+        port, t = self._serve()
+        client = ServiceClient.connect("127.0.0.1", port, connect_deadline=10.0)
+        client.transport.drop()
+        with pytest.raises(Disconnected):
+            client.status()
+        # the transport can still be reconnected by hand and shut down
+        import time as _time
+
+        client.transport.connect(_time.monotonic() + 5.0)
+        client.shutdown()
+        client.close()
+        t.join(timeout=5.0)
+
+    def test_connect_to_a_dead_port_times_out(self):
+        port = pick_free_port()
+        with pytest.raises(Disconnected, match="connect failed"):
+            ServiceClient.connect("127.0.0.1", port, connect_deadline=0.2)

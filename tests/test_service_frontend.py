@@ -129,7 +129,8 @@ class TestFairSharing:
     def test_invalid_weight(self):
         fe = frontend()
         r = fe.handle_request({"op": "tenant", "name": "x", "weight": 0})
-        assert not r["ok"] and "positive" in r["error"]
+        assert not r["ok"] and r["error"] == "invalid_request"
+        assert "positive" in r["detail"]
 
     def test_cross_tenant_dependency_in_one_call_admits(self):
         # tenant interleaving puts 'anna' before 'zoe' in the fair order,
@@ -218,7 +219,7 @@ class TestProtocol:
         r = fe.handle_request({"op": "restore", "path": str(ck)})
         # the buffered job must NOT be flushed into the session about to be
         # discarded: restore refuses and the job survives
-        assert not r["ok"] and "buffered" in r["error"]
+        assert not r["ok"] and "buffered" in r["detail"]
         assert fe.handle_request({"op": "flush"})["admitted"] == ["precious"]
 
     def test_cancel_does_not_age_younger_buffered_jobs(self):
@@ -330,7 +331,7 @@ class TestProtocol:
         fe3 = frontend(caps=(4,))
         fe3.handle_request({"op": "submit", "jobs": [job("pending")]})
         r = fe3.handle_request({"op": "restore", "path": str(path)})
-        assert not r["ok"] and "buffered" in r["error"]
+        assert not r["ok"] and "buffered" in r["detail"]
         assert not frontend().handle_request({"op": "restore"})["ok"]
 
 
@@ -353,7 +354,8 @@ class TestTransports:
         assert len(responses) == 4  # the post-shutdown line is never read
         assert responses[0]["admitted"] == ["x"]
         assert responses[1]["makespan"] == 1.5
-        assert not responses[2]["ok"] and "bad JSON" in responses[2]["error"]
+        assert not responses[2]["ok"] and responses[2]["error"] == "invalid_request"
+        assert "bad JSON" in responses[2]["detail"]
         assert responses[3]["op"] == "shutdown"
 
     def test_stdio_eof_is_clean(self):
@@ -446,7 +448,8 @@ class TestAdversarialInput:
         text = huge + "\n" + json.dumps({"op": "status"}) + "\n"
         responses = self._serve(text, max_request_bytes=64)
         assert len(responses) == 2
-        assert not responses[0]["ok"] and "exceeds 64 bytes" in responses[0]["error"]
+        assert not responses[0]["ok"] and responses[0]["error"] == "invalid_request"
+        assert "exceeds 64 bytes" in responses[0]["detail"]
         assert responses[1]["ok"] and responses[1]["op"] == "status"
 
     def test_non_object_json_is_an_error_response(self):
@@ -477,8 +480,8 @@ class TestAdversarialInput:
             json.dumps({"op": "status"}) + "\n" + json.dumps({"op": "drain"}) + "\n",
             fe=fe,
         )
-        assert not responses[0]["ok"]
-        assert "internal error: ZeroDivisionError" in responses[0]["error"]
+        assert not responses[0]["ok"] and responses[0]["error"] == "internal"
+        assert "ZeroDivisionError" in responses[0]["detail"]
         assert responses[1]["ok"]  # the loop survived the bug
 
     def test_stdio_reader_disappearing_is_a_clean_exit(self):
