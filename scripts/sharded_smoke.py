@@ -13,7 +13,10 @@ stream keeps going:
   supervisor has restarted it from its own journal (no admitted job
   lost, none duplicated — drain completes every submitted job exactly
   once and every shard strict-validates);
-* the restarted shard reports a new pid and its restart counter.
+* the restarted shard reports a new pid and its restart counter;
+* the router's merged ``GET /metrics`` scrape still carries every
+  shard's families under its ``shard`` label after the recovery, and
+  the killed shard's ``repro_restarts`` gauge shows the restart.
 
 Exits non-zero on any violation.  Needs only the stdlib plus ``repro``
 on ``PYTHONPATH``.
@@ -24,8 +27,10 @@ from __future__ import annotations
 import argparse
 import os
 import signal
+import socket
 import sys
 import tempfile
+import urllib.request
 
 from repro.service import ServiceClient
 
@@ -66,6 +71,9 @@ def main() -> int:
     workdir = args.workdir or tempfile.mkdtemp(prefix="sharded-smoke-")
     os.makedirs(workdir, exist_ok=True)
     journal = os.path.join(workdir, "journal.jsonl")
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        metrics_port = s.getsockname()[1]
 
     cmd = [
         sys.executable, "-m", "repro", "serve",
@@ -76,6 +84,7 @@ def main() -> int:
         "--batch-size", "1", "--max-pending", "128",
         "--journal", journal, "--checkpoint-every", "8",
         "--backoff-base", "0.2", "--backoff-cap", "1", "--max-restarts", "8",
+        "--metrics-port", str(metrics_port),
     ]
     print(f"sharded smoke: starting router: {' '.join(cmd)}", flush=True)
     client = ServiceClient.launch(cmd)
@@ -106,6 +115,19 @@ def main() -> int:
     validate = client.validate()
     status = client.status()
     stats = client.stats()
+    # merged scrape after the recovery: every shard's families must
+    # still be present under its label, and the restarted shard must
+    # show its restart in the gauge the supervisor re-seeded
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{metrics_port}/metrics", timeout=10
+    ) as http:
+        scrape = http.read().decode()
+    restart_gauges = {}
+    for line in scrape.splitlines():
+        if line.startswith("repro_restarts{"):
+            labels, value = line.rsplit(" ", 1)
+            shard = labels.split('shard="', 1)[1].split('"', 1)[0]
+            restart_gauges[shard] = int(float(value))
     shutdown = client.shutdown()
     client.close()
 
@@ -128,6 +150,18 @@ def main() -> int:
                         f"{[stats['shards'][str(i)]['completed'] for i in range(WORKERS)]}")
     if not shutdown.get("ok"):
         failures.append(f"shutdown refused: {shutdown}")
+    missing = [
+        str(i) for i in range(WORKERS)
+        if f'repro_requests_total{{shard="{i}"' not in scrape
+    ]
+    if missing:
+        failures.append(f"shards missing from merged scrape: {missing}")
+    if restart_gauges.get(KILL_SHARD, 0) < 1:
+        failures.append(f"killed shard restart gauge: {restart_gauges}")
+    if "repro_router_routed_jobs_total" not in scrape:
+        failures.append("router families missing from merged scrape")
+    if f'repro_journal_appends_total{{shard="{KILL_SHARD}"}}' not in scrape:
+        failures.append("journal metrics missing for killed shard")
     if client.transport.proc.returncode != 0:
         failures.append(f"router exited {client.transport.proc.returncode}")
 
@@ -142,7 +176,8 @@ def main() -> int:
         f"submits and recovered "
         f"(restarts={status['shards'][KILL_SHARD].get('restarts')}), "
         f"{survivor_submits_after_kill} survivor submits during the window, "
-        f"all shards strict-valid",
+        f"all shards strict-valid, merged scrape {len(scrape)}B "
+        f"(restart gauges {restart_gauges})",
         flush=True,
     )
     return 0

@@ -33,6 +33,17 @@ through the in-memory checkpoint document and the hot restore path
 re-verified) — JSON (de)serialization of the same document is covered by
 the checkpoint tests, and the identity check here confirms the hot
 restore was exact.
+
+A fourth case replays the identical stream with a
+:class:`~repro.obs.MetricsRegistry` bound to the session — the
+observability overhead budget.  Its ratio is gated as
+``session_vs_batch_metrics_on`` and the suite additionally checks the
+instrumented run costs at most 5% over the uninstrumented one.  A
+separate informational case drives the same workload through a
+:class:`~repro.service.frontend.ServiceFrontend` (the full protocol
+path, instrumentation always on there) and reports per-op p50/p95/p99
+request latency from the front-end's own histograms into
+``BENCH_service.json``.
 """
 
 from __future__ import annotations
@@ -83,6 +94,7 @@ def _drive_open_loop(
     min_rows: int,
     *,
     restore_at: int | None = None,
+    with_metrics: bool = False,
 ):
     """The open-loop Poisson client: batch-submit a chunk, advance, repeat.
 
@@ -95,12 +107,17 @@ def _drive_open_loop(
     protocol dict per event, the embedded-client mode.  With
     ``restore_at``, the session round-trips through the in-memory
     checkpoint document and a hot restore (``strict=False``) at that
-    chunk boundary.
+    chunk boundary.  ``with_metrics`` binds a fresh registry to the
+    session — the observability-overhead configuration.
     """
     from repro.service.checkpoint import checkpoint_session, restore_session
     from repro.service.session import SchedulingSession
 
     session = SchedulingSession(capacities, seed=seed, compact_min_rows=min_rows)
+    if with_metrics:
+        from repro.obs import MetricsRegistry
+
+        session.bind_metrics(MetricsRegistry())
     t = 0.0
     n = len(specs)
     for k in range(0, n, CHUNK):
@@ -113,6 +130,53 @@ def _drive_open_loop(
         session.advance(t, events=False)
     session.drain()
     return session
+
+
+#: The per-op request-latency percentiles the frontend case reports.
+_LATENCY_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def _drive_frontend(capacities, specs, seed: int, rate: float, min_rows: int):
+    """The same open-loop client through the full protocol path.
+
+    Every chunk goes through :meth:`ServiceFrontend.handle_request` as a
+    wire-shaped ``submit``/``advance`` (then one ``drain``), so the
+    front-end's always-on request-latency histograms fill with realistic
+    per-op samples; the caller reads the percentiles out of
+    ``frontend.metrics``.  Throughput here is informational — it pays
+    JSON-shaped payload lowering the embedded client doesn't.
+    """
+    from repro.service.frontend import ServiceFrontend
+    from repro.service.session import SchedulingSession
+
+    session = SchedulingSession(capacities, seed=seed, compact_min_rows=min_rows)
+    frontend = ServiceFrontend(session, batch_size=len(specs) or 1,
+                               batch_interval=3600.0)
+    t = 0.0
+    n = len(specs)
+    for k in range(0, n, CHUNK):
+        chunk = specs[k:k + CHUNK]
+        for g in session.rng.exponential(1.0 / rate, size=len(chunk)).tolist():
+            t += g
+        resp = frontend.handle_request(
+            {"op": "submit", "jobs": [s.to_dict() for s in chunk]}
+        )
+        assert resp["ok"], resp
+        resp = frontend.handle_request({"op": "advance", "until": t, "events": False})
+        assert resp["ok"], resp
+    resp = frontend.handle_request({"op": "drain"})
+    assert resp["ok"], resp
+    return frontend
+
+
+def _frontend_latency_metrics(frontend) -> dict:
+    """``latency_<op>_<pN>`` seconds from the front-end's histograms."""
+    hist = frontend.metrics.get("repro_request_latency_seconds")
+    out = {}
+    for (op,), bound in hist.items():
+        for name, q in _LATENCY_QUANTILES:
+            out[f"latency_{op}_{name}"] = bound.quantile(q)
+    return out
 
 
 @register_benchmark(
@@ -168,6 +232,24 @@ def service_benchmark(config: BenchConfig) -> BenchPlan:
             warmup=1,
             metrics=lambda value, seconds: {"jobs_per_sec": n / seconds},
         ),
+        BenchCase(
+            name="session:metrics_on",
+            fn=lambda: _drive_open_loop(
+                capacities, specs, config.seed, rate, min_rows,
+                with_metrics=True,
+            ),
+            repeats=repeats,
+            warmup=1,
+            metrics=lambda value, seconds: {"jobs_per_sec": n / seconds},
+        ),
+        BenchCase(
+            name="frontend:protocol",
+            fn=lambda: _drive_frontend(capacities, specs, config.seed, rate,
+                                       min_rows),
+            repeats=repeats,
+            warmup=1,
+            metrics=lambda value, seconds: {"jobs_per_sec": n / seconds},
+        ),
     ]
 
     def checks(by_name):
@@ -175,7 +257,8 @@ def service_benchmark(config: BenchConfig) -> BenchPlan:
 
         c = Checker()
         batch = by_name["batch:compiled"].value
-        for label in ("session:open_loop", "session:checkpointed"):
+        for label in ("session:open_loop", "session:checkpointed",
+                      "session:metrics_on"):
             session = by_name[label].value
             sched = session.to_schedule()
             c.check(
@@ -201,17 +284,33 @@ def service_benchmark(config: BenchConfig) -> BenchPlan:
                 "session must compact at least once under benchmark load "
                 f"(compactions={session.compactions})",
             )
+        # ≤5% relative, with a 5ms absolute floor so quick-config runs
+        # (whole stream ~3ms) don't fail on scheduler timer noise — at
+        # full scale the relative bound is what binds
+        plain = by_name["session:open_loop"].seconds
+        instrumented = by_name["session:metrics_on"].seconds
+        c.check(
+            "metrics_overhead_le_5pct",
+            instrumented <= 1.05 * plain + 0.005,
+            f"metrics-on run took {instrumented:.4f}s vs {plain:.4f}s "
+            f"uninstrumented ({instrumented / plain - 1.0:+.1%})",
+        )
         return c.results
 
     def derived(by_name):
         batch = by_name["batch:compiled"]
         session = by_name["session:open_loop"]
         ckpt = by_name["session:checkpointed"]
-        return {
+        instrumented = by_name["session:metrics_on"]
+        out = {
             "service_throughput": session.metrics["jobs_per_sec"],
             "session_vs_batch": batch.seconds / session.seconds,
             "session_vs_batch_checkpointed": batch.seconds / ckpt.seconds,
+            "session_vs_batch_metrics_on": batch.seconds / instrumented.seconds,
         }
+        # informational: per-op request latency through the full protocol
+        out.update(_frontend_latency_metrics(by_name["frontend:protocol"].value))
+        return out
 
     def tables(by_name):
         rows = [
@@ -236,7 +335,11 @@ def service_benchmark(config: BenchConfig) -> BenchPlan:
                     "Schedules asserted identical event for event, through "
                     "mid-stream compaction; the checkpointed driver restores "
                     "from the in-memory checkpoint document (scheduler state "
-                    "+ client RNG) via the strict=False hot path."
+                    "+ client RNG) via the strict=False hot path.  The "
+                    "metrics_on driver runs the same open loop with a bound "
+                    "metrics registry (overhead gated at 5%); the frontend "
+                    "driver goes through the full ServiceFrontend protocol "
+                    "and feeds the per-op latency percentiles."
                 ),
             )
         ]
@@ -254,6 +357,11 @@ def service_benchmark(config: BenchConfig) -> BenchPlan:
             Gate("session_vs_batch", direction="higher", max_regression=0.20),
             Gate(
                 "session_vs_batch_checkpointed",
+                direction="higher",
+                max_regression=0.20,
+            ),
+            Gate(
+                "session_vs_batch_metrics_on",
                 direction="higher",
                 max_regression=0.20,
             ),

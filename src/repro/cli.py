@@ -324,6 +324,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "'backpressure' (default 15s; covers a "
                           "supervised worker restart)")
 
+    obs = sv.add_argument_group(
+        "observability",
+        "the service always keeps metrics (Prometheus exposition) and "
+        "request spans in-process, reachable via the 'metrics'/'spans' "
+        "ops; --metrics-port additionally serves GET /metrics over HTTP",
+    )
+    obs.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                     help="serve the Prometheus text exposition on "
+                          "http://<host>:PORT/metrics (0 picks a free "
+                          "port; sharded mode serves the merged, "
+                          "shard-labeled scrape from the router)")
+
     return p
 
 
@@ -646,6 +658,23 @@ def _strip_supervise_flags(argv: "list[str]") -> "list[str]":
     return out
 
 
+def _start_metrics_listener(frontend, host: str, port: int):
+    """Bind the ``GET /metrics`` listener for a front-end (single worker
+    or router).  Returns ``(server, lock)``; the lock serializes scrapes
+    against request handling and must be handed to the serve loop."""
+    import threading
+
+    from repro.obs.httpd import start_metrics_server
+
+    lock = threading.Lock()
+    server = start_metrics_server(
+        frontend.render_metrics, host=host, port=port, lock=lock
+    )
+    print(f"serve: metrics on http://{server.host}:{server.port}/metrics",
+          file=sys.stderr, flush=True)
+    return server, lock
+
+
 def _cmd_supervise(args, argv: "Sequence[str] | None") -> int:
     from repro.service.supervisor import BackoffPolicy, supervise
 
@@ -714,6 +743,7 @@ def _cmd_serve_sharded(args, backend) -> int:
     ports = [pick_free_port(args.host) for _ in range(args.workers)]
     procs: "list[subprocess.Popen]" = []
     router = None
+    metrics_server = None
     try:
         for i, port in enumerate(ports):
             cmd = [
@@ -766,6 +796,14 @@ def _cmd_serve_sharded(args, backend) -> int:
               f"{', '.join(map(str, ports))} (policy {args.shard_policy})",
               file=sys.stderr, flush=True)
 
+        lock = None
+        if args.metrics_port is not None:
+            # the router serves the merged scrape (each worker's families
+            # under a shard label); workers don't bind their own port
+            metrics_server, lock = _start_metrics_listener(
+                router, args.host, args.metrics_port
+            )
+
         if args.tcp is not None:
             def announce(port: int) -> None:
                 print(f"serve: routing on {args.host}:{port} "
@@ -773,10 +811,14 @@ def _cmd_serve_sharded(args, backend) -> int:
                       file=sys.stderr, flush=True)
 
             return serve_tcp(router, args.host, args.tcp, on_bound=announce,
-                             max_request_bytes=args.max_request_bytes)
+                             max_request_bytes=args.max_request_bytes,
+                             lock=lock)
         return serve_stdio(router, sys.stdin, sys.stdout,
-                           max_request_bytes=args.max_request_bytes)
+                           max_request_bytes=args.max_request_bytes,
+                           lock=lock)
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
         if router is not None:
             if not router.closed:
                 # the loop ended without a shutdown op (EOF): stop workers
@@ -926,17 +968,29 @@ def _cmd_serve(args, argv: "Sequence[str] | None" = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if args.tcp is not None:
-        def announce(port: int) -> None:
-            print(f"serve: listening on {args.host}:{port} "
-                  f"(batch {args.batch_size} jobs / {args.batch_interval}s)",
-                  file=sys.stderr, flush=True)
+    metrics_server = None
+    lock = None
+    if args.metrics_port is not None:
+        metrics_server, lock = _start_metrics_listener(
+            frontend, args.host, args.metrics_port
+        )
+    try:
+        if args.tcp is not None:
+            def announce(port: int) -> None:
+                print(f"serve: listening on {args.host}:{port} "
+                      f"(batch {args.batch_size} jobs / {args.batch_interval}s)",
+                      file=sys.stderr, flush=True)
 
-        code = serve_tcp(frontend, args.host, args.tcp, on_bound=announce,
-                         max_request_bytes=args.max_request_bytes)
-    else:
-        code = serve_stdio(frontend, sys.stdin, sys.stdout,
-                           max_request_bytes=args.max_request_bytes)
+            code = serve_tcp(frontend, args.host, args.tcp, on_bound=announce,
+                             max_request_bytes=args.max_request_bytes,
+                             lock=lock)
+        else:
+            code = serve_stdio(frontend, sys.stdin, sys.stdout,
+                               max_request_bytes=args.max_request_bytes,
+                               lock=lock)
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
     if args.trace:
         write_trace(frontend.session, args.trace)
         print(f"serve: session trace written to {args.trace}", file=sys.stderr)

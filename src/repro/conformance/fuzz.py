@@ -640,9 +640,15 @@ def drive_session_faithfully(
     through checkpoint → JSON → restore.  ``batch`` optionally supplies the
     already-computed batch schedule (it anchors the advance horizons).
     Returns the drained session.
+
+    The session runs with a metrics registry bound (and rebound across
+    the checkpoint round-trip, exactly as ``restore`` does in the
+    service), so the batch-identity assertion downstream also proves the
+    instrumentation is observation-only.
     """
     import numpy as np
 
+    from repro.obs import MetricsRegistry
     from repro.service.session import SchedulingSession
 
     if batch is None:
@@ -651,7 +657,9 @@ def drive_session_faithfully(
     specs = service_specs(inst, allocation)
     n = len(specs)
     rng = np.random.default_rng(seed)
+    registry = MetricsRegistry()
     session = SchedulingSession(inst.pool.capacities, **_FUZZ_COMPACTION)
+    session.bind_metrics(registry)
     ckpt_at = int(rng.integers(0, n + 1)) if checkpoint and n else None
     k = 0
     while k < n:
@@ -660,6 +668,7 @@ def drive_session_faithfully(
         k += size
         if ckpt_at is not None and k >= ckpt_at:
             session = _roundtrip_restore(session)
+            session.bind_metrics(registry)
             ckpt_at = None
         if k < n:
             horizon = min(batch.placements[order[i]].start for i in range(k, n))

@@ -1,0 +1,85 @@
+"""A tiny stdlib HTTP listener for ``GET /metrics``.
+
+``repro serve --metrics-port P`` starts one of these next to the serving
+loop: a daemon-threaded :class:`http.server.ThreadingHTTPServer` whose
+only route is ``GET /metrics`` → the rendered Prometheus text.  The
+render callable runs under the same lock that serializes protocol
+requests, so a scrape can never observe (or race) a half-applied
+operation — the scrape thread and the serving loop mutate nothing
+concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+__all__ = ["MetricsServer", "start_metrics_server"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """A running ``/metrics`` endpoint; ``close()`` stops it."""
+
+    def __init__(self, server: ThreadingHTTPServer, thread: threading.Thread) -> None:
+        self._server = server
+        self._thread = thread
+        self.host, self.port = server.server_address[:2]
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def start_metrics_server(
+    render: Callable[[], str],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    lock: "threading.Lock | None" = None,
+) -> MetricsServer:
+    """Serve ``GET /metrics`` (= ``render()`` under ``lock``) on a daemon
+    thread; ``port=0`` binds an ephemeral port (read it back from
+    ``.port``).  Any other path answers 404; a render failure answers
+    500 without killing the listener."""
+    guard = lock if lock is not None else threading.Lock()
+
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path.split("?", 1)[0] != "/metrics":
+                self.send_error(404, "only /metrics is served here")
+                return
+            try:
+                with guard:
+                    body = render().encode("utf-8")
+            except Exception as exc:  # never kill the listener on a bug
+                self.send_error(500, f"metrics render failed: {type(exc).__name__}")
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args) -> None:  # silence per-request stderr noise
+            pass
+
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.daemon_threads = True
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.05},
+        name="metrics-httpd",
+        daemon=True,
+    )
+    thread.start()
+    return MetricsServer(server, thread)

@@ -12,7 +12,10 @@ fair sharing across tenants.  :mod:`repro.service.router` shards tenants
 across N worker processes (``repro serve --workers N``) behind the same
 protocol, :mod:`repro.service.wire` defines the versioned envelope and
 the stable error-code vocabulary, and :mod:`repro.service.client` is the
-typed Python client.
+typed Python client.  Every front-end is instrumented through
+:mod:`repro.obs` (metrics registry, Prometheus exposition, request
+spans): the ``metrics``/``spans`` ops expose them on the wire and
+``repro serve --metrics-port`` over HTTP.
 """
 
 from repro.service.chaos import ChaosCrash, ChaosInjector

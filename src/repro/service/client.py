@@ -362,5 +362,40 @@ class ServiceClient:
     def prune(self) -> dict[str, Any]:
         return self.request("prune")
 
+    def metrics(self) -> dict[str, Any]:
+        """The service's metrics: ``"text"`` is the Prometheus exposition,
+        ``"families"`` the structured dump (a sharded router merges every
+        reachable worker under ``shard`` labels)."""
+        return self.request("metrics")
+
+    def metrics_text(self) -> str:
+        """Just the rendered Prometheus exposition."""
+        return self.metrics()["text"]
+
+    def spans(
+        self, *, for_rid: Any = None, limit: "int | None" = None
+    ) -> dict[str, Any]:
+        """The request-span ring: ``"spans"`` (oldest first), ``"count"``
+        (currently retained) and ``"recorded"`` (lifetime).  ``for_rid``
+        filters to the spans of one wire request; ``limit`` keeps only
+        the newest N after filtering."""
+        fields: dict[str, Any] = {}
+        if for_rid is not None:
+            fields["for_rid"] = for_rid
+        if limit is not None:
+            fields["limit"] = limit
+        return self.request("spans", **fields)
+
+    def dump_spans(
+        self, path: str, *, for_rid: Any = None, limit: "int | None" = None
+    ) -> int:
+        """Write the span ring to ``path`` as JSON lines (one span per
+        line); returns how many spans were written."""
+        spans = self.spans(for_rid=for_rid, limit=limit)["spans"]
+        with open(path, "w", encoding="utf-8") as fh:
+            for span in spans:
+                fh.write(json.dumps(span) + "\n")
+        return len(spans)
+
     def shutdown(self) -> dict[str, Any]:
         return self.request("shutdown")

@@ -47,6 +47,33 @@ class FairQueue:
         self._vfloor = 0.0  # virtual admission time of the last drained job
         self._seq = 0  # global arrival counter (fifo mode ordering)
         self._arrival: dict[Any, int] = {}
+        self._m_depth = None  # bound gauges (None = uninstrumented)
+        self._m_lag = None
+
+    def bind_metrics(self, registry, prefix: str = "repro") -> None:
+        """Publish per-tenant queue depth and stride lag as gauges.
+
+        ``prefix`` namespaces the family names so the router's global
+        queue (``repro_router_*``) and a worker's local queue
+        (``repro_*``) stay distinct families when merged in one scrape.
+        """
+        self._m_depth = registry.gauge(
+            f"{prefix}_queue_depth",
+            "Buffered submissions per tenant awaiting admission",
+            labels=("tenant",),
+        )
+        self._m_lag = registry.gauge(
+            f"{prefix}_queue_stride_lag",
+            "Tenant virtual admission time minus the queue's virtual floor",
+            labels=("tenant",),
+        )
+        for t in self.tenants.values():
+            self._m_depth.set(len(t.buffer), tenant=t.name)
+            self._m_lag.set(t.vtime - self._vfloor, tenant=t.name)
+
+    def _observe(self, t: Tenant) -> None:
+        self._m_depth.set(len(t.buffer), tenant=t.name)
+        self._m_lag.set(t.vtime - self._vfloor, tenant=t.name)
 
     def tenant(self, name: str) -> Tenant:
         t = self.tenants.get(name)
@@ -78,6 +105,8 @@ class FairQueue:
         self._arrival[spec.id] = self._seq
         self._seq += 1
         self.buffered += 1
+        if self._m_depth is not None:
+            self._observe(t)
 
     def buffered_ids(self) -> set[Any]:
         return {spec.id for t in self.tenants.values() for spec in t.buffer}
@@ -108,6 +137,9 @@ class FairQueue:
                     active.remove(t)
         self.buffered = 0
         self._arrival.clear()
+        if self._m_depth is not None:
+            for t in self.tenants.values():
+                self._observe(t)
         return out
 
     def remove_ids(self, gone: Iterable[Any]) -> list[Any]:
@@ -121,6 +153,8 @@ class FairQueue:
                     removed.append(spec.id)
                     self.buffered -= 1
                     self._arrival.pop(spec.id, None)
+            if self._m_depth is not None:
+                self._observe(t)
         return removed
 
     def cascade(self, gone: set[Any]) -> set[Any]:

@@ -33,7 +33,17 @@ Requests (``op`` selects; everything else is the payload)::
     {"op": "status"} · {"op": "stats"} · {"op": "validate"} · {"op": "prune"}
     {"op": "checkpoint", "path": "s.json"} · {"op": "restore", "path": "s.json"}
     {"op": "trace", "path": "t.json"}
+    {"op": "metrics"}                     Prometheus text + family dump
+    {"op": "spans", "for_rid": 7}         the request-span ring (see repro.obs)
     {"op": "shutdown"}
+
+**Observability.**  Every front-end owns a
+:class:`~repro.obs.MetricsRegistry` (request latency histograms per op,
+admission outcomes, queue depths, journal timings, …) and a
+:class:`~repro.obs.SpanLog` (``request`` / ``admit`` / ``journal-commit``
+/ ``dispatch`` phases keyed by the wire ``rid``); the ``metrics`` op
+returns the rendered exposition, and ``repro serve --metrics-port P``
+additionally serves it over ``GET /metrics``.
 
 Each request may be sent bare (wire v1) or wrapped in the versioned
 envelope ``{"v": 2, "rid": ..., "op": ...}`` (wire v2, see
@@ -52,6 +62,7 @@ import threading
 import time
 from typing import Any, Callable, TextIO
 
+from repro.obs import MetricsRegistry, SpanLog, process_rss_bytes
 from repro.service.chaos import ChaosCrash
 from repro.service.checkpoint import (
     checkpoint_session,
@@ -113,6 +124,8 @@ class ServiceFrontend:
         max_pending: "int | None" = None,
         durable: "JournaledSession | None" = None,
         admission: str = "fair",
+        metrics: "MetricsRegistry | None" = None,
+        spans: "SpanLog | None" = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch size must be >= 1, got {batch_size}")
@@ -137,6 +150,56 @@ class ServiceFrontend:
         self.closed = False
         self.queue = FairQueue(fifo=admission == "fifo")
         self._stamps: dict[Any, float] = {}  # wall-clock enqueue stamp per buffered job
+        # -- observability (always on at the service tier; the *batch*
+        # engine stays uninstrumented because sessions only record once
+        # bound).  The registry/span log may be shared (tests, benches).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else SpanLog()
+        self._rid: Any = None  # rid of the request being served, for spans
+        self._cur_op: "str | None" = None
+        self._started = self.clock()
+        m = self.metrics
+        self._m_requests = m.counter(
+            "repro_requests_total", "Protocol requests handled", labels=("op",)
+        )
+        self._m_errors = m.counter(
+            "repro_request_errors_total",
+            "Requests answered with a stable error code",
+            labels=("op", "code"),
+        )
+        self._m_latency = m.histogram(
+            "repro_request_latency_seconds",
+            "Wall-clock request handling latency",
+            labels=("op",),
+        )
+        self._m_outcomes = m.counter(
+            "repro_admission_outcomes_total",
+            "Flush-time admission outcomes (admitted / admission_failed / backpressure)",
+            labels=("outcome",),
+        )
+        # the supervisor's lifetime restart count, seeded once from the
+        # env var it exports into each child — the gauge is the source
+        # the status/stats fields read from now on
+        self._restarts = _env_restarts()
+        m.gauge(
+            "repro_restarts",
+            "Supervisor restarts of this worker (boot-time seed)",
+        ).set(self._restarts)
+        self._m_uptime = m.gauge(
+            "repro_uptime_seconds", "Seconds since this front-end was built"
+        )
+        self._m_rss = m.gauge(
+            "repro_process_rss_bytes", "Resident set size of this process"
+        )
+        m.gauge(
+            "repro_backend_info",
+            "Active dispatch backend (constant 1, name in the label)",
+            labels=("backend",),
+        ).set(1, backend=self.session.backend_name)
+        self.queue.bind_metrics(m)
+        self.session.bind_metrics(m)
+        if durable is not None:
+            durable.bind_observability(m, self.spans, rid_provider=lambda: self._rid)
 
     @property
     def _mut(self) -> "JournaledSession | SchedulingSession":
@@ -183,6 +246,7 @@ class ServiceFrontend:
         self._stamps.clear()
         if not pending:
             return [], errors
+        s0 = self.spans.now()
         durable = self.durable
         if durable is not None and durable.chaos is not None:
             durable.chaos.maybe_crash("op-begin")
@@ -217,6 +281,14 @@ class ServiceFrontend:
                 pending = [s for s, _ in deferred]
         if durable is not None and admitted_specs:
             durable.record_submit(admitted_specs)
+        if admitted_specs:
+            self._m_outcomes.inc(len(admitted_specs), outcome="admitted")
+        if errors:
+            self._m_outcomes.inc(len(errors), outcome=ADMISSION_FAILED)
+        self.spans.record(
+            self._cur_op or "flush", "admit", s0, self.spans.now() - s0,
+            rid=self._rid,
+        )
         return [s.id for s in admitted_specs], errors
 
     # ------------------------------------------------------------------
@@ -238,7 +310,24 @@ class ServiceFrontend:
         body, versioned, rid, err = unwrap_request(req)
         if err is not None:
             return wrap_response(err, versioned, rid)
-        return wrap_response(self._dispatch(body), versioned, rid)
+        op = body.get("op") if isinstance(body, dict) else None
+        label = op if isinstance(op, str) else "invalid"
+        self._rid = rid
+        self._cur_op = label
+        t0 = time.perf_counter()
+        s0 = self.spans.now()
+        try:
+            resp = self._dispatch(body)
+        finally:
+            self._rid = None
+            self._cur_op = None
+        dur = time.perf_counter() - t0
+        self._m_requests.inc(op=label)
+        self._m_latency.observe(dur, op=label)
+        if resp.get("ok") is False:
+            self._m_errors.inc(op=label, code=str(resp.get("error", "internal")))
+        self.spans.record(label, "request", s0, self.spans.now() - s0, rid=rid)
+        return wrap_response(resp, versioned, rid)
 
     def _dispatch(self, req: Any) -> dict[str, Any]:
         if not isinstance(req, dict) or "op" not in req:
@@ -303,6 +392,7 @@ class ServiceFrontend:
         resp: dict[str, Any] = {"buffered": self.queue.buffered}
         if refused:
             resp["backpressure"] = refused
+            self._m_outcomes.inc(len(refused), outcome="backpressure")
         if self._batch_due():
             admitted, errors = self.flush()
             resp.update({"admitted": admitted, "buffered": 0})
@@ -351,7 +441,10 @@ class ServiceFrontend:
     def _op_advance(self, req: dict[str, Any]) -> dict[str, Any]:
         _, errors = self.flush()
         want_events = req.get("events", True)
+        s0 = self.spans.now()
         out = self._mut.advance(float(req["until"]), events=bool(want_events))
+        self.spans.record("advance", "dispatch", s0, self.spans.now() - s0,
+                          rid=self._rid)
         resp: dict[str, Any] = {"clock": self.session.now}
         if want_events:
             resp["events"] = out
@@ -363,7 +456,10 @@ class ServiceFrontend:
 
     def _op_drain(self, req: dict[str, Any]) -> dict[str, Any]:
         _, errors = self.flush()
+        s0 = self.spans.now()
         self._mut.drain()
+        self.spans.record("drain", "dispatch", s0, self.spans.now() - s0,
+                          rid=self._rid)
         return self._with_flush_errors(
             {
                 "clock": self.session.now,
@@ -378,8 +474,12 @@ class ServiceFrontend:
         status["buffered"] = self.queue.buffered
         status["tenants"] = self.queue.describe()
         status["pid"] = os.getpid()
-        # the supervisor exports its restart count into the worker's env
-        status["restarts"] = _restart_count()
+        # byte-compatible with the old env-var read: the gauge was seeded
+        # from the same variable when this front-end was built
+        status["restarts"] = self._restarts
+        status["uptime_seconds"] = self.clock() - self._started
+        status["rss_bytes"] = process_rss_bytes()
+        status["backend"] = self.session.backend_name
         if self.durable is not None:
             status["journal"] = {
                 "path": self.durable.journal.path,
@@ -412,7 +512,7 @@ class ServiceFrontend:
             "journal_records": (
                 self.durable.journal.appended if self.durable is not None else 0
             ),
-            "restarts": _restart_count(),
+            "restarts": self._restarts,
         }
 
     def _op_tenant(self, req: dict[str, Any]) -> dict[str, Any]:
@@ -465,6 +565,9 @@ class ServiceFrontend:
             # durability follows the new lineage: snapshot it, rotate
             self.durable.adopt(session)
         self.session = session
+        # metrics binding is runtime wiring, never checkpointed: rebind
+        # the adopted session so the same registry families keep counting
+        session.bind_metrics(self.metrics)
         return {
             "clock": self.session.now,
             "jobs": len(self.session.gi.order) + len(self.session.archive),
@@ -482,13 +585,42 @@ class ServiceFrontend:
         return {"dropped": self._mut.prune_events(),
                 "events": len(self.session.events)}
 
+    def sync_gauges(self) -> None:
+        """Refresh the sampled-on-read gauges (uptime, RSS, clock)."""
+        self._m_uptime.set(self.clock() - self._started)
+        self._m_rss.set(process_rss_bytes())
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition (gauges refreshed first) — what
+        ``GET /metrics`` and the ``metrics`` op both serve."""
+        self.sync_gauges()
+        return self.metrics.render()
+
+    def _op_metrics(self, req: dict[str, Any]) -> dict[str, Any]:
+        self.sync_gauges()
+        return {"text": self.metrics.render(), "families": self.metrics.dump()}
+
+    def _op_spans(self, req: dict[str, Any]) -> dict[str, Any]:
+        limit = req.get("limit")
+        if limit is not None:
+            if isinstance(limit, bool) or not isinstance(limit, int) or limit < 0:
+                raise ValueError(f"limit must be a non-negative integer, got {limit!r}")
+        return {
+            "spans": self.spans.snapshot(rid=req.get("for_rid"), limit=limit),
+            "count": len(self.spans),
+            "recorded": self.spans.recorded,
+        }
+
     def _op_shutdown(self, req: dict[str, Any]) -> dict[str, Any]:
         self.closed = True
         return {"clock": self.session.now}
 
 
-def _restart_count() -> int:
-    """The supervisor's restart count, exported into the worker's env."""
+def _env_restarts() -> int:
+    """The supervisor's lifetime restart count, read once at boot from
+    the env var it exports into each child (see
+    :mod:`repro.service.supervisor`) and republished as the
+    ``repro_restarts`` gauge."""
     try:
         return int(os.environ.get(RESTARTS_ENV, "0"))
     except ValueError:
@@ -527,6 +659,7 @@ def serve_stdio(
     out_stream: TextIO,
     *,
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    lock: "threading.Lock | None" = None,
 ) -> int:
     """One request per line on ``in_stream``, one response per line out.
 
@@ -534,7 +667,9 @@ def serve_stdio(
     lines are ignored; a malformed line produces an error response and
     the loop continues.  A line longer than ``max_request_bytes`` is
     discarded up to its newline and answered with an error — adversarial
-    input bounds memory instead of growing it.
+    input bounds memory instead of growing it.  ``lock``, when given, is
+    held around each request — the metrics HTTP listener shares it so a
+    scrape never reads the registry mid-mutation.
     """
     while True:
         line = in_stream.readline(max_request_bytes + 1)
@@ -549,7 +684,11 @@ def serve_stdio(
             line = line.strip()
             if not line:
                 continue
-            resp = _handle_line(frontend, line)
+            if lock is not None:
+                with lock:
+                    resp = _handle_line(frontend, line)
+            else:
+                resp = _handle_line(frontend, line)
         try:
             out_stream.write(json.dumps(resp) + "\n")
             out_stream.flush()
@@ -573,22 +712,26 @@ def serve_tcp(
     ready: "threading.Event | None" = None,
     on_bound: "Callable[[int], None] | None" = None,
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    lock: "threading.Lock | None" = None,
 ) -> int:
     """Serve the line protocol on a TCP socket until a ``shutdown`` op.
 
     Connections are handled concurrently but requests are serialized
-    through one lock — the session is single-threaded state.  ``on_bound``
-    is called with the bound port once listening (with ``port=0`` this is
-    the only way anyone learns which port the OS picked); ``ready``
-    (tests) is set at the same moment, with the port published as
-    ``ready.port``.  Returns 0.
+    through one lock — the session is single-threaded state.  Pass
+    ``lock`` to share that serialization with an external reader (the
+    metrics HTTP listener); by default a private one is created.
+    ``on_bound`` is called with the bound port once listening (with
+    ``port=0`` this is the only way anyone learns which port the OS
+    picked); ``ready`` (tests) is set at the same moment, with the port
+    published as ``ready.port``.  Returns 0.
 
     Errors are isolated per connection: an oversized line is answered
     with an error, undecodable bytes are answered with an error, and a
     mid-request disconnect closes that one connection — the server and
     every other connection live on.
     """
-    lock = threading.Lock()
+    if lock is None:
+        lock = threading.Lock()
 
     class Handler(socketserver.StreamRequestHandler):
         def handle(self) -> None:

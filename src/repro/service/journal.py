@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.service.checkpoint import load_session, save_session
@@ -134,6 +135,27 @@ class Journal:
         self.chaos = chaos
         self.appended = 0  # records since open/rotate: the auto-checkpoint counter
         self._fh = None
+        self._m_appends = None  # bound instruments (None = uninstrumented)
+        self._m_append_s = None
+        self._m_fsync_s = None
+        self._m_rotations = None
+
+    def bind_metrics(self, registry) -> None:
+        """Publish append/fsync timings and rotation counts (opt-in; the
+        fuzz and hypothesis harnesses run uninstrumented)."""
+        self._m_appends = registry.counter(
+            "repro_journal_appends_total", "Write-ahead records appended"
+        )
+        self._m_append_s = registry.histogram(
+            "repro_journal_append_seconds",
+            "Full journal append latency (serialize + write + flush + fsync)",
+        )
+        self._m_fsync_s = registry.histogram(
+            "repro_journal_fsync_seconds", "fsync portion of each journal append"
+        )
+        self._m_rotations = registry.counter(
+            "repro_journal_rotations_total", "Journal rotations after durable snapshots"
+        )
 
     # ------------------------------------------------------------------
     def _open(self):
@@ -162,11 +184,17 @@ class Journal:
         fh.write(text)
         fh.flush()
         if self.fsync:
-            os.fsync(fh.fileno())
+            if self._m_fsync_s is not None:
+                t0 = time.perf_counter()
+                os.fsync(fh.fileno())
+                self._m_fsync_s.observe(time.perf_counter() - t0)
+            else:
+                os.fsync(fh.fileno())
 
     def append(self, record: Mapping[str, Any]) -> None:
         """Durably append one record; returns only once it would survive
         a crash (write + flush + fsync) — the acknowledgment barrier."""
+        t0 = time.perf_counter() if self._m_append_s is not None else 0.0
         fh = self._open()
         line = json.dumps(record, **_COMPACT) + "\n"
         chaos = self.chaos
@@ -179,6 +207,9 @@ class Journal:
                 chaos.crash("journal-torn")
         self._write(line)
         self.appended += 1
+        if self._m_append_s is not None:
+            self._m_append_s.observe(time.perf_counter() - t0)
+            self._m_appends.inc()
 
     def rotate(self, base_seq: int) -> None:
         """Atomically reset to a fresh header after a durable snapshot at
@@ -193,6 +224,8 @@ class Journal:
             fsync=self.fsync,
         )
         self.appended = 0
+        if self._m_rotations is not None:
+            self._m_rotations.inc()
 
     def close(self) -> None:
         if self._fh is not None:
@@ -255,6 +288,26 @@ class JournaledSession:
         self.recovered = False
         self.replayed = 0
         self.deduped = 0
+        self._spans = None  # bound span log (None = untraced)
+        self._span_rid = None  # callable giving the in-flight request's rid
+
+    def bind_observability(self, registry, spans=None, rid_provider=None) -> None:
+        """Wire metrics (and optionally a span log) through the durable
+        layer: journal append/fsync instruments, recovery replay/dedup
+        gauges, and a ``journal-commit`` span per acknowledged record
+        (keyed by ``rid_provider()`` — the front-end supplies the rid of
+        the request being served — falling back to the record's seq)."""
+        self.journal.bind_metrics(registry)
+        registry.gauge(
+            "repro_journal_replayed_records",
+            "Journal records replayed by the last recovery",
+        ).set(self.replayed)
+        registry.gauge(
+            "repro_journal_deduped_records",
+            "Journal records the last recovery's snapshot already covered",
+        ).set(self.deduped)
+        self._spans = spans
+        self._span_rid = rid_provider
 
     # ------------------------------------------------------------------
     # recovery
@@ -341,7 +394,15 @@ class JournaledSession:
         rec: dict[str, Any] = {"seq": session.applied_seq, "op": op}
         rec.update(payload)
         rec["rng"] = session.rng.bit_generator.state
-        self.journal.append(rec)
+        spans = self._spans
+        if spans is not None:
+            rid = self._span_rid() if self._span_rid is not None else None
+            t0 = spans.now()
+            self.journal.append(rec)
+            spans.record(op, "journal-commit", t0, spans.now() - t0,
+                         rid=rid if rid is not None else session.applied_seq)
+        else:
+            self.journal.append(rec)
         if (
             self.checkpoint_every is not None
             and self.journal.appended >= self.checkpoint_every

@@ -36,9 +36,12 @@ cross-shard tenant weights therefore hold globally.
 
 **Fan-out and failover.**  Tenant-bound ops route to one worker;
 ``advance``/``drain``/``stats``/``status``/``validate``/``checkpoint``/
-``trace``/``prune``/``shutdown`` broadcast in parallel and merge the
-responses (rid correlation on the worker wire makes the merge safe
-across reconnects).  Each worker journals to its own ``--journal`` path,
+``trace``/``prune``/``metrics``/``spans``/``shutdown`` broadcast in
+parallel and merge the responses (rid correlation on the worker wire
+makes the merge safe across reconnects).  The ``metrics`` merge
+re-labels each worker's families under a leading ``shard`` label and
+appends the router's own ``repro_router_*`` families, so one scrape
+covers the whole topology.  Each worker journals to its own ``--journal`` path,
 so a SIGKILLed shard is restarted by its supervisor and recovers from
 its own snapshot + journal suffix while the other shards keep serving;
 while a shard is down, ops that need it fail fast with the
@@ -58,6 +61,13 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
+from repro.obs import (
+    MetricsRegistry,
+    SpanLog,
+    merge_dumps,
+    process_rss_bytes,
+    render_dump,
+)
 from repro.service.fairshare import FairQueue
 from repro.service.session import JobSpec
 from repro.service.wire import (
@@ -354,6 +364,8 @@ class Router:
         clock: Callable[[], float] = time.monotonic,
         max_pending: "int | None" = None,
         call_deadline: float = 15.0,
+        metrics: "MetricsRegistry | None" = None,
+        spans: "SpanLog | None" = None,
     ) -> None:
         if not workers:
             raise ValueError("a router needs at least one worker")
@@ -378,6 +390,50 @@ class Router:
         self._pool = ThreadPoolExecutor(
             max_workers=len(workers), thread_name_prefix="shard-io"
         )
+        # -- observability: every router family is ``repro_router_*`` so
+        # a merged scrape (worker ``repro_*`` families re-labeled with
+        # ``shard``) can never collide with the router's own
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else SpanLog()
+        self._rid: Any = None
+        self._cur_op: "str | None" = None
+        self._started = self.clock()
+        m = self.metrics
+        self._m_requests = m.counter(
+            "repro_router_requests_total",
+            "Protocol requests handled at the routing tier",
+            labels=("op",),
+        )
+        self._m_errors = m.counter(
+            "repro_router_request_errors_total",
+            "Router requests answered with a stable error code",
+            labels=("op", "code"),
+        )
+        self._m_latency = m.histogram(
+            "repro_router_request_latency_seconds",
+            "Wall-clock request handling latency at the routing tier",
+            labels=("op",),
+        )
+        self._m_routed = m.counter(
+            "repro_router_routed_jobs_total",
+            "Jobs admitted and forwarded, per shard",
+            labels=("shard",),
+        )
+        self._m_unavailable = m.counter(
+            "repro_router_shard_unavailable_total",
+            "Calls that failed because a shard stayed unreachable",
+            labels=("shard",),
+        )
+        m.gauge("repro_router_workers", "Worker shards behind this router").set(
+            len(workers)
+        )
+        self._m_uptime = m.gauge(
+            "repro_router_uptime_seconds", "Seconds since this router was built"
+        )
+        self._m_rss = m.gauge(
+            "repro_router_process_rss_bytes", "Resident set size of the router process"
+        )
+        self.queue.bind_metrics(m, prefix="repro_router")
 
     # -- lifecycle -----------------------------------------------------
     def replace_worker(self, shard: int, worker: Any) -> None:
@@ -525,8 +581,14 @@ class Router:
             shard: {"op": "submit", "jobs": [s.to_dict() for s in specs]}
             for shard, specs in per_shard.items()
         }
+        s0 = self.spans.now()
         responses, failures = self._fan_out_tolerant(requests)
+        self.spans.record(
+            self._cur_op or "flush", "handoff", s0, self.spans.now() - s0,
+            rid=self._rid,
+        )
         for shard in failures:
+            self._m_unavailable.inc(shard=str(shard))
             # the dead shard's jobs come back as explicit backpressure
             # records so the client resubmits them (the worker's journal
             # dedups any that actually landed before the crash); jobs
@@ -562,6 +624,7 @@ class Router:
                 admitted.append(jid)
                 self._placed[jid] = shard
                 self._loads[shard] += 1
+                self._m_routed.inc(shard=str(shard))
         return admitted, errors
 
     # -- protocol ------------------------------------------------------
@@ -570,7 +633,24 @@ class Router:
         body, versioned, rid, err = unwrap_request(req)
         if err is not None:
             return wrap_response(err, versioned, rid)
-        return wrap_response(self._dispatch(body), versioned, rid)
+        op = body.get("op") if isinstance(body, dict) else None
+        label = op if isinstance(op, str) else "invalid"
+        self._rid = rid
+        self._cur_op = label
+        t0 = time.perf_counter()
+        s0 = self.spans.now()
+        try:
+            resp = self._dispatch(body)
+        finally:
+            self._rid = None
+            self._cur_op = None
+        dur = time.perf_counter() - t0
+        self._m_requests.inc(op=label)
+        self._m_latency.observe(dur, op=label)
+        if resp.get("ok") is False:
+            self._m_errors.inc(op=label, code=str(resp.get("error", "internal")))
+        self.spans.record(label, "route", s0, self.spans.now() - s0, rid=rid)
+        return wrap_response(resp, versioned, rid)
 
     def _dispatch(self, req: Any) -> dict[str, Any]:
         if not isinstance(req, dict) or "op" not in req:
@@ -744,6 +824,8 @@ class Router:
             "workers": len(self.workers),
             "policy": self.policy.name,
             "restarts": sum(r.get("restarts", 0) for r in responses.values()),
+            "uptime_seconds": self.clock() - self._started,
+            "rss_bytes": process_rss_bytes(),
             "shards": {str(i): responses[i] for i in sorted(responses)},
         }
 
@@ -854,6 +936,72 @@ class Router:
         return self._with_flush_errors(
             {"traces": [responses[i]["trace"] for i in sorted(responses)]}, errors
         )
+
+    def sync_gauges(self) -> None:
+        """Refresh the router's sampled-on-read gauges."""
+        self._m_uptime.set(self.clock() - self._started)
+        self._m_rss.set(process_rss_bytes())
+
+    def _merged_metrics(self) -> "tuple[str, list[dict[str, Any]]]":
+        """One scrape for the whole topology: every reachable worker's
+        families re-labeled under ``shard``, plus the router's own
+        ``repro_router_*`` families.  A shard that is down is counted in
+        ``repro_router_shard_unavailable_total`` and simply absent from
+        the merge — a scrape never head-of-line blocks on a dead worker.
+        """
+        responses, failures = self._fan_out_tolerant(
+            {i: {"op": "metrics"} for i in range(len(self.workers))}
+        )
+        for shard in failures:
+            self._m_unavailable.inc(shard=str(shard))
+        tagged = [
+            (str(shard), responses[shard]["families"])
+            for shard in sorted(responses)
+            if responses[shard].get("ok", True)
+        ]
+        self.sync_gauges()
+        families = merge_dumps(tagged, label="shard") + self.metrics.dump()
+        return render_dump(families), families
+
+    def render_metrics(self) -> str:
+        """What ``GET /metrics`` serves in sharded mode (duck-typed with
+        :meth:`ServiceFrontend.render_metrics`)."""
+        return self._merged_metrics()[0]
+
+    def _op_metrics(self, req: dict[str, Any]) -> dict[str, Any]:
+        text, families = self._merged_metrics()
+        return {"text": text, "families": families}
+
+    def _op_spans(self, req: dict[str, Any]) -> dict[str, Any]:
+        limit = req.get("limit")
+        if limit is not None:
+            if isinstance(limit, bool) or not isinstance(limit, int) or limit < 0:
+                raise ValueError(f"limit must be a non-negative integer, got {limit!r}")
+        fwd: dict[str, Any] = {"op": "spans"}
+        if "for_rid" in req:
+            fwd["for_rid"] = req["for_rid"]
+        if limit is not None:
+            fwd["limit"] = limit
+        responses, failures = self._fan_out_tolerant(
+            {i: dict(fwd) for i in range(len(self.workers))}
+        )
+        for shard in failures:
+            self._m_unavailable.inc(shard=str(shard))
+        # the router's own spans first (tagged "router"), then each
+        # shard's in shard order; clock bases differ across processes,
+        # so spans are grouped by origin rather than merged by t0
+        spans = [
+            dict(s, shard="router")
+            for s in self.spans.snapshot(rid=req.get("for_rid"), limit=limit)
+        ]
+        recorded = self.spans.recorded
+        for shard in sorted(responses):
+            resp = responses[shard]
+            if not resp.get("ok", True):
+                continue
+            spans.extend(dict(s, shard=shard) for s in resp.get("spans", ()))
+            recorded += resp.get("recorded", 0)
+        return {"spans": spans, "count": len(spans), "recorded": recorded}
 
     def _op_prune(self, req: dict[str, Any]) -> dict[str, Any]:
         responses = self._broadcast({"op": "prune"})

@@ -263,6 +263,58 @@ class SchedulingSession:
         #: next value; checkpoints carry it so recovery can skip journal
         #: records the snapshot already contains.
         self.applied_seq = 0
+        #: metrics registry (``None`` = uninstrumented, the default; the
+        #: batch engine and plain embedded sessions never pay for
+        #: observability).  Runtime-only wiring — checkpoints do not
+        #: persist it; front-ends rebind after a restore.
+        self.metrics = None
+
+    def bind_metrics(self, registry) -> None:
+        """Opt in to scheduler-side metrics on the given
+        :class:`~repro.obs.MetricsRegistry`.
+
+        Registers the session's counter/gauge families (idempotent per
+        registry) and keeps them updated from the verbs: jobs
+        submitted / dispatched / completed / cancelled, clock advances,
+        compactions, and the virtual-clock gauge.  Counters are
+        registry-level, so rebinding after checkpoint/restore keeps
+        them monotone across session lineages.
+        """
+        self.metrics = registry
+        self._m_submitted = registry.counter(
+            "repro_jobs_submitted_total", "Jobs admitted into the session"
+        )
+        self._m_dispatched = registry.counter(
+            "repro_jobs_dispatched_total", "Jobs started by the dispatch loop"
+        )
+        self._m_completed = registry.counter(
+            "repro_jobs_completed_total", "Jobs run to completion"
+        )
+        self._m_cancelled = registry.counter(
+            "repro_jobs_cancelled_total", "Jobs withdrawn by cancellation"
+        )
+        self._m_advances = registry.counter(
+            "repro_clock_advances_total", "advance()/drain() calls moving virtual time"
+        )
+        self._m_compactions = registry.counter(
+            "repro_compactions_total", "Dead-row compactions of the hot arrays"
+        )
+        self._m_clock = registry.gauge(
+            "repro_session_clock", "Current virtual time of the session"
+        )
+        self._m_clock.set(self.now)
+
+    def _observe_advance(self, nevents: int, finishes: int) -> None:
+        """Fold one advance/drain into the bound metrics — O(1), no event
+        iteration: the loop only logs ``start``/``finish`` entries while
+        running, so starts are the new entries that aren't finishes."""
+        starts = nevents - finishes
+        if starts:
+            self._m_dispatched.inc(starts)
+        if finishes:
+            self._m_completed.inc(finishes)
+        self._m_advances.inc()
+        self._m_clock.set(self.now)
 
     # ------------------------------------------------------------------
     @property
@@ -479,6 +531,8 @@ class SchedulingSession:
             ("submit", jid, now, tn) for jid, tn in zip(ids, tenants)
         )
         self.counters.submitted = sub0 + len(specs)
+        if self.metrics is not None:
+            self._m_submitted.inc(len(specs))
         return ids
 
     def _validate_numeric(
@@ -550,6 +604,8 @@ class SchedulingSession:
             self.events.append(("cancel", gi.order[k], self.now))
             cancelled.append(gi.order[k])
             stack.extend(reversed(gi.succ[k]))
+        if cancelled and self.metrics is not None:
+            self._m_cancelled.inc(len(cancelled))
         return tuple(cancelled)
 
     def advance(
@@ -573,6 +629,7 @@ class SchedulingSession:
         if until < self.now:
             raise ValueError(f"cannot advance backwards to {until} (clock is {self.now})")
         n0 = len(self.events)
+        c0 = self.loop.ncompleted
         self.loop.run(until)
         self.loop.advance_clock(until)
         self.counters.completed = self.loop.ncompleted
@@ -581,6 +638,8 @@ class SchedulingSession:
         for e in new:
             if e[0] == "finish":
                 done_add(e[1])
+        if self.metrics is not None:
+            self._observe_advance(len(new), self.loop.ncompleted - c0)
         out: "list[dict[str, Any]] | int"
         if events:
             out = [_event_dict(e) for e in new]
@@ -598,11 +657,16 @@ class SchedulingSession:
         counters instead.
         """
         n0 = len(self.events)
+        c0 = self.loop.ncompleted
         self.loop.run()
         done_add = self.done_ids.add
         for e in self.events[n0:]:
             if e[0] == "finish":
                 done_add(e[1])
+        if self.metrics is not None:
+            self._observe_advance(
+                len(self.events) - n0, self.loop.ncompleted - c0
+            )
         leftover = [
             self.gi.order[i]
             for i, s in enumerate(self.loop.state)
@@ -678,6 +742,8 @@ class SchedulingSession:
         loop.compact(keep, old2new)
         self.tenants = [tenants[i] for i in keep]
         self.compactions += 1
+        if self.metrics is not None:
+            self._m_compactions.inc()
 
     # ------------------------------------------------------------------
     # realized-schedule view

@@ -11,10 +11,17 @@ restart is *replay*, not best-effort.  A child that exits 0 (clean
 resets the backoff and the retry budget, so ``max_restarts`` bounds
 *consecutive* failures, not lifetime restarts.
 
-The child's environment carries ``REPRO_SERVICE_RESTARTS`` (total
-restarts so far) which the front-end surfaces through the ``status``
-op, together with its ``pid`` — that is how the CI chaos stage finds
-the worker to SIGKILL and observes that supervision brought it back.
+Restart counts are published through the metrics registry
+(:mod:`repro.obs`): pass ``registry`` and the supervisor keeps
+``repro_supervisor_restarts_total`` / ``repro_supervisor_backoff_seconds``
+/ ``repro_supervisor_last_exit_code`` current across the restart loop.
+The child's environment still carries ``REPRO_SERVICE_RESTARTS`` (total
+restarts so far) — the supervisor and the worker are separate processes,
+so the env var is the boot-time seed from which the worker's front-end
+fills its own ``repro_restarts`` gauge; ``status`` reads that gauge (the
+field stays byte-compatible), together with its ``pid`` — that is how
+the CI chaos stage finds the worker to SIGKILL and observes that
+supervision brought it back.
 
 Everything is injectable (``spawn``, ``sleep``, ``clock``) so the tests
 drive supervision with fake children and a fake clock.
@@ -61,6 +68,7 @@ def supervise(
     sleep: Callable[[float], None] = time.sleep,
     clock: Callable[[], float] = time.monotonic,
     on_restart: "Callable[[int, int, float], None] | None" = None,
+    registry=None,
 ) -> int:
     """Run ``cmd`` under supervision; returns the final exit code.
 
@@ -68,12 +76,24 @@ def supervise(
     ``max_restarts`` consecutive failures exhaust the budget; 130 on
     KeyboardInterrupt (the child is terminated first).  ``on_restart``
     is called with ``(restarts, exit_code, delay)`` before each backoff
-    sleep.
+    sleep.  ``registry`` (a :class:`~repro.obs.MetricsRegistry`)
+    publishes the restart loop as metrics.
     """
     spawn_fn = spawn if spawn is not None else subprocess.Popen
     restarts = 0  # lifetime count, exported to the child
     consecutive = 0
     delay = policy.base
+    m_restarts = m_backoff = m_exit = None
+    if registry is not None:
+        m_restarts = registry.counter(
+            "repro_supervisor_restarts_total", "Worker restarts after abnormal exits"
+        )
+        m_backoff = registry.gauge(
+            "repro_supervisor_backoff_seconds", "Backoff slept before the last restart"
+        )
+        m_exit = registry.gauge(
+            "repro_supervisor_last_exit_code", "Exit code of the last worker death"
+        )
     while True:
         env = dict(os.environ)
         env[RESTARTS_ENV] = str(restarts)
@@ -98,6 +118,10 @@ def supervise(
             return code
         consecutive += 1
         restarts += 1
+        if m_restarts is not None:
+            m_restarts.inc()
+            m_backoff.set(delay)
+            m_exit.set(code)
         if on_restart is not None:
             on_restart(restarts, code, delay)
         sleep(delay)
